@@ -1,0 +1,178 @@
+// Shared plumbing for the experiment (bench) binaries: dataset loading at
+// REPRO_SCALE, sweep runners, and paper-style table/CSV output.
+#ifndef SEL_BENCH_BENCH_COMMON_H_
+#define SEL_BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sel/sel.h"
+
+namespace sel {
+namespace bench {
+
+/// A dataset + its exact-count index, ready for workload generation.
+struct PreparedData {
+  Dataset data;
+  std::unique_ptr<CountingKdTree> index;
+};
+
+/// Loads `name` at REPRO_SCALE * base_rows rows (min 2000), projected
+/// onto `attrs` (empty = all attributes).
+inline PreparedData Prepare(const std::string& name, size_t base_rows,
+                            const std::vector<int>& attrs,
+                            uint64_t seed = 7000) {
+  auto ds = MakeDatasetByName(name, ScaledCount(base_rows, 2000), seed);
+  SEL_CHECK_MSG(ds.ok(), "dataset %s: %s", name.c_str(),
+                ds.status().ToString().c_str());
+  PreparedData out;
+  out.data = attrs.empty() ? std::move(ds.value())
+                           : ds.value().Project(attrs);
+  out.index = std::make_unique<CountingKdTree>(out.data.rows());
+  return out;
+}
+
+/// Prints the standard experiment banner.
+inline void Banner(const std::string& title, const PreparedData& prep,
+                   const WorkloadOptions& wopts) {
+  std::printf("== %s ==\n", title.c_str());
+  std::printf("dataset: %zu rows, %d dims | workload: %s %s | "
+              "REPRO_SCALE=%.2f\n\n",
+              prep.data.num_rows(), prep.data.dim(),
+              CenterDistributionName(wopts.centers),
+              QueryTypeName(wopts.query_type), ReproScale());
+}
+
+/// Q-error floor at one-tuple resolution for this dataset.
+inline double QFloor(const PreparedData& prep) {
+  return 1.0 / static_cast<double>(prep.data.num_rows());
+}
+
+/// Runs every (train size x model) cell of a sweep: fresh train/test
+/// workloads per size (train seed varies per size; test fixed), skipping
+/// ISOMER past its feasibility cutoff exactly as the paper does.
+inline std::vector<EvalCell> RunSweep(
+    const PreparedData& prep, const WorkloadOptions& wopts,
+    const std::vector<size_t>& sizes, const std::vector<ModelKind>& kinds,
+    size_t test_size, const ModelFactoryOptions& factory = {}) {
+  std::vector<EvalCell> cells;
+  WorkloadOptions test_opts = wopts;
+  test_opts.seed = wopts.seed + 9999;
+  WorkloadGenerator test_gen(&prep.data, prep.index.get(), test_opts);
+  const Workload test = test_gen.Generate(test_size);
+  const double q_floor = QFloor(prep);
+  for (size_t n : sizes) {
+    WorkloadOptions train_opts = wopts;
+    train_opts.seed = wopts.seed + n;
+    WorkloadGenerator train_gen(&prep.data, prep.index.get(), train_opts);
+    const Workload train = train_gen.Generate(n);
+    for (ModelKind kind : kinds) {
+      if (kind == ModelKind::kIsomer && !IsomerFeasible(n)) {
+        EvalCell skipped;
+        skipped.model = ModelKindName(kind);
+        skipped.train_size = n;
+        skipped.ok = false;
+        skipped.status_message = "skipped: beyond ISOMER's feasible size";
+        cells.push_back(std::move(skipped));
+        continue;
+      }
+      auto model = MakeModel(kind, prep.data.dim(), n, factory);
+      cells.push_back(TrainAndEvaluate(model.get(), train, test, q_floor));
+    }
+  }
+  return cells;
+}
+
+/// Prints the sweep as the paper's three figures (model complexity, RMS
+/// error, training time vs training size) in one table.
+inline void PrintSweep(const std::vector<EvalCell>& cells) {
+  TablePrinter t({"model", "train_n", "buckets", "rms", "q50", "q95",
+                  "q99", "qmax", "train_s"});
+  for (const auto& c : cells) {
+    if (!c.ok) {
+      t.AddRow({c.model, std::to_string(c.train_size), "-", "-", "-", "-",
+                "-", "-", "-"});
+      continue;
+    }
+    t.AddRow({c.model, std::to_string(c.train_size),
+              std::to_string(c.buckets), FormatDouble(c.errors.rms, 5),
+              FormatDouble(c.errors.q50, 3), FormatDouble(c.errors.q95, 3),
+              FormatDouble(c.errors.q99, 3), FormatDouble(c.errors.qmax, 3),
+              FormatDouble(c.train_seconds, 4)});
+  }
+  t.Print();
+  std::printf("\n");
+}
+
+/// Dumps the sweep as CSV next to the binary.
+inline void WriteSweepCsv(const std::string& path,
+                          const std::vector<EvalCell>& cells) {
+  CsvWriter csv(path);
+  csv.WriteRow(std::vector<std::string>{
+      "model", "train_n", "buckets", "rms", "mae", "linf", "q50", "q95",
+      "q99", "qmax", "train_seconds", "ok"});
+  for (const auto& c : cells) {
+    csv.WriteRow(std::vector<std::string>{
+        c.model, std::to_string(c.train_size), std::to_string(c.buckets),
+        FormatDouble(c.errors.rms), FormatDouble(c.errors.mae),
+        FormatDouble(c.errors.linf), FormatDouble(c.errors.q50),
+        FormatDouble(c.errors.q95), FormatDouble(c.errors.q99),
+        FormatDouble(c.errors.qmax), FormatDouble(c.train_seconds),
+        c.ok ? "1" : "0"});
+  }
+  csv.Close();
+  std::printf("csv: %s\n\n", path.c_str());
+}
+
+/// Runs one Q-error table group (one workload distribution, all sizes and
+/// methods) and appends rows "workload | train_n | model | q50..qmax" to
+/// `t` and `csv`. `nonempty_only` reproduces the Random-nonempty rows.
+inline void RunQErrorGroup(const PreparedData& prep,
+                           const WorkloadOptions& wopts,
+                           const std::string& group, bool nonempty_only,
+                           const std::vector<size_t>& sizes,
+                           size_t test_size, TablePrinter* t,
+                           CsvWriter* csv) {
+  const std::vector<ModelKind> kinds = {
+      ModelKind::kIsomer, ModelKind::kQuickSel, ModelKind::kQuadHist,
+      ModelKind::kPtsHist};
+  WorkloadOptions test_opts = wopts;
+  test_opts.seed = wopts.seed + 9999;
+  WorkloadGenerator test_gen(&prep.data, prep.index.get(), test_opts);
+  Workload test = test_gen.Generate(nonempty_only ? 2 * test_size
+                                                  : test_size);
+  if (nonempty_only) test = FilterNonEmpty(test);
+  for (size_t n : sizes) {
+    WorkloadOptions train_opts = wopts;
+    train_opts.seed = wopts.seed + n;
+    WorkloadGenerator train_gen(&prep.data, prep.index.get(), train_opts);
+    const Workload train = train_gen.Generate(n);
+    for (ModelKind kind : kinds) {
+      if (kind == ModelKind::kIsomer && !IsomerFeasible(n)) {
+        t->AddRow({group, std::to_string(n), ModelKindName(kind), "-", "-",
+                   "-", "-"});
+        continue;
+      }
+      auto model = MakeModel(kind, prep.data.dim(), n);
+      const EvalCell c =
+          TrainAndEvaluate(model.get(), train, test, QFloor(prep));
+      SEL_CHECK_MSG(c.ok, "%s", c.status_message.c_str());
+      t->AddRow({group, std::to_string(n), c.model,
+                 FormatDouble(c.errors.q50, 3),
+                 FormatDouble(c.errors.q95, 3),
+                 FormatDouble(c.errors.q99, 3),
+                 FormatDouble(c.errors.qmax, 3)});
+      csv->WriteRow(std::vector<std::string>{
+          group, std::to_string(n), c.model, FormatDouble(c.errors.q50),
+          FormatDouble(c.errors.q95), FormatDouble(c.errors.q99),
+          FormatDouble(c.errors.qmax)});
+    }
+  }
+}
+
+}  // namespace bench
+}  // namespace sel
+
+#endif  // SEL_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,93 @@
+// Extension (§6 future work): the Gaussian-mixture selectivity model
+// against QuadHist and PtsHist, on (a) the skewed Power-like data and
+// (b) data that IS a Gaussian mixture, where the GMM's model class
+// contains the truth.
+#include "bench_common.h"
+
+using namespace sel;
+using namespace sel::bench;
+
+namespace {
+
+void RunOn(const char* label, const PreparedData& prep, uint64_t seed,
+           TablePrinter* t, CsvWriter* csv) {
+  WorkloadOptions wopts;
+  wopts.seed = seed;
+  const std::vector<size_t> sizes = ScaledSizes({50, 200, 500, 1000});
+  const size_t test_size = ScaledCount(500, 150);
+  WorkloadOptions test_opts = wopts;
+  test_opts.seed = seed + 9999;
+  WorkloadGenerator test_gen(&prep.data, prep.index.get(), test_opts);
+  const Workload test = test_gen.Generate(test_size);
+  for (size_t n : sizes) {
+    WorkloadOptions train_opts = wopts;
+    train_opts.seed = seed + n;
+    WorkloadGenerator train_gen(&prep.data, prep.index.get(), train_opts);
+    const Workload train = train_gen.Generate(n);
+
+    std::vector<std::unique_ptr<SelectivityModel>> models;
+    models.push_back(MakeModel(ModelKind::kQuadHist, prep.data.dim(), n));
+    models.push_back(MakeModel(ModelKind::kPtsHist, prep.data.dim(), n));
+    {
+      GmmOptions go;
+      models.push_back(std::make_unique<GmmModel>(prep.data.dim(), go));
+    }
+    for (auto& m : models) {
+      const EvalCell c = TrainAndEvaluate(m.get(), train, test,
+                                          QFloor(prep));
+      SEL_CHECK_MSG(c.ok, "%s", c.status_message.c_str());
+      t->AddRow({label, std::to_string(n), c.model,
+                 std::to_string(c.buckets), FormatDouble(c.errors.rms, 5),
+                 FormatDouble(c.errors.q99, 3),
+                 FormatDouble(c.train_seconds, 4)});
+      csv->WriteRow(std::vector<std::string>{
+          label, std::to_string(n), c.model, std::to_string(c.buckets),
+          FormatDouble(c.errors.rms), FormatDouble(c.errors.q99),
+          FormatDouble(c.train_seconds)});
+    }
+  }
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== Extension: Gaussian-mixture learner (§6 future work) "
+              "==\nREPRO_SCALE=%.2f\n\n", ReproScale());
+  TablePrinter t({"data", "train_n", "model", "buckets", "rms", "q99",
+                  "train_s"});
+  CsvWriter csv("bench_ext_gmm.csv");
+  csv.WriteRow(std::vector<std::string>{"data", "train_n", "model",
+                                        "buckets", "rms", "q99", "train_s"});
+
+  const PreparedData power = Prepare("power", 2100000, {0, 1});
+  RunOn("power-2d", power, 5300, &t, &csv);
+
+  // A pure Gaussian-mixture dataset (the GMM model class is well-
+  // specified here).
+  PreparedData gmm_data;
+  {
+    std::vector<MixtureComponent> comps(3);
+    comps[0].weight = 0.5;
+    comps[0].mean = {0.25, 0.3};
+    comps[0].stddev = {0.07, 0.09};
+    comps[1].weight = 0.3;
+    comps[1].mean = {0.7, 0.6};
+    comps[1].stddev = {0.05, 0.05};
+    comps[2].weight = 0.2;
+    comps[2].mean = {0.5, 0.85};
+    comps[2].stddev = {0.1, 0.04};
+    gmm_data.data = MakeGaussianMixture(
+        comps, {{"x", false, 0}, {"y", false, 0}},
+        ScaledCount(500000, 2000), 5301);
+    gmm_data.index = std::make_unique<CountingKdTree>(gmm_data.data.rows());
+  }
+  RunOn("gaussian-mixture-2d", gmm_data, 5400, &t, &csv);
+
+  csv.Close();
+  t.Print();
+  std::printf("\nExpected: the GMM is competitive on skewed real-like data "
+              "with far fewer buckets, and is the most accurate per bucket "
+              "on well-specified mixture data — evidence for §6's 'compute "
+              "a Gaussian mixture with small loss' direction.\n");
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Extension: the Lemma 2.4 crossing-number machinery, measured. For k
+// random boxes (λ = 4 in the plane), the greedy symmetric-difference
+// ordering should give max crossings growing clearly sublinearly in k,
+// while adversarial orderings grow linearly — the gap that drives the
+// fat-shattering upper bound.
+#include <cmath>
+
+#include "bench_common.h"
+
+using namespace sel;
+using namespace sel::bench;
+
+int main() {
+  std::printf("== Extension: low-crossing orderings (Lemma 2.4) ==\n\n");
+  Rng rng(5700);
+  const int kProbes = 600;
+  std::vector<Point> probes, sample;
+  for (int i = 0; i < kProbes; ++i) {
+    probes.push_back({rng.NextDouble(), rng.NextDouble()});
+    sample.push_back({rng.NextDouble(), rng.NextDouble()});
+  }
+
+  TablePrinter t({"k ranges", "greedy max", "identity max", "shuffled max",
+                  "k^(3/4) log k"});
+  CsvWriter csv("bench_ext_low_crossing.csv");
+  csv.WriteRow(std::vector<std::string>{"k", "greedy", "identity",
+                                        "shuffled", "bound"});
+  for (int k : {8, 16, 32, 64, 128}) {
+    std::vector<Query> ranges;
+    for (int i = 0; i < k; ++i) {
+      Point c = {rng.NextDouble(), rng.NextDouble()};
+      ranges.push_back(Box::FromCenterAndWidths(
+          c, {rng.Uniform(0.2, 0.6), rng.Uniform(0.2, 0.6)},
+          Box::Unit(2)));
+    }
+    const auto greedy = GreedyLowCrossingOrder(ranges, sample);
+    const auto identity = IdentityOrder(k);
+    std::vector<int> shuffled = identity;
+    for (int i = k - 1; i > 0; --i) {
+      std::swap(shuffled[i], shuffled[rng.UniformInt(i + 1)]);
+    }
+    const int g = MaxCrossings(probes, ranges, greedy);
+    const int id = MaxCrossings(probes, ranges, identity);
+    const int sh = MaxCrossings(probes, ranges, shuffled);
+    const double bound =
+        std::pow(k, 0.75) * std::max(1.0, std::log2(double(k)));
+    t.AddRow({std::to_string(k), std::to_string(g), std::to_string(id),
+              std::to_string(sh), FormatDouble(bound, 1)});
+    csv.WriteRow(std::vector<double>{static_cast<double>(k),
+                                     static_cast<double>(g),
+                                     static_cast<double>(id),
+                                     static_cast<double>(sh), bound});
+  }
+  csv.Close();
+  t.Print();
+  std::printf("\nExpected: greedy max crossings grow sublinearly "
+              "(O(k^{1-1/λ} log k) with λ = 4 for planar boxes) while "
+              "random orderings track ~k — the separation Lemma 2.4 "
+              "exploits against Lemma 2.3's γ(k-1) lower bound.\n");
+  return 0;
+}

@@ -1,0 +1,113 @@
+// Extension (§2.2): learnability of semi-algebraic range queries —
+// crescents (disc minus disc) over 2-D data and the paper's Fig. 3
+// disc-intersection range space Σ_● over a database of discs lifted to
+// R^3. Neither appears in the paper's evaluation; Theorem 2.1 predicts
+// both are learnable, and the generic PtsHist realizes it untouched.
+#include "bench_common.h"
+
+using namespace sel;
+using namespace sel::bench;
+
+namespace {
+
+SemiAlgebraicSet Disc2D(double cx, double cy, double r) {
+  const int d = 2;
+  const Polynomial x = Polynomial::Variable(d, 0);
+  const Polynomial y = Polynomial::Variable(d, 1);
+  const Polynomial p = (x - Polynomial::Constant(d, cx)) *
+                           (x - Polynomial::Constant(d, cx)) +
+                       (y - Polynomial::Constant(d, cy)) *
+                           (y - Polynomial::Constant(d, cy)) -
+                       Polynomial::Constant(d, r * r);
+  return SemiAlgebraicSet::Atom(p);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== Extension: semi-algebraic range queries (§2.2) ==\n"
+              "REPRO_SCALE=%.2f\n\n", ReproScale());
+  TablePrinter t({"range space", "train_n", "model", "rms", "q99"});
+  CsvWriter csv("bench_ext_semialgebraic.csv");
+  csv.WriteRow(
+      std::vector<std::string>{"range_space", "train_n", "model", "rms",
+                               "q99"});
+
+  const std::vector<size_t> sizes = ScaledSizes({50, 200, 500});
+  const size_t test_n = ScaledCount(300, 100);
+
+  // --- Crescent queries over skewed 2-D data. ---
+  {
+    const PreparedData prep = Prepare("power", 2100000, {0, 1});
+    Rng rng(5500);
+    auto make_crescent = [&rng]() {
+      const double cx = rng.Uniform(0.2, 0.8);
+      const double cy = rng.Uniform(0.2, 0.8);
+      const double r = rng.Uniform(0.15, 0.45);
+      return Query(SemiAlgebraicSet::And(
+          Disc2D(cx, cy, r),
+          SemiAlgebraicSet::Not(Disc2D(cx + r / 2, cy, r * 0.7))));
+    };
+    std::vector<Query> test_q;
+    for (size_t i = 0; i < test_n; ++i) test_q.push_back(make_crescent());
+    const Workload test = LabelQueries(test_q, *prep.index);
+    for (size_t n : sizes) {
+      std::vector<Query> train_q;
+      for (size_t i = 0; i < n; ++i) train_q.push_back(make_crescent());
+      const Workload train = LabelQueries(train_q, *prep.index);
+      PtsHist model(2, PtsHistOptions{});
+      SEL_CHECK(model.Train(train).ok());
+      const ErrorReport r = EvaluateModel(model, test, QFloor(prep));
+      t.AddRow({"crescent (b=2,Δ=2)", std::to_string(n), "PtsHist",
+                FormatDouble(r.rms, 5), FormatDouble(r.q99, 3)});
+      csv.WriteRow(std::vector<std::string>{
+          "crescent", std::to_string(n), "PtsHist", FormatDouble(r.rms),
+          FormatDouble(r.q99)});
+    }
+  }
+
+  // --- Disc-intersection queries Σ_● over a disc database (Fig. 3). ---
+  {
+    Rng rng(5600);
+    std::vector<Point> discs;
+    const size_t num_discs = ScaledCount(100000, 4000);
+    for (size_t i = 0; i < num_discs; ++i) {
+      // Cluster disc centers (skewed object database).
+      const bool cluster = rng.NextDouble() < 0.7;
+      const double cx = cluster ? std::clamp(rng.Gaussian(0.3, 0.1), 0.0, 1.0)
+                                : rng.NextDouble();
+      const double cy = cluster ? std::clamp(rng.Gaussian(0.4, 0.12), 0.0, 1.0)
+                                : rng.NextDouble();
+      discs.push_back({cx, cy, rng.Uniform(0.0, 0.15)});
+    }
+    CountingKdTree index(discs);
+    auto make_query = [&rng]() {
+      return Query(DiscIntersectionRange(rng.NextDouble(), rng.NextDouble(),
+                                         rng.Uniform(0.05, 0.35)));
+    };
+    std::vector<Query> test_q;
+    for (size_t i = 0; i < test_n; ++i) test_q.push_back(make_query());
+    const Workload test = LabelQueries(test_q, index);
+    const double q_floor = 1.0 / static_cast<double>(num_discs);
+    for (size_t n : sizes) {
+      std::vector<Query> train_q;
+      for (size_t i = 0; i < n; ++i) train_q.push_back(make_query());
+      const Workload train = LabelQueries(train_q, index);
+      PtsHist model(3, PtsHistOptions{});
+      SEL_CHECK(model.Train(train).ok());
+      const ErrorReport r = EvaluateModel(model, test, q_floor);
+      t.AddRow({"disc-intersection Σ●", std::to_string(n), "PtsHist",
+                FormatDouble(r.rms, 5), FormatDouble(r.q99, 3)});
+      csv.WriteRow(std::vector<std::string>{
+          "disc-intersection", std::to_string(n), "PtsHist",
+          FormatDouble(r.rms), FormatDouble(r.q99)});
+    }
+  }
+
+  csv.Close();
+  t.Print();
+  std::printf("\nExpected: error falls with n for both semi-algebraic "
+              "spaces, confirming Theorem 2.1 beyond the three canonical "
+              "classes the paper evaluates.\n");
+  return 0;
+}

@@ -1,0 +1,47 @@
+// Figure 17: PtsHist RMS error vs training size across dimensionality
+// d in {2,4,6,8,10} on Data-driven orthogonal ranges over Forest
+// subspaces. Higher d should demand more training for the same accuracy.
+#include "bench_common.h"
+
+using namespace sel;
+using namespace sel::bench;
+
+int main() {
+  WorkloadOptions wopts;
+  wopts.seed = 1700;
+  std::printf("== Figure 17: PtsHist RMS vs training size across d "
+              "(Forest, Data-driven) ==\nREPRO_SCALE=%.2f\n\n",
+              ReproScale());
+
+  const std::vector<int> dims = {2, 4, 6, 8, 10};
+  const std::vector<size_t> sizes = ScaledSizes({50, 200, 500, 1000, 2000});
+  const size_t test_size = ScaledCount(500, 150);
+
+  TablePrinter t({"d", "train_n", "buckets", "rms", "train_s"});
+  CsvWriter csv("bench_fig17_dimensionality.csv");
+  csv.WriteRow(
+      std::vector<std::string>{"d", "train_n", "buckets", "rms", "train_s"});
+  for (int d : dims) {
+    std::vector<int> attrs(d);
+    for (int j = 0; j < d; ++j) attrs[j] = j;
+    const PreparedData prep = Prepare("forest", 581000, attrs);
+    const auto cells = RunSweep(prep, wopts, sizes, {ModelKind::kPtsHist},
+                                test_size);
+    for (const auto& c : cells) {
+      t.AddRow({std::to_string(d), std::to_string(c.train_size),
+                std::to_string(c.buckets), FormatDouble(c.errors.rms, 5),
+                FormatDouble(c.train_seconds, 4)});
+      csv.WriteRow(std::vector<std::string>{
+          std::to_string(d), std::to_string(c.train_size),
+          std::to_string(c.buckets), FormatDouble(c.errors.rms),
+          FormatDouble(c.train_seconds)});
+    }
+  }
+  csv.Close();
+  t.Print();
+  std::printf("\nExpected shape (paper): each d-series falls with n and "
+              "flattens; higher d shifts series away from the origin "
+              "(more samples needed for the same accuracy), matching the "
+              "exponential d-dependence of Theorem 2.1.\n");
+  return 0;
+}

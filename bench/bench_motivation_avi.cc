@@ -1,0 +1,85 @@
+// Motivation (§1): why learn selectivities at all? The traditional
+// optimizer estimate — per-attribute histograms under the attribute-
+// value-independence (AVI) assumption — is compared against the paper's
+// workload-trained learners on independent vs. correlated data. AVI is
+// unbeatable when independence holds and collapses when it does not;
+// the learners never see the data yet track the joint distribution.
+#include "bench_common.h"
+
+using namespace sel;
+using namespace sel::bench;
+
+namespace {
+
+void RunOn(const char* label, const Dataset& data, uint64_t seed,
+           TablePrinter* t, CsvWriter* csv) {
+  const CountingKdTree index(data.rows());
+  WorkloadOptions wopts;
+  wopts.seed = seed;
+  WorkloadGenerator gen(&data, &index, wopts);
+  const size_t n = ScaledCount(800, 150);
+  const Workload train = gen.Generate(n);
+  const Workload test = gen.Generate(ScaledCount(500, 150));
+  const double q_floor = 1.0 / static_cast<double>(data.num_rows());
+
+  {
+    AviHistogram avi(data, AviOptions{});
+    const ErrorReport r = EvaluateModel(avi, test, q_floor);
+    t->AddRow({label, "AVI (data, independence)",
+               std::to_string(avi.NumBuckets()), FormatDouble(r.rms, 5),
+               FormatDouble(r.q99, 3)});
+    csv->WriteRow(std::vector<std::string>{label, "AVI",
+                                           std::to_string(avi.NumBuckets()),
+                                           FormatDouble(r.rms),
+                                           FormatDouble(r.q99)});
+  }
+  for (ModelKind kind : {ModelKind::kQuadHist, ModelKind::kPtsHist}) {
+    auto model = MakeModel(kind, data.dim(), n);
+    const EvalCell c = TrainAndEvaluate(model.get(), train, test, q_floor);
+    SEL_CHECK_MSG(c.ok, "%s", c.status_message.c_str());
+    t->AddRow({label, c.model + " (workload)", std::to_string(c.buckets),
+               FormatDouble(c.errors.rms, 5),
+               FormatDouble(c.errors.q99, 3)});
+    csv->WriteRow(std::vector<std::string>{
+        label, c.model, std::to_string(c.buckets),
+        FormatDouble(c.errors.rms), FormatDouble(c.errors.q99)});
+  }
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== Motivation: AVI baseline vs learned estimators ==\n"
+              "REPRO_SCALE=%.2f\n\n", ReproScale());
+  TablePrinter t({"data", "estimator", "buckets", "rms", "q99"});
+  CsvWriter csv("bench_motivation_avi.csv");
+  csv.WriteRow(std::vector<std::string>{"data", "estimator", "buckets",
+                                        "rms", "q99"});
+
+  RunOn("independent-2d", MakeUniform(ScaledCount(200000, 5000), 2, 6001),
+        6002, &t, &csv);
+  RunOn("correlated (power-2d)",
+        MakePowerLike(ScaledCount(500000, 5000), 6003).Project({0, 3}),
+        6004, &t, &csv);
+  {
+    // Extreme correlation: diagonal data.
+    Rng rng(6005);
+    std::vector<Point> rows;
+    const size_t n = ScaledCount(200000, 5000);
+    for (size_t i = 0; i < n; ++i) {
+      const double x = rng.NextDouble();
+      rows.push_back(
+          {x, std::clamp(x + rng.Uniform(-0.03, 0.03), 0.0, 1.0)});
+    }
+    RunOn("diagonal-2d",
+          Dataset({{"x", false, 0}, {"y", false, 0}}, std::move(rows)),
+          6006, &t, &csv);
+  }
+  csv.Close();
+  t.Print();
+  std::printf("\nExpected: AVI wins (or ties) on independent data, loses "
+              "clearly on correlated Power, and fails catastrophically on "
+              "diagonal data, while the workload-trained learners stay "
+              "accurate everywhere — §1's case for learned selectivity.\n");
+  return 0;
+}

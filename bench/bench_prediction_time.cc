@@ -1,0 +1,56 @@
+// Prediction time (§4.1's closing remark): all the compared models
+// estimate by aggregating per-bucket computations, so prediction time is
+// dictated by model complexity. This bench makes that relationship
+// explicit: per-query estimation latency vs bucket count per model.
+#include "bench_common.h"
+
+using namespace sel;
+using namespace sel::bench;
+
+int main() {
+  const PreparedData prep = Prepare("power", 2100000, {0, 1});
+  WorkloadOptions wopts;
+  wopts.seed = 6100;
+  Banner("Prediction time vs model complexity (§4.1)", prep, wopts);
+
+  const std::vector<size_t> sizes = ScaledSizes({50, 200, 500, 1000});
+  const size_t probe_count = 2000;
+  WorkloadOptions probe_opts = wopts;
+  probe_opts.seed = wopts.seed + 1;
+  WorkloadGenerator probe_gen(&prep.data, prep.index.get(), probe_opts);
+  const Workload probes = probe_gen.Generate(probe_count);
+
+  TablePrinter t({"model", "buckets", "us_per_estimate"});
+  CsvWriter csv("bench_prediction_time.csv");
+  csv.WriteRow(std::vector<std::string>{"model", "buckets", "us_per_est"});
+  for (size_t n : sizes) {
+    WorkloadOptions train_opts = wopts;
+    train_opts.seed = wopts.seed + n;
+    WorkloadGenerator train_gen(&prep.data, prep.index.get(), train_opts);
+    const Workload train = train_gen.Generate(n);
+    for (ModelKind kind : {ModelKind::kQuadHist, ModelKind::kPtsHist,
+                           ModelKind::kQuickSel}) {
+      auto model = MakeModel(kind, prep.data.dim(), n);
+      SEL_CHECK(model->Train(train).ok());
+      WallTimer timer;
+      double sink = 0.0;
+      for (const auto& z : probes) {
+        sink += model->Estimate(z.query);
+      }
+      const double us = timer.Seconds() * 1e6 / probe_count;
+      SEL_CHECK(sink >= 0.0);
+      t.AddRow({model->Name(), std::to_string(model->NumBuckets()),
+                FormatDouble(us, 2)});
+      csv.WriteRow(std::vector<std::string>{
+          model->Name(), std::to_string(model->NumBuckets()),
+          FormatDouble(us)});
+    }
+  }
+  csv.Close();
+  t.Print();
+  std::printf("\nExpected: latency grows ~linearly in bucket count for the "
+              "flat models (PtsHist point tests, QuickSel kernel "
+              "intersections) and sublinearly for QuadHist, whose tree "
+              "prunes subtrees fully inside/outside the query.\n");
+  return 0;
+}

@@ -1,0 +1,31 @@
+// Table 5 (and appendix Figs. 49-51): Q-error over Census, Data-driven
+// workload, on a categorical + numeric 2-D projection.
+#include "bench_common.h"
+
+using namespace sel;
+using namespace sel::bench;
+
+int main() {
+  // Attribute 0 is categorical (workclass-like, 9 values); attribute 8 is
+  // numeric (age-like).
+  const PreparedData prep = Prepare("census", 49000, {0, 8});
+  WorkloadOptions banner;
+  Banner("Table 5: Q-error over Census (Data-driven)", prep, banner);
+
+  const std::vector<size_t> sizes = ScaledSizes({50, 200, 500, 1000, 2000});
+  const size_t test_size = ScaledCount(1000, 200);
+
+  TablePrinter t({"workload", "train_n", "model", "q50", "q95", "q99",
+                  "qmax"});
+  CsvWriter csv("bench_table5_qerror_census.csv");
+  csv.WriteRow(std::vector<std::string>{"workload", "train_n", "model",
+                                        "q50", "q95", "q99", "qmax"});
+  WorkloadOptions dd;
+  dd.seed = 3800;
+  RunQErrorGroup(prep, dd, "data-driven", false, sizes, test_size, &t, &csv);
+  csv.Close();
+  t.Print();
+  std::printf("\nExpected shape (paper): errors fall with n; QuadHist and "
+              "PtsHist lead the 99th-percentile column at larger n.\n");
+  return 0;
+}

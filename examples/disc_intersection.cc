@@ -1,0 +1,64 @@
+// The paper's Σ_● example (§2.2, Fig. 3 right): the database stores
+// DISCS, not points — think coverage zones of radio transmitters — and a
+// query asks "how many zones does this disc intersect?". Lifting each
+// disc to the point (center_x, center_y, radius) turns the query into a
+// semi-algebraic range in R^3 with b=2, Δ=2, so its selectivity is
+// learnable (Theorem 2.1) — and the generic PtsHist learner handles the
+// lifted space with no code specific to discs.
+#include <cstdio>
+
+#include "sel/sel.h"
+
+int main() {
+  using namespace sel;
+
+  // A database of 50k coverage discs: clustered centers (urban areas),
+  // radii up to 0.15.
+  Rng rng(9);
+  std::vector<Point> discs;
+  for (int i = 0; i < 50000; ++i) {
+    const bool urban = rng.NextDouble() < 0.7;
+    const double cx = urban ? std::clamp(rng.Gaussian(0.35, 0.1), 0.0, 1.0)
+                            : rng.NextDouble();
+    const double cy = urban ? std::clamp(rng.Gaussian(0.45, 0.12), 0.0, 1.0)
+                            : rng.NextDouble();
+    discs.push_back({cx, cy, rng.Uniform(0.0, 0.15)});
+  }
+  const CountingKdTree index(discs);  // kd-tree over the LIFTED points
+
+  // Historical intersection queries with exact answer counts.
+  auto make_query = [&rng] {
+    return Query(DiscIntersectionRange(rng.NextDouble(), rng.NextDouble(),
+                                       rng.Uniform(0.05, 0.35)));
+  };
+  std::vector<Query> train_q, test_q;
+  for (int i = 0; i < 400; ++i) train_q.push_back(make_query());
+  for (int i = 0; i < 150; ++i) test_q.push_back(make_query());
+  const Workload train = LabelQueries(train_q, index);
+  const Workload test = LabelQueries(test_q, index);
+
+  // Train the generic discrete-distribution learner on the lifted space.
+  PtsHist model(3, PtsHistOptions{});
+  SEL_CHECK(model.Train(train).ok());
+
+  std::printf("disc-intersection selectivity over %zu coverage zones\n\n",
+              discs.size());
+  std::printf("%26s %14s %14s\n", "query disc (cx, cy, r)",
+              "true zones", "predicted");
+  for (int i = 0; i < 8; ++i) {
+    const auto& z = test[i];
+    // Pull the query parameters back out of the range for display.
+    std::printf("%26s %14.0f %14.0f\n",
+                ("#" + std::to_string(i)).c_str(),
+                z.selectivity * discs.size(),
+                model.Estimate(z.query) * discs.size());
+  }
+  const ErrorReport r = EvaluateModel(model, test);
+  std::printf("\nRMS %.4f | median Q-error %.3f | 99th Q-error %.3f over "
+              "%zu test queries\n", r.rms, r.q50, r.q99, test.size());
+  std::printf("\nNo disc-specific code was needed: Σ_● lifts to a "
+              "semi-algebraic range space of bounded VC-dimension and the "
+              "generic learner applies as-is — the power of the paper's "
+              "framework.\n");
+  return 0;
+}

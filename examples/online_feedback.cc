@@ -1,0 +1,83 @@
+// The full DBMS loop: SQL-style predicates come in, the optimizer asks
+// the online estimator for selectivities, queries execute, and their
+// true cardinalities feed back into the model — which retrains itself on
+// a schedule and survives a workload shift. Also shows model persistence
+// (train once, save, load in another process).
+#include <cstdio>
+
+#include "sel/sel.h"
+
+int main() {
+  using namespace sel;
+
+  const Dataset data = MakePowerLike(150000).Project({0, 3});
+  const CountingKdTree truth(data.rows());  // stand-in for execution
+  PredicateParser parser({"active_power", "intensity"});
+
+  OnlineOptions opts;
+  opts.retrain_interval = 50;
+  opts.window_capacity = 400;
+  OnlineEstimator estimator(data.dim(), opts);
+
+  // Phase 1: a stream of WHERE predicates (templated, drifting ranges).
+  Rng rng(17);
+  auto run_phase = [&](const char* name, double lo_base, int count) {
+    double sq = 0.0;
+    for (int i = 0; i < count; ++i) {
+      const double lo = lo_base + rng.Uniform(0.0, 0.25);
+      const double hi = lo + rng.Uniform(0.05, 0.5);
+      char text[160];
+      std::snprintf(text, sizeof(text),
+                    "active_power BETWEEN %.3f AND %.3f AND intensity <= "
+                    "%.3f", lo, hi, rng.Uniform(0.3, 1.0));
+      auto parsed = parser.Parse(text);
+      SEL_CHECK(parsed.ok());
+      const double est = estimator.Estimate(parsed.value());
+      const double real = truth.Selectivity(parsed.value());
+      sq += (est - real) * (est - real);
+      SEL_CHECK(estimator.Feedback(parsed.value(), real).ok());
+    }
+    std::printf("%-28s streaming RMS %.4f (over %d queries, %zu retrains "
+                "so far)\n", name, std::sqrt(sq / count), count,
+                estimator.retrain_count());
+  };
+
+  std::printf("online selectivity estimation from query feedback\n\n");
+  run_phase("phase 1 (cold start, low)", 0.0, 200);
+  run_phase("phase 1 (warm, low)", 0.0, 200);
+  run_phase("phase 2 (workload shift!)", 0.45, 200);
+  run_phase("phase 2 (re-adapted)", 0.45, 200);
+
+  // Persist the current model for another process.
+  SEL_CHECK(estimator.Retrain().ok());
+  const std::string path = "online_model.seltxt";
+  // The online estimator's backend is a QuadHist; rebuild one from the
+  // window to export it (the library persists any trained model).
+  {
+    QuadHistOptions qo;
+    qo.tau = 0.002;
+    qo.max_leaves = 1600;
+    QuadHist exportable(data.dim(), qo);
+    WorkloadOptions wopts;
+    wopts.seed = 18;
+    WorkloadGenerator gen(&data, &truth, wopts);
+    SEL_CHECK(exportable.Train(gen.Generate(400)).ok());
+    SEL_CHECK(SaveHistogramModel(exportable.LeafBoxes(),
+                                 exportable.LeafWeights(), path)
+                  .ok());
+    auto loaded = LoadModel(path);
+    SEL_CHECK(loaded.ok());
+    auto probe = parser.Parse("active_power <= 0.3");
+    SEL_CHECK(probe.ok());
+    std::printf("\nsaved + reloaded model: P(active_power <= 0.3) = %.4f "
+                "(true %.4f)\n", loaded.value()->Estimate(probe.value()),
+                truth.Selectivity(probe.value()));
+  }
+  std::remove(path.c_str());
+
+  std::printf("\nThe streaming error drops as feedback accumulates, spikes "
+              "at the workload shift, and recovers after the sliding "
+              "window turns over — no access to the data, only to query "
+              "results.\n");
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Distance-based (ball) query selectivity for similarity search — the
+// "how many objects are in the vicinity?" use case of §1.
+//
+// A recommendation service holds item embeddings; before running an
+// expensive radius search it wants the expected result count, e.g. to
+// pick between exhaustive search and an approximate index, or to adapt
+// the radius. PtsHist learns that count function from past queries,
+// exercising the Σ_○ range space whose VC-dimension is at most d+2.
+#include <cstdio>
+
+#include "sel/sel.h"
+
+int main() {
+  using namespace sel;
+
+  // "Embeddings": a 6-D Forest-like dataset standing in for item vectors.
+  const Dataset data = MakeForestLike(100000).Project({0, 1, 2, 3, 4, 5});
+  const CountingKdTree index(data.rows());
+
+  // Past radius queries: data-driven centers (users query near items),
+  // radii uniform in [0,1].
+  WorkloadOptions wopts;
+  wopts.query_type = QueryType::kBall;
+  wopts.seed = 3;
+  WorkloadGenerator gen(&data, &index, wopts);
+  const Workload history = gen.Generate(600);
+
+  PtsHistOptions popts;
+  popts.model_size = 2400;
+  PtsHist model(data.dim(), popts);
+  SEL_CHECK(model.Train(history).ok());
+
+  // New similarity queries: predict result counts and pick a strategy.
+  const Workload incoming = gen.Generate(200);
+  std::printf("similarity search planning over %zu items (6-D)\n\n",
+              data.num_rows());
+  std::printf("%10s %12s %12s  %s\n", "radius", "true count",
+              "predicted", "strategy");
+  int shown = 0;
+  size_t correct_strategy = 0;
+  const double threshold = 0.05;  // switch point: exhaustive vs indexed
+  for (const auto& z : incoming) {
+    const double est = model.Estimate(z.query);
+    const double true_count = z.selectivity * data.num_rows();
+    const double est_count = est * data.num_rows();
+    const bool pred_small = est < threshold;
+    const bool true_small = z.selectivity < threshold;
+    if (pred_small == true_small) ++correct_strategy;
+    if (shown < 8) {
+      std::printf("%10.3f %12.0f %12.0f  %s\n", z.query.ball().radius(),
+                  true_count, est_count,
+                  pred_small ? "indexed range scan" : "exhaustive scan");
+      ++shown;
+    }
+  }
+  const ErrorReport r = EvaluateModel(model, incoming);
+  std::printf("\nstrategy picked correctly: %zu / %zu (%.1f%%)\n",
+              correct_strategy, incoming.size(),
+              100.0 * correct_strategy / incoming.size());
+  std::printf("count prediction RMS (as selectivity): %.4f | median "
+              "Q-error %.3f\n", r.rms, r.q50);
+  std::printf("\nBall-query selectivity is learnable (VC-dim <= d+2 = 8), "
+              "and a generic point-bucket model suffices — no "
+              "distance-specific machinery.\n");
+  return 0;
+}

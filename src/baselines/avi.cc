@@ -1,0 +1,95 @@
+#include "baselines/avi.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace sel {
+
+AviHistogram::AviHistogram(const Dataset& data, const AviOptions& options)
+    : dim_(data.dim()), options_(options) {
+  SEL_CHECK(options_.bins_per_dim >= 1);
+  SEL_CHECK(data.num_rows() > 0);
+  marginals_.assign(dim_,
+                    std::vector<double>(options_.bins_per_dim, 0.0));
+  const double inv_n = 1.0 / static_cast<double>(data.num_rows());
+  for (const auto& row : data.rows()) {
+    for (int j = 0; j < dim_; ++j) {
+      int bin = static_cast<int>(row[j] * options_.bins_per_dim);
+      bin = std::clamp(bin, 0, options_.bins_per_dim - 1);
+      marginals_[j][bin] += inv_n;
+    }
+  }
+}
+
+Status AviHistogram::Train(const Workload&) {
+  return Status::FailedPrecondition(
+      "AVI builds from the dataset at construction; it has no "
+      "workload-training mode");
+}
+
+double AviHistogram::MarginalMass(int j, double lo, double hi) const {
+  SEL_CHECK(j >= 0 && j < dim_);
+  if (hi <= lo) {
+    // Degenerate (equality) predicate: mass of the bin containing lo.
+    // Consistent with how categorical equality predicates carry width
+    // ~half a lattice gap in the workload generator.
+    return 0.0;
+  }
+  const int bins = options_.bins_per_dim;
+  const double width = 1.0 / bins;
+  double mass = 0.0;
+  const int first = std::clamp(static_cast<int>(lo * bins), 0, bins - 1);
+  const int last = std::clamp(static_cast<int>(hi * bins), 0, bins - 1);
+  for (int b = first; b <= last; ++b) {
+    const double blo = b * width;
+    const double bhi = blo + width;
+    const double overlap =
+        std::max(0.0, std::min(hi, bhi) - std::max(lo, blo));
+    mass += marginals_[j][b] * overlap / width;
+  }
+  return std::clamp(mass, 0.0, 1.0);
+}
+
+double AviHistogram::MarginalQuantile(int j, double u) const {
+  const int bins = options_.bins_per_dim;
+  const double width = 1.0 / bins;
+  double cum = 0.0;
+  for (int b = 0; b < bins; ++b) {
+    const double next = cum + marginals_[j][b];
+    if (u < next || b == bins - 1) {
+      const double frac =
+          marginals_[j][b] > 0.0 ? (u - cum) / marginals_[j][b] : 0.5;
+      return (b + std::clamp(frac, 0.0, 1.0)) * width;
+    }
+    cum = next;
+  }
+  return 1.0;
+}
+
+double AviHistogram::Estimate(const Query& query) const {
+  SEL_CHECK(query.dim() == dim_);
+  if (query.type() == QueryType::kBox) {
+    double sel = 1.0;
+    for (int j = 0; j < dim_; ++j) {
+      sel *= MarginalMass(j, query.box().lo(j), query.box().hi(j));
+      if (sel == 0.0) break;
+    }
+    return sel;
+  }
+  // Non-box predicates: deterministic QMC from the product distribution.
+  HaltonSequence halton(dim_);
+  std::vector<double> u(dim_);
+  Point x(dim_);
+  long hits = 0;
+  for (int s = 0; s < options_.qmc_samples; ++s) {
+    halton.Next(u.data());
+    for (int j = 0; j < dim_; ++j) x[j] = MarginalQuantile(j, u[j]);
+    if (query.Contains(x)) ++hits;
+  }
+  return static_cast<double>(hits) / options_.qmc_samples;
+}
+
+}  // namespace sel

@@ -1,0 +1,39 @@
+// Invariant-checking macros (RocksDB/Arrow idiom: fail fast on programmer
+// errors, use sel::Status for recoverable runtime errors).
+#ifndef SEL_COMMON_CHECK_H_
+#define SEL_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+/// Aborts with a message if `cond` is false. Active in all build types:
+/// these guard API contracts, not internal debug assertions.
+#define SEL_CHECK(cond)                                                      \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      std::fprintf(stderr, "SEL_CHECK failed at %s:%d: %s\n", __FILE__,      \
+                   __LINE__, #cond);                                         \
+      std::abort();                                                          \
+    }                                                                        \
+  } while (0)
+
+/// Like SEL_CHECK but with a printf-style explanation.
+#define SEL_CHECK_MSG(cond, ...)                                             \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      std::fprintf(stderr, "SEL_CHECK failed at %s:%d: %s: ", __FILE__,      \
+                   __LINE__, #cond);                                         \
+      std::fprintf(stderr, __VA_ARGS__);                                     \
+      std::fprintf(stderr, "\n");                                            \
+      std::abort();                                                          \
+    }                                                                        \
+  } while (0)
+
+/// Debug-only assertion for hot paths.
+#ifdef NDEBUG
+#define SEL_DCHECK(cond) ((void)0)
+#else
+#define SEL_DCHECK(cond) SEL_CHECK(cond)
+#endif
+
+#endif  // SEL_COMMON_CHECK_H_

@@ -1,0 +1,25 @@
+#include "common/csv.h"
+
+#include "common/string_util.h"
+
+namespace sel {
+
+CsvWriter::CsvWriter(const std::string& path) : out_(path) {}
+
+void CsvWriter::WriteRow(const std::vector<std::string>& fields) {
+  out_ << Join(fields, ",") << "\n";
+}
+
+void CsvWriter::WriteRow(const std::vector<double>& values) {
+  std::vector<std::string> fields;
+  fields.reserve(values.size());
+  for (double v : values) fields.push_back(FormatDouble(v));
+  WriteRow(fields);
+}
+
+void CsvWriter::Close() {
+  out_.flush();
+  out_.close();
+}
+
+}  // namespace sel

@@ -1,0 +1,37 @@
+// Minimal CSV writing used by every bench binary to dump its series.
+#ifndef SEL_COMMON_CSV_H_
+#define SEL_COMMON_CSV_H_
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace sel {
+
+/// Streams rows of strings/doubles into a CSV file.
+class CsvWriter {
+ public:
+  /// Opens `path` for writing; check Ok() before use.
+  explicit CsvWriter(const std::string& path);
+
+  /// True if the underlying file opened successfully.
+  bool Ok() const { return out_.good(); }
+
+  /// Writes a header or data row of raw (unquoted) fields.
+  void WriteRow(const std::vector<std::string>& fields);
+
+  /// Convenience: writes a row of doubles formatted with %.6g.
+  void WriteRow(const std::vector<double>& values);
+
+  /// Flushes and closes the file.
+  void Close();
+
+ private:
+  std::ofstream out_;
+};
+
+}  // namespace sel
+
+#endif  // SEL_COMMON_CSV_H_

@@ -1,0 +1,36 @@
+#include "common/env.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace sel {
+
+std::string GetEnvString(const std::string& name, const std::string& def) {
+  const char* v = std::getenv(name.c_str());
+  return v == nullptr ? def : std::string(v);
+}
+
+double GetEnvDouble(const std::string& name, double def) {
+  const char* v = std::getenv(name.c_str());
+  if (v == nullptr) return def;
+  char* end = nullptr;
+  const double parsed = std::strtod(v, &end);
+  if (end == v) return def;
+  return parsed;
+}
+
+long GetEnvInt(const std::string& name, long def) {
+  const char* v = std::getenv(name.c_str());
+  if (v == nullptr) return def;
+  char* end = nullptr;
+  const long parsed = std::strtol(v, &end, 10);
+  if (end == v) return def;
+  return parsed;
+}
+
+double ReproScale() {
+  const double s = GetEnvDouble("REPRO_SCALE", 0.25);
+  return std::clamp(s, 0.01, 4.0);
+}
+
+}  // namespace sel

@@ -1,0 +1,27 @@
+// Environment-variable helpers for experiment scaling.
+#ifndef SEL_COMMON_ENV_H_
+#define SEL_COMMON_ENV_H_
+
+#include <string>
+
+namespace sel {
+
+/// Returns the value of environment variable `name`, or `def` if unset.
+std::string GetEnvString(const std::string& name, const std::string& def);
+
+/// Returns env var `name` parsed as double, or `def` if unset/unparsable.
+double GetEnvDouble(const std::string& name, double def);
+
+/// Returns env var `name` parsed as long, or `def` if unset/unparsable.
+long GetEnvInt(const std::string& name, long def);
+
+/// Global experiment scale factor, from REPRO_SCALE (default 0.25).
+///
+/// Benches multiply dataset sizes and sweep extents by this factor so a
+/// full `bench/*` pass stays fast on one core; REPRO_SCALE=1 reproduces
+/// the paper's sizes. Clamped to [0.01, 4].
+double ReproScale();
+
+}  // namespace sel
+
+#endif  // SEL_COMMON_ENV_H_

@@ -1,0 +1,176 @@
+// Deterministic pseudo-random number generation.
+//
+// Every stochastic component of the library (data generators, workload
+// generators, rejection sampling, QMC fallbacks) threads an explicit Rng
+// so that datasets, workloads, and trained models are bit-reproducible
+// across runs — a requirement for the paper's "stability" property (§3.2)
+// and for deterministic tests.
+#ifndef SEL_COMMON_RNG_H_
+#define SEL_COMMON_RNG_H_
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "common/check.h"
+
+namespace sel {
+
+/// xoshiro256** PRNG seeded via SplitMix64. Fast, high-quality, and
+/// deterministic across platforms (unlike std::mt19937 distributions).
+class Rng {
+ public:
+  /// Seeds the generator; identical seeds yield identical streams.
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL) { Seed(seed); }
+
+  /// Re-seeds the generator.
+  void Seed(uint64_t seed) {
+    // SplitMix64 to fill the state: recommended by the xoshiro authors.
+    uint64_t x = seed;
+    for (auto& si : s_) {
+      x += 0x9e3779b97f4a7c15ULL;
+      uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      si = z ^ (z >> 31);
+    }
+    have_gauss_ = false;
+  }
+
+  /// Next raw 64-bit value.
+  uint64_t NextU64() {
+    const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+    const uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = Rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(NextU64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double Uniform(double lo, double hi) {
+    SEL_DCHECK(lo <= hi);
+    return lo + (hi - lo) * NextDouble();
+  }
+
+  /// Uniform integer in [0, n). Requires n > 0.
+  uint64_t UniformInt(uint64_t n) {
+    SEL_DCHECK(n > 0);
+    // Rejection to avoid modulo bias.
+    const uint64_t threshold = (~n + 1) % n;  // = 2^64 mod n
+    uint64_t r;
+    do {
+      r = NextU64();
+    } while (r < threshold);
+    return r % n;
+  }
+
+  /// Standard normal via Marsaglia polar method (deterministic, no libm
+  /// variation across platforms beyond sqrt/log).
+  double Gaussian() {
+    if (have_gauss_) {
+      have_gauss_ = false;
+      return cached_gauss_;
+    }
+    double u, v, s;
+    do {
+      u = 2.0 * NextDouble() - 1.0;
+      v = 2.0 * NextDouble() - 1.0;
+      s = u * u + v * v;
+    } while (s >= 1.0 || s == 0.0);
+    const double f = std::sqrt(-2.0 * std::log(s) / s);
+    cached_gauss_ = v * f;
+    have_gauss_ = true;
+    return u * f;
+  }
+
+  /// Normal with the given mean and standard deviation.
+  double Gaussian(double mean, double stddev) {
+    return mean + stddev * Gaussian();
+  }
+
+  /// A uniformly random unit vector in R^dim (via normalized Gaussians).
+  std::vector<double> UnitVector(int dim) {
+    SEL_CHECK(dim > 0);
+    std::vector<double> v(dim);
+    double norm2 = 0.0;
+    do {
+      norm2 = 0.0;
+      for (int i = 0; i < dim; ++i) {
+        v[i] = Gaussian();
+        norm2 += v[i] * v[i];
+      }
+    } while (norm2 == 0.0);
+    const double inv = 1.0 / std::sqrt(norm2);
+    for (auto& x : v) x *= inv;
+    return v;
+  }
+
+  /// Derives an independent child generator (for parallel-safe streams).
+  Rng Fork() { return Rng(NextU64() ^ 0xd1b54a32d192ed03ULL); }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  uint64_t s_[4];
+  bool have_gauss_ = false;
+  double cached_gauss_ = 0.0;
+};
+
+/// Deterministic low-discrepancy Halton sequence, used for quasi-Monte
+/// Carlo volume estimation of box∩ball intersections in d ≥ 3 (§3.1's
+/// "volume of a complex range can be estimated via MCMC sampling" — we use
+/// deterministic QMC instead so results are reproducible; see DESIGN.md §4).
+class HaltonSequence {
+ public:
+  /// Creates a sequence over [0,1)^dim using the first `dim` primes.
+  explicit HaltonSequence(int dim);
+
+  /// Fills `out` (size dim) with the next point; starts at index 1.
+  void Next(double* out);
+
+  int dim() const { return static_cast<int>(bases_.size()); }
+
+ private:
+  std::vector<int> bases_;
+  uint64_t index_ = 0;
+};
+
+inline HaltonSequence::HaltonSequence(int dim) {
+  SEL_CHECK(dim > 0);
+  // First 32 primes are plenty: volume QMC is only used for d <= ~20.
+  static const int kPrimes[] = {2,  3,  5,  7,  11, 13, 17, 19, 23, 29, 31,
+                                37, 41, 43, 47, 53, 59, 61, 67, 71, 73, 79,
+                                83, 89, 97, 101, 103, 107, 109, 113, 127, 131};
+  SEL_CHECK_MSG(dim <= 32, "HaltonSequence supports dim <= 32, got %d", dim);
+  bases_.assign(kPrimes, kPrimes + dim);
+}
+
+inline void HaltonSequence::Next(double* out) {
+  ++index_;
+  for (size_t j = 0; j < bases_.size(); ++j) {
+    const int b = bases_[j];
+    double f = 1.0, r = 0.0;
+    uint64_t i = index_;
+    while (i > 0) {
+      f /= b;
+      r += f * static_cast<double>(i % b);
+      i /= b;
+    }
+    out[j] = r;
+  }
+}
+
+}  // namespace sel
+
+#endif  // SEL_COMMON_RNG_H_

@@ -1,0 +1,141 @@
+// Lightweight Status / Result<T> types for recoverable errors
+// (RocksDB-style error handling; exceptions are not used on library paths).
+#ifndef SEL_COMMON_STATUS_H_
+#define SEL_COMMON_STATUS_H_
+
+#include <string>
+#include <utility>
+#include <variant>
+
+#include "common/check.h"
+
+namespace sel {
+
+/// Error categories used across the library.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kFailedPrecondition,
+  kNotFound,
+  kOutOfRange,
+  kNotConverged,
+  kUnimplemented,
+  kInternal,
+  kIOError,
+};
+
+/// Returns a human-readable name for `code`.
+const char* StatusCodeName(StatusCode code);
+
+/// A success-or-error value. Cheap to copy on the OK path.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status NotConverged(std::string msg) {
+    return Status(StatusCode::kNotConverged, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Renders "CODE: message" for logs and test failures.
+  std::string ToString() const {
+    if (ok()) return "OK";
+    return std::string(StatusCodeName(code_)) + ": " + message_;
+  }
+
+ private:
+  Status(StatusCode code, std::string msg)
+      : code_(code), message_(std::move(msg)) {}
+
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Either a value of type T or an error Status.
+template <typename T>
+class Result {
+ public:
+  /* implicit */ Result(T value) : v_(std::move(value)) {}
+  /* implicit */ Result(Status status) : v_(std::move(status)) {
+    SEL_CHECK_MSG(!std::get<Status>(v_).ok(),
+                  "Result constructed from OK status without a value");
+  }
+
+  bool ok() const { return std::holds_alternative<T>(v_); }
+
+  const T& value() const& {
+    SEL_CHECK_MSG(ok(), "Result::value() on error: %s",
+                  std::get<Status>(v_).ToString().c_str());
+    return std::get<T>(v_);
+  }
+  T& value() & {
+    SEL_CHECK_MSG(ok(), "Result::value() on error: %s",
+                  std::get<Status>(v_).ToString().c_str());
+    return std::get<T>(v_);
+  }
+  T&& value() && {
+    SEL_CHECK_MSG(ok(), "Result::value() on error: %s",
+                  std::get<Status>(v_).ToString().c_str());
+    return std::get<T>(std::move(v_));
+  }
+
+  Status status() const {
+    if (ok()) return Status::OK();
+    return std::get<Status>(v_);
+  }
+
+ private:
+  std::variant<T, Status> v_;
+};
+
+/// Propagates an error status out of the current function.
+#define SEL_RETURN_IF_ERROR(expr)              \
+  do {                                         \
+    ::sel::Status _st = (expr);                \
+    if (!_st.ok()) return _st;                 \
+  } while (0)
+
+inline const char* StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk: return "OK";
+    case StatusCode::kInvalidArgument: return "InvalidArgument";
+    case StatusCode::kFailedPrecondition: return "FailedPrecondition";
+    case StatusCode::kNotFound: return "NotFound";
+    case StatusCode::kOutOfRange: return "OutOfRange";
+    case StatusCode::kNotConverged: return "NotConverged";
+    case StatusCode::kUnimplemented: return "Unimplemented";
+    case StatusCode::kInternal: return "Internal";
+    case StatusCode::kIOError: return "IOError";
+  }
+  return "Unknown";
+}
+
+}  // namespace sel
+
+#endif  // SEL_COMMON_STATUS_H_

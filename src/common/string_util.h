@@ -1,0 +1,31 @@
+// Small string helpers shared by CSV I/O and table printing.
+#ifndef SEL_COMMON_STRING_UTIL_H_
+#define SEL_COMMON_STRING_UTIL_H_
+
+#include <string>
+#include <vector>
+
+namespace sel {
+
+/// Splits `s` on `delim` (keeps empty fields).
+std::vector<std::string> Split(const std::string& s, char delim);
+
+/// Strips ASCII whitespace from both ends.
+std::string Trim(const std::string& s);
+
+/// Joins `parts` with `sep`.
+std::string Join(const std::vector<std::string>& parts,
+                 const std::string& sep);
+
+/// Formats a double compactly ("%.6g").
+std::string FormatDouble(double v);
+
+/// Formats a double with fixed precision.
+std::string FormatDouble(double v, int precision);
+
+/// True if `s` starts with `prefix`.
+bool StartsWith(const std::string& s, const std::string& prefix);
+
+}  // namespace sel
+
+#endif  // SEL_COMMON_STRING_UTIL_H_

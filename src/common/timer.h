@@ -1,0 +1,32 @@
+// Wall-clock timing for training-time experiments (Figs. 12, 19, 21, 23...).
+#ifndef SEL_COMMON_TIMER_H_
+#define SEL_COMMON_TIMER_H_
+
+#include <chrono>
+
+namespace sel {
+
+/// Simple monotonic wall-clock stopwatch.
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Elapsed seconds since construction or last Reset().
+  double Seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed milliseconds.
+  double Millis() const { return Seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace sel
+
+#endif  // SEL_COMMON_TIMER_H_

@@ -1,0 +1,260 @@
+#include "core/gmm.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "common/normal.h"
+#include "common/rng.h"
+#include "common/timer.h"
+#include "geometry/sampling.h"
+
+namespace sel {
+
+GmmModel::GmmModel(int domain_dim, const GmmOptions& options)
+    : dim_(domain_dim), options_(options) {
+  SEL_CHECK(domain_dim >= 1);
+  SEL_CHECK(options_.min_stddev > 0.0);
+}
+
+GmmModel GmmModel::FromParameters(std::vector<Point> means,
+                                  std::vector<Point> stddevs, Vector weights,
+                                  const GmmOptions& options) {
+  SEL_CHECK(!means.empty());
+  SEL_CHECK(means.size() == stddevs.size());
+  SEL_CHECK(means.size() == weights.size());
+  const int d = static_cast<int>(means[0].size());
+  for (size_t c = 0; c < means.size(); ++c) {
+    SEL_CHECK(static_cast<int>(means[c].size()) == d);
+    SEL_CHECK(static_cast<int>(stddevs[c].size()) == d);
+    for (double s : stddevs[c]) SEL_CHECK(s > 0.0);
+  }
+  GmmModel model(d, options);
+  model.means_ = std::move(means);
+  model.stddevs_ = std::move(stddevs);
+  model.weights_ = std::move(weights);
+  model.domain_mass_.assign(model.means_.size(), 0.0);
+  for (size_t c = 0; c < model.means_.size(); ++c) {
+    model.domain_mass_[c] =
+        model.BoxMassRaw(static_cast<int>(c), Box::Unit(d));
+  }
+  model.trained_ = true;
+  return model;
+}
+
+double GmmModel::BoxMassRaw(int k, const Box& box) const {
+  double mass = 1.0;
+  for (int j = 0; j < dim_; ++j) {
+    const double mu = means_[k][j];
+    const double sigma = stddevs_[k][j];
+    mass *= NormalCdf((box.hi(j) - mu) / sigma) -
+            NormalCdf((box.lo(j) - mu) / sigma);
+  }
+  return mass;
+}
+
+double GmmModel::QmcMassRaw(int k, const Query& query) const {
+  // Deterministic Gaussian QMC: Halton points mapped through the normal
+  // quantile; count those inside query ∩ domain, divide by total.
+  const Box domain = Box::Unit(dim_);
+  HaltonSequence halton(dim_);
+  std::vector<double> u(dim_);
+  Point x(dim_);
+  long inside = 0;
+  for (int s = 0; s < options_.qmc_samples; ++s) {
+    halton.Next(u.data());
+    for (int j = 0; j < dim_; ++j) {
+      x[j] = means_[k][j] + stddevs_[k][j] * NormalQuantile(u[j]);
+    }
+    if (domain.Contains(x) && query.Contains(x)) ++inside;
+  }
+  return static_cast<double>(inside) / options_.qmc_samples;
+}
+
+double GmmModel::ComponentMass(int k, const Query& query) const {
+  SEL_CHECK(k >= 0 && k < static_cast<int>(means_.size()));
+  if (domain_mass_[k] <= 0.0) return 0.0;
+  double raw = 0.0;
+  switch (query.type()) {
+    case QueryType::kBox: {
+      // Clip to the domain: exact product of CDF differences.
+      const auto clipped = query.box().Intersection(Box::Unit(dim_));
+      raw = clipped.has_value() ? BoxMassRaw(k, *clipped) : 0.0;
+      break;
+    }
+    case QueryType::kHalfspace: {
+      // a·X is normal with mean a·mu and variance sum a_j^2 sigma_j^2.
+      // Exact for the untruncated component; we renormalize by the
+      // domain mass, which is exact when the component concentrates in
+      // the domain and a small documented bias otherwise.
+      const Halfspace& h = query.halfspace();
+      double mean = 0.0, var = 0.0;
+      for (int j = 0; j < dim_; ++j) {
+        mean += h.normal()[j] * means_[k][j];
+        var += h.normal()[j] * h.normal()[j] * stddevs_[k][j] *
+               stddevs_[k][j];
+      }
+      raw = NormalCdf((mean - h.offset()) / std::sqrt(std::max(var, 1e-30)));
+      raw = std::min(raw, domain_mass_[k]);
+      break;
+    }
+    case QueryType::kBall:
+    case QueryType::kSemiAlgebraic:
+      raw = QmcMassRaw(k, query);
+      break;
+  }
+  return std::clamp(raw / domain_mass_[k], 0.0, 1.0);
+}
+
+Status GmmModel::Train(const Workload& workload) {
+  if (trained_) {
+    return Status::FailedPrecondition("GmmModel::Train called twice");
+  }
+  if (workload.empty()) {
+    return Status::InvalidArgument("GmmModel: empty training workload");
+  }
+  for (const auto& z : workload) {
+    if (z.query.dim() != dim_) {
+      return Status::InvalidArgument("GmmModel: query dimension mismatch");
+    }
+    if (z.selectivity < 0.0 || z.selectivity > 1.0) {
+      return Status::InvalidArgument("GmmModel: labels must be in [0,1]");
+    }
+  }
+  WallTimer timer;
+  const size_t n = workload.size();
+  const int k = options_.num_components > 0
+                    ? options_.num_components
+                    : static_cast<int>(std::max<size_t>(8, n / 4));
+  Rng rng(options_.seed);
+  const Box domain = Box::Unit(dim_);
+
+  // ---- Candidate points from range interiors (PtsHist-style). ----
+  const size_t num_candidates =
+      static_cast<size_t>(k) * options_.candidates_per_component;
+  double total_sel = 0.0;
+  for (const auto& z : workload) total_sel += z.selectivity;
+  std::vector<Point> candidates;
+  candidates.reserve(num_candidates);
+  const size_t interior = num_candidates * 9 / 10;
+  if (total_sel > 0.0) {
+    for (size_t c = 0; c < interior; ++c) {
+      // Pick a range with probability proportional to its selectivity.
+      double u = rng.NextDouble() * total_sel;
+      const LabeledQuery* pick = &workload.back();
+      for (const auto& z : workload) {
+        u -= z.selectivity;
+        if (u <= 0.0) {
+          pick = &z;
+          break;
+        }
+      }
+      candidates.push_back(
+          SampleQueryInteriorOrFallback(pick->query, domain, &rng));
+    }
+  }
+  while (candidates.size() < num_candidates) {
+    candidates.push_back(SampleBox(domain, &rng));
+  }
+
+  // ---- k-means for component means. ----
+  means_.clear();
+  for (int c = 0; c < k; ++c) {
+    means_.push_back(candidates[rng.UniformInt(candidates.size())]);
+  }
+  std::vector<int> assign(candidates.size(), 0);
+  for (int iter = 0; iter < options_.kmeans_iterations; ++iter) {
+    bool changed = false;
+    for (size_t i = 0; i < candidates.size(); ++i) {
+      int best = 0;
+      double best_d = SquaredDistance(candidates[i], means_[0]);
+      for (int c = 1; c < k; ++c) {
+        const double d = SquaredDistance(candidates[i], means_[c]);
+        if (d < best_d) {
+          best_d = d;
+          best = c;
+        }
+      }
+      if (assign[i] != best) {
+        assign[i] = best;
+        changed = true;
+      }
+    }
+    std::vector<Point> sums(k, Point(dim_, 0.0));
+    std::vector<int> counts(k, 0);
+    for (size_t i = 0; i < candidates.size(); ++i) {
+      ++counts[assign[i]];
+      for (int j = 0; j < dim_; ++j) sums[assign[i]][j] += candidates[i][j];
+    }
+    for (int c = 0; c < k; ++c) {
+      if (counts[c] == 0) {
+        // Re-seed an empty cluster at a random candidate.
+        means_[c] = candidates[rng.UniformInt(candidates.size())];
+        continue;
+      }
+      for (int j = 0; j < dim_; ++j) {
+        means_[c][j] = sums[c][j] / counts[c];
+      }
+    }
+    if (!changed && iter > 0) break;
+  }
+
+  // ---- Per-cluster diagonal stddevs. ----
+  stddevs_.assign(k, Point(dim_, options_.min_stddev));
+  {
+    std::vector<Point> sq(k, Point(dim_, 0.0));
+    std::vector<int> counts(k, 0);
+    for (size_t i = 0; i < candidates.size(); ++i) {
+      ++counts[assign[i]];
+      for (int j = 0; j < dim_; ++j) {
+        const double d = candidates[i][j] - means_[assign[i]][j];
+        sq[assign[i]][j] += d * d;
+      }
+    }
+    for (int c = 0; c < k; ++c) {
+      for (int j = 0; j < dim_; ++j) {
+        const double var = counts[c] > 1 ? sq[c][j] / (counts[c] - 1) : 0.0;
+        stddevs_[c][j] = std::max(options_.min_stddev, std::sqrt(var));
+      }
+    }
+  }
+
+  // ---- Domain masses (for truncation). ----
+  domain_mass_.assign(k, 0.0);
+  for (int c = 0; c < k; ++c) {
+    domain_mass_[c] = BoxMassRaw(c, domain);
+  }
+
+  // ---- Weight estimation (Eq. 8 over component masses). ----
+  std::vector<std::vector<std::pair<int, double>>> rows(n);
+  for (size_t i = 0; i < n; ++i) {
+    for (int c = 0; c < k; ++c) {
+      const double m = ComponentMass(c, workload[i].query);
+      if (m > 1e-12) rows[i].emplace_back(c, m);
+    }
+  }
+  const SparseMatrix a = SparseMatrix::FromRows(k, rows);
+  const Vector s = SelectivitiesOf(workload);
+  auto weights = SolveBucketWeights(a, s, options_.objective,
+                                    options_.solver, options_.lp,
+                                    &train_stats_);
+  if (!weights.ok()) return weights.status();
+  weights_ = std::move(weights.value());
+
+  trained_ = true;
+  train_stats_.train_seconds = timer.Seconds();
+  return Status::OK();
+}
+
+double GmmModel::Estimate(const Query& query) const {
+  SEL_CHECK_MSG(trained_, "GmmModel::Estimate before Train");
+  SEL_CHECK(query.dim() == dim_);
+  double s = 0.0;
+  for (size_t c = 0; c < means_.size(); ++c) {
+    if (weights_[c] == 0.0) continue;
+    s += weights_[c] * ComponentMass(static_cast<int>(c), query);
+  }
+  return std::clamp(s, 0.0, 1.0);
+}
+
+}  // namespace sel

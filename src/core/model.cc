@@ -1,0 +1,97 @@
+#include "core/model.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace sel {
+
+SparseMatrix BuildBoxFractionMatrix(const Workload& workload,
+                                    const std::vector<Box>& buckets,
+                                    const VolumeOptions& volume_options,
+                                    double drop_tolerance) {
+  std::vector<std::vector<std::pair<int, double>>> rows(workload.size());
+  for (size_t i = 0; i < workload.size(); ++i) {
+    const Query& q = workload[i].query;
+    for (size_t j = 0; j < buckets.size(); ++j) {
+      if (q.DisjointFromBox(buckets[j])) continue;
+      const double f = QueryBoxFraction(q, buckets[j], volume_options);
+      if (f > drop_tolerance) {
+        rows[i].emplace_back(static_cast<int>(j), f);
+      }
+    }
+  }
+  return SparseMatrix::FromRows(static_cast<int>(buckets.size()), rows);
+}
+
+SparseMatrix BuildPointIndicatorMatrix(const Workload& workload,
+                                       const std::vector<Point>& buckets) {
+  std::vector<std::vector<std::pair<int, double>>> rows(workload.size());
+  for (size_t i = 0; i < workload.size(); ++i) {
+    const Query& q = workload[i].query;
+    for (size_t j = 0; j < buckets.size(); ++j) {
+      if (q.Contains(buckets[j])) {
+        rows[i].emplace_back(static_cast<int>(j), 1.0);
+      }
+    }
+  }
+  return SparseMatrix::FromRows(static_cast<int>(buckets.size()), rows);
+}
+
+Vector SelectivitiesOf(const Workload& workload) {
+  Vector s;
+  s.reserve(workload.size());
+  for (const auto& z : workload) s.push_back(z.selectivity);
+  return s;
+}
+
+Result<Vector> SolveBucketWeights(const SparseMatrix& a, const Vector& s,
+                                  TrainObjective objective,
+                                  const SimplexLsqOptions& qp_options,
+                                  const LpOptions& lp_options,
+                                  TrainStats* stats) {
+  SEL_CHECK(stats != nullptr);
+  switch (objective) {
+    case TrainObjective::kL2: {
+      auto res = SolveSimplexLeastSquares(a, s, qp_options);
+      if (!res.ok()) return res.status();
+      stats->train_loss = res.value().loss;
+      stats->solver_iterations = res.value().iterations;
+      return std::move(res.value().w);
+    }
+    case TrainObjective::kLinf: {
+      auto res = SolveSimplexChebyshev(a.ToDense(), s, lp_options);
+      if (!res.ok()) return res.status();
+      stats->train_loss = MeanSquaredResidual(a, res.value(), s);
+      stats->solver_iterations = 0;
+      return std::move(res.value());
+    }
+  }
+  return Status::Internal("unknown objective");
+}
+
+double EstimateFromBoxBuckets(const Query& query,
+                              const std::vector<Box>& buckets,
+                              const Vector& weights,
+                              const VolumeOptions& volume_options) {
+  SEL_CHECK(buckets.size() == weights.size());
+  double s = 0.0;
+  for (size_t j = 0; j < buckets.size(); ++j) {
+    if (weights[j] == 0.0 || query.DisjointFromBox(buckets[j])) continue;
+    s += weights[j] * QueryBoxFraction(query, buckets[j], volume_options);
+  }
+  return std::clamp(s, 0.0, 1.0);
+}
+
+double EstimateFromPointBuckets(const Query& query,
+                                const std::vector<Point>& buckets,
+                                const Vector& weights) {
+  SEL_CHECK(buckets.size() == weights.size());
+  double s = 0.0;
+  for (size_t j = 0; j < buckets.size(); ++j) {
+    if (weights[j] != 0.0 && query.Contains(buckets[j])) s += weights[j];
+  }
+  return std::clamp(s, 0.0, 1.0);
+}
+
+}  // namespace sel

@@ -1,0 +1,94 @@
+// The learned selectivity model interface (the learning procedure 𝒜 of
+// §2.1: map a finite training sample z^n to a selectivity function) and
+// shared machinery for distribution-backed models of §3.1 — histograms
+// (Eq. 6) and discrete distributions (Eq. 7) with weights from Eq. (8).
+#ifndef SEL_CORE_MODEL_H_
+#define SEL_CORE_MODEL_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "geometry/query.h"
+#include "geometry/volume.h"
+#include "solver/lp.h"
+#include "solver/qp.h"
+#include "solver/sparse.h"
+#include "workload/workload.h"
+
+namespace sel {
+
+/// Training objective of §4.6.
+enum class TrainObjective { kL2, kLinf };
+
+/// Per-training-run statistics reported by every model.
+struct TrainStats {
+  double train_seconds = 0.0;     ///< Wall-clock training time.
+  double train_loss = 0.0;        ///< Mean squared loss on the training set.
+  int solver_iterations = 0;      ///< Iterations of the weight solver.
+};
+
+/// Abstract learned selectivity estimator.
+class SelectivityModel {
+ public:
+  virtual ~SelectivityModel() = default;
+
+  /// Fits the model to the training workload. May be called once.
+  virtual Status Train(const Workload& workload) = 0;
+
+  /// Estimated selectivity of `query`, in [0, 1].
+  virtual double Estimate(const Query& query) const = 0;
+
+  /// Model complexity: number of buckets (Figs. 10, 31, 34, 37, ...).
+  virtual size_t NumBuckets() const = 0;
+
+  /// Display name ("QuadHist", "PtsHist", "QuickSel", "Isomer", ...).
+  virtual std::string Name() const = 0;
+
+  /// Statistics from the last Train call.
+  const TrainStats& train_stats() const { return train_stats_; }
+
+ protected:
+  TrainStats train_stats_;
+};
+
+/// Assembles the Eq. (8) coefficient matrix for box buckets: row i holds
+/// vol(B_j ∩ R_i)/vol(B_j) for every bucket j intersecting R_i. Entries
+/// below `drop_tolerance` are dropped.
+SparseMatrix BuildBoxFractionMatrix(const Workload& workload,
+                                    const std::vector<Box>& buckets,
+                                    const VolumeOptions& volume_options,
+                                    double drop_tolerance = 0.0);
+
+/// Assembles the Eq. (7) indicator matrix for point buckets: row i holds
+/// 1 for every bucket point inside R_i.
+SparseMatrix BuildPointIndicatorMatrix(const Workload& workload,
+                                       const std::vector<Point>& buckets);
+
+/// Extracts the selectivity labels of a workload.
+Vector SelectivitiesOf(const Workload& workload);
+
+/// Solves for bucket weights under the requested objective: Eq. (8) for
+/// kL2 (QP), the Chebyshev LP of §4.6 for kLinf. Returns weights on the
+/// simplex and fills `stats` (loss, iterations).
+Result<Vector> SolveBucketWeights(const SparseMatrix& a, const Vector& s,
+                                  TrainObjective objective,
+                                  const SimplexLsqOptions& qp_options,
+                                  const LpOptions& lp_options,
+                                  TrainStats* stats);
+
+/// Histogram estimate (Eq. 6): sum_j w_j * vol(B_j ∩ R)/vol(B_j).
+double EstimateFromBoxBuckets(const Query& query,
+                              const std::vector<Box>& buckets,
+                              const Vector& weights,
+                              const VolumeOptions& volume_options);
+
+/// Discrete-distribution estimate (Eq. 7): sum_j w_j * 1(B_j in R).
+double EstimateFromPointBuckets(const Query& query,
+                                const std::vector<Point>& buckets,
+                                const Vector& weights);
+
+}  // namespace sel
+
+#endif  // SEL_CORE_MODEL_H_

@@ -1,0 +1,193 @@
+#include "core/model_io.h"
+
+#include <cinttypes>
+#include <fstream>
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace sel {
+
+namespace {
+
+constexpr int kFormatVersion = 1;
+
+void WriteVector(std::ostream& out, const Point& v) {
+  for (double x : v) out << ' ' << FormatDouble(x);
+}
+
+Status WriteHeader(std::ostream& out, const char* kind, int dim,
+                   size_t buckets) {
+  out << "# sel learned selectivity model\n";
+  out << "selmodel " << kFormatVersion << ' ' << kind << ' ' << dim << ' '
+      << buckets << "\n";
+  return out.good() ? Status::OK() : Status::IOError("write failed");
+}
+
+}  // namespace
+
+Status SaveHistogramModel(const std::vector<Box>& buckets,
+                          const Vector& weights, const std::string& path) {
+  if (buckets.empty() || buckets.size() != weights.size()) {
+    return Status::InvalidArgument(
+        "SaveHistogramModel: buckets/weights empty or misaligned");
+  }
+  std::ofstream out(path);
+  if (!out.good()) return Status::IOError("cannot open: " + path);
+  SEL_RETURN_IF_ERROR(
+      WriteHeader(out, "histogram", buckets[0].dim(), buckets.size()));
+  for (size_t i = 0; i < buckets.size(); ++i) {
+    out << "box";
+    WriteVector(out, buckets[i].lo());
+    WriteVector(out, buckets[i].hi());
+    out << ' ' << FormatDouble(weights[i]) << "\n";
+  }
+  out.flush();
+  return out.good() ? Status::OK() : Status::IOError("write failed: " + path);
+}
+
+Status SavePointModel(const std::vector<Point>& points,
+                      const Vector& weights, const std::string& path) {
+  if (points.empty() || points.size() != weights.size()) {
+    return Status::InvalidArgument(
+        "SavePointModel: points/weights empty or misaligned");
+  }
+  std::ofstream out(path);
+  if (!out.good()) return Status::IOError("cannot open: " + path);
+  SEL_RETURN_IF_ERROR(WriteHeader(out, "points",
+                                  static_cast<int>(points[0].size()),
+                                  points.size()));
+  for (size_t i = 0; i < points.size(); ++i) {
+    out << "point";
+    WriteVector(out, points[i]);
+    out << ' ' << FormatDouble(weights[i]) << "\n";
+  }
+  out.flush();
+  return out.good() ? Status::OK() : Status::IOError("write failed: " + path);
+}
+
+Status SaveGmmModel(const GmmModel& model, const std::string& path) {
+  if (model.Means().empty()) {
+    return Status::FailedPrecondition("SaveGmmModel: model not trained");
+  }
+  std::ofstream out(path);
+  if (!out.good()) return Status::IOError("cannot open: " + path);
+  const int dim = static_cast<int>(model.Means()[0].size());
+  SEL_RETURN_IF_ERROR(WriteHeader(out, "gmm", dim, model.Means().size()));
+  for (size_t i = 0; i < model.Means().size(); ++i) {
+    out << "gauss";
+    WriteVector(out, model.Means()[i]);
+    WriteVector(out, model.Stddevs()[i]);
+    out << ' ' << FormatDouble(model.Weights()[i]) << "\n";
+  }
+  out.flush();
+  return out.good() ? Status::OK() : Status::IOError("write failed: " + path);
+}
+
+Result<std::unique_ptr<SelectivityModel>> LoadModel(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.good()) return Status::IOError("cannot open: " + path);
+
+  std::string line;
+  std::string kind;
+  int version = 0, dim = 0;
+  size_t num_buckets = 0;
+  // Find the header (skipping comments/blank lines).
+  while (std::getline(in, line)) {
+    const std::string t = Trim(line);
+    if (t.empty() || t[0] == '#') continue;
+    std::istringstream hs(t);
+    std::string magic;
+    hs >> magic >> version >> kind >> dim >> num_buckets;
+    if (magic != "selmodel" || hs.fail()) {
+      return Status::IOError("bad model header in " + path);
+    }
+    break;
+  }
+  if (kind.empty()) return Status::IOError("missing model header: " + path);
+  if (version != kFormatVersion) {
+    return Status::IOError("unsupported model format version in " + path);
+  }
+  if (dim < 1 || num_buckets == 0) {
+    return Status::IOError("invalid model dimensions in " + path);
+  }
+
+  auto read_doubles = [](std::istringstream& is, int n,
+                         Point* out) -> bool {
+    out->resize(n);
+    for (int j = 0; j < n; ++j) {
+      if (!(is >> (*out)[j])) return false;
+    }
+    return true;
+  };
+
+  std::vector<Box> boxes;
+  std::vector<Point> points, means, stddevs;
+  Vector weights;
+  size_t records = 0;
+  while (std::getline(in, line)) {
+    const std::string t = Trim(line);
+    if (t.empty() || t[0] == '#') continue;
+    std::istringstream ls(t);
+    std::string tag;
+    ls >> tag;
+    double w = 0.0;
+    if (tag == "box" && kind == "histogram") {
+      Point lo, hi;
+      if (!read_doubles(ls, dim, &lo) || !read_doubles(ls, dim, &hi) ||
+          !(ls >> w)) {
+        return Status::IOError("malformed box record in " + path);
+      }
+      for (int j = 0; j < dim; ++j) {
+        if (lo[j] > hi[j]) {
+          return Status::IOError("box with lo > hi in " + path);
+        }
+      }
+      boxes.emplace_back(std::move(lo), std::move(hi));
+    } else if (tag == "point" && kind == "points") {
+      Point p;
+      if (!read_doubles(ls, dim, &p) || !(ls >> w)) {
+        return Status::IOError("malformed point record in " + path);
+      }
+      points.push_back(std::move(p));
+    } else if (tag == "gauss" && kind == "gmm") {
+      Point mean, sd;
+      if (!read_doubles(ls, dim, &mean) || !read_doubles(ls, dim, &sd) ||
+          !(ls >> w)) {
+        return Status::IOError("malformed gauss record in " + path);
+      }
+      for (double s : sd) {
+        if (s <= 0.0) {
+          return Status::IOError("non-positive stddev in " + path);
+        }
+      }
+      means.push_back(std::move(mean));
+      stddevs.push_back(std::move(sd));
+    } else {
+      return Status::IOError("unexpected record '" + tag + "' for kind '" +
+                             kind + "' in " + path);
+    }
+    weights.push_back(w);
+    ++records;
+  }
+  if (records != num_buckets) {
+    return Status::IOError("record count mismatch in " + path);
+  }
+
+  if (kind == "histogram") {
+    return std::unique_ptr<SelectivityModel>(
+        new StaticHistogram(std::move(boxes), std::move(weights)));
+  }
+  if (kind == "points") {
+    return std::unique_ptr<SelectivityModel>(
+        new StaticPointModel(std::move(points), std::move(weights)));
+  }
+  if (kind == "gmm") {
+    return std::unique_ptr<SelectivityModel>(new GmmModel(
+        GmmModel::FromParameters(std::move(means), std::move(stddevs),
+                                 std::move(weights))));
+  }
+  return Status::IOError("unknown model kind '" + kind + "' in " + path);
+}
+
+}  // namespace sel

@@ -1,0 +1,42 @@
+// Model persistence: trained estimators serialize to a line-oriented
+// text format and load back as static models with identical predictions.
+// A DBMS deploys this by training offline from its query log and shipping
+// the file to the optimizer process.
+//
+// Format (one record per line, space-separated, '#' comments allowed):
+//   selmodel 1 <kind> <dim> <num_buckets>
+//   box <lo...> <hi...> <weight>        (kind = histogram)
+//   point <coords...> <weight>          (kind = points)
+//   gauss <mean...> <stddev...> <weight> (kind = gmm)
+#ifndef SEL_CORE_MODEL_IO_H_
+#define SEL_CORE_MODEL_IO_H_
+
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "core/gmm.h"
+#include "core/model.h"
+#include "core/static_model.h"
+
+namespace sel {
+
+/// Writes a histogram-form model (boxes + weights) to `path`.
+Status SaveHistogramModel(const std::vector<Box>& buckets,
+                          const Vector& weights, const std::string& path);
+
+/// Writes a point-form model to `path`.
+Status SavePointModel(const std::vector<Point>& points,
+                      const Vector& weights, const std::string& path);
+
+/// Writes a trained GMM to `path`.
+Status SaveGmmModel(const GmmModel& model, const std::string& path);
+
+/// Loads any saved model; the result estimates identically to the
+/// serialized one (histograms/points load as static models; GMMs load
+/// as a fresh GmmModel equivalent).
+Result<std::unique_ptr<SelectivityModel>> LoadModel(const std::string& path);
+
+}  // namespace sel
+
+#endif  // SEL_CORE_MODEL_IO_H_

@@ -1,0 +1,56 @@
+#include "core/online.h"
+
+#include "common/check.h"
+
+namespace sel {
+
+OnlineEstimator::OnlineEstimator(int domain_dim,
+                                 const OnlineOptions& options)
+    : dim_(domain_dim), options_(options) {
+  SEL_CHECK(domain_dim >= 1);
+  SEL_CHECK(options_.window_capacity > 0);
+}
+
+double OnlineEstimator::Estimate(const Query& query) const {
+  SEL_CHECK(query.dim() == dim_);
+  if (model_ == nullptr) return options_.prior_estimate;
+  return model_->Estimate(query);
+}
+
+Status OnlineEstimator::Feedback(const Query& query,
+                                 double true_selectivity) {
+  if (query.dim() != dim_) {
+    return Status::InvalidArgument("OnlineEstimator: dimension mismatch");
+  }
+  if (true_selectivity < 0.0 || true_selectivity > 1.0) {
+    return Status::InvalidArgument(
+        "OnlineEstimator: selectivity must be in [0,1]");
+  }
+  window_.push_back(LabeledQuery{query, true_selectivity});
+  while (window_.size() > options_.window_capacity) {
+    window_.pop_front();
+  }
+  ++since_retrain_;
+  if (options_.retrain_interval > 0 &&
+      since_retrain_ >= options_.retrain_interval) {
+    return Retrain();
+  }
+  return Status::OK();
+}
+
+Status OnlineEstimator::Retrain() {
+  if (window_.empty()) return Status::OK();
+  const Workload snapshot(window_.begin(), window_.end());
+  // Vary the stochastic seed across rounds so repeated retrains do not
+  // reuse identical bucket samples (still fully deterministic overall).
+  ModelFactoryOptions factory = options_.factory;
+  factory.seed = options_.factory.seed + retrain_count_ + 1;
+  auto fresh = MakeModel(options_.model, dim_, snapshot.size(), factory);
+  SEL_RETURN_IF_ERROR(fresh->Train(snapshot));
+  model_ = std::move(fresh);
+  since_retrain_ = 0;
+  ++retrain_count_;
+  return Status::OK();
+}
+
+}  // namespace sel

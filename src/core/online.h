@@ -1,0 +1,74 @@
+// Online selectivity estimation from execution feedback.
+//
+// In a DBMS, every executed query yields its true cardinality for free;
+// query-driven methods (STHoles, ISOMER, QuickSel — and this paper's
+// learners) consume exactly that feedback. OnlineEstimator wraps the
+// batch learners in the standard loop: answer estimates from the current
+// model, absorb (query, true selectivity) feedback into a sliding
+// window, and retrain on a schedule. Retraining from the window is how
+// the theory's "training sample from distribution Q" meets a live,
+// possibly drifting workload (§4.3).
+#ifndef SEL_CORE_ONLINE_H_
+#define SEL_CORE_ONLINE_H_
+
+#include <deque>
+#include <memory>
+
+#include "core/model.h"
+#include "eval/experiment.h"
+
+namespace sel {
+
+/// Tunables for the online loop.
+struct OnlineOptions {
+  /// Retrain after this many new feedback records (0 disables automatic
+  /// retraining; call Retrain() manually).
+  size_t retrain_interval = 64;
+  /// Sliding-window capacity: only the most recent feedback is kept, so
+  /// the model tracks workload drift.
+  size_t window_capacity = 1024;
+  /// Which learner to retrain each time.
+  ModelKind model = ModelKind::kQuadHist;
+  /// Estimate returned before the first training round (a blind prior).
+  double prior_estimate = 0.5;
+  /// Factory overrides for the underlying learner.
+  ModelFactoryOptions factory;
+};
+
+/// A self-retraining selectivity estimator fed by query execution.
+class OnlineEstimator {
+ public:
+  OnlineEstimator(int domain_dim, const OnlineOptions& options);
+
+  /// Current estimate for `query` (the prior before any training).
+  double Estimate(const Query& query) const;
+
+  /// Absorbs one executed query's true selectivity; may trigger a
+  /// retrain per `retrain_interval`.
+  Status Feedback(const Query& query, double true_selectivity);
+
+  /// Forces a retrain on the current window (no-op while the window is
+  /// empty).
+  Status Retrain();
+
+  /// Number of feedback records currently in the window.
+  size_t window_size() const { return window_.size(); }
+
+  /// Number of completed retrains.
+  size_t retrain_count() const { return retrain_count_; }
+
+  /// True once a model has been trained.
+  bool trained() const { return model_ != nullptr; }
+
+ private:
+  int dim_;
+  OnlineOptions options_;
+  std::deque<LabeledQuery> window_;
+  std::unique_ptr<SelectivityModel> model_;
+  size_t since_retrain_ = 0;
+  size_t retrain_count_ = 0;
+};
+
+}  // namespace sel
+
+#endif  // SEL_CORE_ONLINE_H_

@@ -1,0 +1,202 @@
+#include "core/quadhist.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/timer.h"
+
+namespace sel {
+
+QuadHist::QuadHist(int domain_dim, const QuadHistOptions& options)
+    : dim_(domain_dim), options_(options) {
+  SEL_CHECK_MSG(domain_dim >= 1 && domain_dim <= 16,
+                "QuadHist supports 1 <= d <= 16 (2^d-way splits)");
+  SEL_CHECK(options_.tau > 0.0 && options_.tau < 1.0);
+  nodes_.push_back(Node{Box::Unit(dim_), -1, 0, 0.0, 0.0});
+  num_leaves_ = 1;
+}
+
+void QuadHist::Split(int32_t u) {
+  SEL_DCHECK(IsLeaf(u));
+  const int32_t first = static_cast<int32_t>(nodes_.size());
+  const uint32_t fanout = 1u << dim_;
+  const Box parent = nodes_[u].box;  // copy: nodes_ may reallocate
+  const int16_t depth = nodes_[u].depth;
+  for (uint32_t mask = 0; mask < fanout; ++mask) {
+    Point lo(dim_), hi(dim_);
+    for (int j = 0; j < dim_; ++j) {
+      const double mid = 0.5 * (parent.lo(j) + parent.hi(j));
+      if (mask & (1u << j)) {
+        lo[j] = mid;
+        hi[j] = parent.hi(j);
+      } else {
+        lo[j] = parent.lo(j);
+        hi[j] = mid;
+      }
+    }
+    nodes_.push_back(Node{Box(std::move(lo), std::move(hi)), -1,
+                          static_cast<int16_t>(depth + 1), 0.0, 0.0});
+  }
+  nodes_[u].first_child = first;
+  num_leaves_ += fanout - 1;
+}
+
+void QuadHist::Refine(int32_t u, const Query& query, double query_volume,
+                      double selectivity) {
+  ++refine_visits_;
+  const double inter =
+      QueryBoxIntersectionVolume(query, nodes_[u].box, options_.volume);
+  const double density = inter / query_volume * selectivity;
+  if (density <= options_.tau) return;
+  if (IsLeaf(u)) {
+    if (nodes_[u].depth >= options_.max_depth) return;
+    const uint32_t fanout = 1u << dim_;
+    if (options_.max_leaves > 0 &&
+        num_leaves_ + fanout - 1 > options_.max_leaves) {
+      return;
+    }
+    Split(u);
+  }
+  const int32_t first = nodes_[u].first_child;
+  const uint32_t fanout = 1u << dim_;
+  for (uint32_t c = 0; c < fanout; ++c) {
+    Refine(first + static_cast<int32_t>(c), query, query_volume,
+           selectivity);
+  }
+}
+
+void QuadHist::CollectRow(int32_t u, const Query& query,
+                          std::vector<std::pair<int, double>>* row,
+                          const std::vector<int32_t>& leaf_index) const {
+  if (query.DisjointFromBox(nodes_[u].box)) return;
+  if (IsLeaf(u)) {
+    const double f = QueryBoxFraction(query, nodes_[u].box, options_.volume);
+    if (f > 0.0) row->emplace_back(leaf_index[u], f);
+    return;
+  }
+  const int32_t first = nodes_[u].first_child;
+  const uint32_t fanout = 1u << dim_;
+  for (uint32_t c = 0; c < fanout; ++c) {
+    CollectRow(first + static_cast<int32_t>(c), query, row, leaf_index);
+  }
+}
+
+Status QuadHist::Train(const Workload& workload) {
+  if (trained_) {
+    return Status::FailedPrecondition("QuadHist::Train called twice");
+  }
+  if (workload.empty()) {
+    return Status::InvalidArgument("QuadHist: empty training workload");
+  }
+  for (const auto& z : workload) {
+    if (z.query.dim() != dim_) {
+      return Status::InvalidArgument(
+          "QuadHist: query dimension does not match the model domain");
+    }
+    if (z.selectivity < 0.0 || z.selectivity > 1.0) {
+      return Status::InvalidArgument(
+          "QuadHist: selectivity labels must lie in [0,1]");
+    }
+  }
+  WallTimer timer;
+
+  // ---- Bucket design (Algorithm 1). ----
+  const Box domain = Box::Unit(dim_);
+  for (const auto& z : workload) {
+    const double qvol =
+        QueryBoxIntersectionVolume(z.query, domain, options_.volume);
+    if (qvol <= 0.0) continue;  // range misses the domain entirely
+    Refine(0, z.query, qvol, z.selectivity);
+  }
+
+  // Index the leaves.
+  std::vector<int32_t> leaf_index(nodes_.size(), -1);
+  int32_t next = 0;
+  for (size_t u = 0; u < nodes_.size(); ++u) {
+    if (IsLeaf(static_cast<int32_t>(u))) {
+      leaf_index[u] = next++;
+    }
+  }
+  SEL_CHECK(static_cast<size_t>(next) == num_leaves_);
+
+  // ---- Weight estimation (Eq. 8 / §4.6). ----
+  std::vector<std::vector<std::pair<int, double>>> rows(workload.size());
+  for (size_t i = 0; i < workload.size(); ++i) {
+    CollectRow(0, workload[i].query, &rows[i], leaf_index);
+  }
+  const SparseMatrix a =
+      SparseMatrix::FromRows(static_cast<int>(num_leaves_), rows);
+  const Vector s = SelectivitiesOf(workload);
+  auto weights = SolveBucketWeights(a, s, options_.objective,
+                                    options_.solver, options_.lp,
+                                    &train_stats_);
+  if (!weights.ok()) return weights.status();
+  for (size_t u = 0; u < nodes_.size(); ++u) {
+    if (leaf_index[u] >= 0) {
+      nodes_[u].weight = weights.value()[leaf_index[u]];
+    }
+  }
+  AccumulateSubtreeWeights(0);
+
+  trained_ = true;
+  train_stats_.train_seconds = timer.Seconds();
+  return Status::OK();
+}
+
+double QuadHist::AccumulateSubtreeWeights(int32_t u) {
+  if (IsLeaf(u)) {
+    nodes_[u].subtree_weight = nodes_[u].weight;
+    return nodes_[u].weight;
+  }
+  double sum = 0.0;
+  const int32_t first = nodes_[u].first_child;
+  const uint32_t fanout = 1u << dim_;
+  for (uint32_t c = 0; c < fanout; ++c) {
+    sum += AccumulateSubtreeWeights(first + static_cast<int32_t>(c));
+  }
+  nodes_[u].subtree_weight = sum;
+  return sum;
+}
+
+double QuadHist::EstimateNode(int32_t u, const Query& query) const {
+  const Node& n = nodes_[u];
+  if (n.subtree_weight == 0.0) return 0.0;
+  if (query.DisjointFromBox(n.box)) return 0.0;
+  if (query.ContainsBox(n.box)) return n.subtree_weight;
+  if (IsLeaf(u)) {
+    return n.weight * QueryBoxFraction(query, n.box, options_.volume);
+  }
+  double s = 0.0;
+  const int32_t first = n.first_child;
+  const uint32_t fanout = 1u << dim_;
+  for (uint32_t c = 0; c < fanout; ++c) {
+    s += EstimateNode(first + static_cast<int32_t>(c), query);
+  }
+  return s;
+}
+
+double QuadHist::Estimate(const Query& query) const {
+  SEL_CHECK_MSG(trained_, "QuadHist::Estimate before Train");
+  SEL_CHECK(query.dim() == dim_);
+  return std::clamp(EstimateNode(0, query), 0.0, 1.0);
+}
+
+std::vector<Box> QuadHist::LeafBoxes() const {
+  std::vector<Box> out;
+  out.reserve(num_leaves_);
+  for (size_t u = 0; u < nodes_.size(); ++u) {
+    if (IsLeaf(static_cast<int32_t>(u))) out.push_back(nodes_[u].box);
+  }
+  return out;
+}
+
+Vector QuadHist::LeafWeights() const {
+  Vector out;
+  out.reserve(num_leaves_);
+  for (size_t u = 0; u < nodes_.size(); ++u) {
+    if (IsLeaf(static_cast<int32_t>(u))) out.push_back(nodes_[u].weight);
+  }
+  return out;
+}
+
+}  // namespace sel

@@ -1,0 +1,43 @@
+#include "core/static_model.h"
+
+#include "common/check.h"
+
+namespace sel {
+
+StaticHistogram::StaticHistogram(std::vector<Box> buckets, Vector weights,
+                                 VolumeOptions volume)
+    : buckets_(std::move(buckets)), weights_(std::move(weights)),
+      volume_(volume) {
+  SEL_CHECK(buckets_.size() == weights_.size());
+  SEL_CHECK(!buckets_.empty());
+  const int d = buckets_[0].dim();
+  for (const auto& b : buckets_) SEL_CHECK(b.dim() == d);
+}
+
+Status StaticHistogram::Train(const Workload&) {
+  return Status::FailedPrecondition(
+      "StaticHistogram is immutable; construct a fresh learner to retrain");
+}
+
+double StaticHistogram::Estimate(const Query& query) const {
+  return EstimateFromBoxBuckets(query, buckets_, weights_, volume_);
+}
+
+StaticPointModel::StaticPointModel(std::vector<Point> points, Vector weights)
+    : points_(std::move(points)), weights_(std::move(weights)) {
+  SEL_CHECK(points_.size() == weights_.size());
+  SEL_CHECK(!points_.empty());
+  const size_t d = points_[0].size();
+  for (const auto& p : points_) SEL_CHECK(p.size() == d);
+}
+
+Status StaticPointModel::Train(const Workload&) {
+  return Status::FailedPrecondition(
+      "StaticPointModel is immutable; construct a fresh learner to retrain");
+}
+
+double StaticPointModel::Estimate(const Query& query) const {
+  return EstimateFromPointBuckets(query, points_, weights_);
+}
+
+}  // namespace sel

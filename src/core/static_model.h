@@ -1,0 +1,59 @@
+// Flat (post-training) model forms: a histogram as plain (box, weight)
+// pairs and a discrete distribution as (point, weight) pairs. These are
+// the serialization targets for every trained model — QuadHist leaves,
+// QuickSel kernels, and arrangement cells all flatten to StaticHistogram;
+// PtsHist flattens to StaticPointModel — and they estimate via the exact
+// Eq. (6)/(7) formulas, so a round-tripped model predicts identically.
+#ifndef SEL_CORE_STATIC_MODEL_H_
+#define SEL_CORE_STATIC_MODEL_H_
+
+#include <vector>
+
+#include "core/model.h"
+
+namespace sel {
+
+/// An immutable histogram D = {(B_1,w_1),...,(B_m,w_m)} (Eq. 6).
+class StaticHistogram : public SelectivityModel {
+ public:
+  /// Buckets and weights must align; weights should lie on the simplex.
+  StaticHistogram(std::vector<Box> buckets, Vector weights,
+                  VolumeOptions volume = {});
+
+  /// Train is a no-op (the model is already fitted); returns an error to
+  /// make accidental retraining loud.
+  Status Train(const Workload& workload) override;
+  double Estimate(const Query& query) const override;
+  size_t NumBuckets() const override { return buckets_.size(); }
+  std::string Name() const override { return "StaticHistogram"; }
+
+  const std::vector<Box>& buckets() const { return buckets_; }
+  const Vector& weights() const { return weights_; }
+
+ private:
+  std::vector<Box> buckets_;
+  Vector weights_;
+  VolumeOptions volume_;
+};
+
+/// An immutable discrete distribution D = {(B_1,w_1),...} (Eq. 7).
+class StaticPointModel : public SelectivityModel {
+ public:
+  StaticPointModel(std::vector<Point> points, Vector weights);
+
+  Status Train(const Workload& workload) override;
+  double Estimate(const Query& query) const override;
+  size_t NumBuckets() const override { return points_.size(); }
+  std::string Name() const override { return "StaticPointModel"; }
+
+  const std::vector<Point>& points() const { return points_; }
+  const Vector& weights() const { return weights_; }
+
+ private:
+  std::vector<Point> points_;
+  Vector weights_;
+};
+
+}  // namespace sel
+
+#endif  // SEL_CORE_STATIC_MODEL_H_

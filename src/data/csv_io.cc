@@ -1,0 +1,82 @@
+#include "data/csv_io.h"
+
+#include <algorithm>
+#include <fstream>
+#include <limits>
+
+#include "common/string_util.h"
+
+namespace sel {
+
+Status SaveDatasetCsv(const Dataset& dataset, const std::string& path) {
+  std::ofstream out(path);
+  if (!out.good()) return Status::IOError("cannot open for write: " + path);
+  std::vector<std::string> header;
+  header.reserve(dataset.dim());
+  for (const auto& a : dataset.attributes()) header.push_back(a.name);
+  out << Join(header, ",") << "\n";
+  for (const auto& row : dataset.rows()) {
+    for (int j = 0; j < dataset.dim(); ++j) {
+      if (j > 0) out << ',';
+      out << FormatDouble(row[j]);
+    }
+    out << "\n";
+  }
+  out.flush();
+  if (!out.good()) return Status::IOError("write failed: " + path);
+  return Status::OK();
+}
+
+Result<Dataset> LoadDatasetCsv(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.good()) return Status::IOError("cannot open for read: " + path);
+  std::string line;
+  if (!std::getline(in, line)) {
+    return Status::IOError("empty CSV: " + path);
+  }
+  const auto names = Split(Trim(line), ',');
+  const int d = static_cast<int>(names.size());
+  if (d == 0) return Status::IOError("CSV header has no columns: " + path);
+
+  std::vector<Point> rows;
+  size_t lineno = 1;
+  while (std::getline(in, line)) {
+    ++lineno;
+    const std::string trimmed = Trim(line);
+    if (trimmed.empty()) continue;
+    const auto fields = Split(trimmed, ',');
+    if (static_cast<int>(fields.size()) != d) {
+      return Status::IOError("CSV row " + std::to_string(lineno) +
+                             " has wrong arity in " + path);
+    }
+    Point p(d);
+    for (int j = 0; j < d; ++j) {
+      char* end = nullptr;
+      p[j] = std::strtod(fields[j].c_str(), &end);
+      if (end == fields[j].c_str()) {
+        return Status::IOError("CSV row " + std::to_string(lineno) +
+                               " has a non-numeric field in " + path);
+      }
+    }
+    rows.push_back(std::move(p));
+  }
+
+  // Min-max normalize any column that leaves [0,1].
+  for (int j = 0; j < d; ++j) {
+    double lo = std::numeric_limits<double>::infinity();
+    double hi = -lo;
+    for (const auto& r : rows) {
+      lo = std::min(lo, r[j]);
+      hi = std::max(hi, r[j]);
+    }
+    if (rows.empty() || (lo >= 0.0 && hi <= 1.0)) continue;
+    const double span = hi > lo ? hi - lo : 1.0;
+    for (auto& r : rows) r[j] = (r[j] - lo) / span;
+  }
+
+  std::vector<AttributeInfo> attrs(d);
+  for (int j = 0; j < d; ++j) attrs[j].name = names[j];
+  return Dataset(std::move(attrs), std::move(rows));
+}
+
+}  // namespace sel

@@ -1,0 +1,23 @@
+// CSV persistence for datasets (so experiments can be re-run on real
+// Power/Forest/Census/DMV extracts when those files are available).
+#ifndef SEL_DATA_CSV_IO_H_
+#define SEL_DATA_CSV_IO_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "data/dataset.h"
+
+namespace sel {
+
+/// Writes `dataset` as CSV with a header row of attribute names.
+Status SaveDatasetCsv(const Dataset& dataset, const std::string& path);
+
+/// Loads a CSV of already-normalized numeric values in [0,1]; the header
+/// row supplies attribute names (all treated as numeric). Values outside
+/// [0,1] are min-max normalized per column.
+Result<Dataset> LoadDatasetCsv(const std::string& path);
+
+}  // namespace sel
+
+#endif  // SEL_DATA_CSV_IO_H_

@@ -1,0 +1,49 @@
+#include "data/dataset.h"
+
+#include "common/check.h"
+
+namespace sel {
+
+Dataset::Dataset(std::vector<AttributeInfo> attrs, std::vector<Point> rows)
+    : attrs_(std::move(attrs)), rows_(std::move(rows)) {
+  const size_t d = attrs_.size();
+  SEL_CHECK(d > 0);
+  for (const auto& r : rows_) {
+    SEL_CHECK_MSG(r.size() == d, "row width does not match schema");
+    for (double v : r) {
+      SEL_CHECK_MSG(v >= 0.0 && v <= 1.0,
+                    "dataset values must be normalized to [0,1], got %f", v);
+    }
+  }
+}
+
+Dataset Dataset::Project(const std::vector<int>& attr_indices) const {
+  SEL_CHECK(!attr_indices.empty());
+  std::vector<AttributeInfo> attrs;
+  attrs.reserve(attr_indices.size());
+  for (int i : attr_indices) {
+    SEL_CHECK(i >= 0 && i < dim());
+    attrs.push_back(attrs_[i]);
+  }
+  std::vector<Point> rows;
+  rows.reserve(rows_.size());
+  for (const auto& r : rows_) {
+    Point p;
+    p.reserve(attr_indices.size());
+    for (int i : attr_indices) p.push_back(r[i]);
+    rows.push_back(std::move(p));
+  }
+  return Dataset(std::move(attrs), std::move(rows));
+}
+
+Point Dataset::Mean() const {
+  Point m(dim(), 0.0);
+  if (rows_.empty()) return m;
+  for (const auto& r : rows_) {
+    for (int j = 0; j < dim(); ++j) m[j] += r[j];
+  }
+  for (auto& v : m) v /= static_cast<double>(rows_.size());
+  return m;
+}
+
+}  // namespace sel

@@ -1,0 +1,57 @@
+// Datasets: collections of tuples viewed as points in [0,1]^d (§4 states
+// "we normalize the domain of each attribute into [0,1]").
+#ifndef SEL_DATA_DATASET_H_
+#define SEL_DATA_DATASET_H_
+
+#include <string>
+#include <vector>
+
+#include "geometry/box.h"
+#include "geometry/point.h"
+
+namespace sel {
+
+/// Schema entry for one attribute.
+struct AttributeInfo {
+  std::string name;
+  /// Categorical attributes get equality predicates in workloads (§4);
+  /// their normalized domain is the lattice {0, 1/(k-1), ..., 1}.
+  bool categorical = false;
+  /// Number of distinct values for categorical attributes (>= 2).
+  int cardinality = 0;
+};
+
+/// An in-memory dataset of normalized tuples.
+class Dataset {
+ public:
+  Dataset() = default;
+
+  /// Takes ownership of rows; every row must have `attrs.size()` values
+  /// inside [0,1].
+  Dataset(std::vector<AttributeInfo> attrs, std::vector<Point> rows);
+
+  size_t num_rows() const { return rows_.size(); }
+  int dim() const { return static_cast<int>(attrs_.size()); }
+  const std::vector<AttributeInfo>& attributes() const { return attrs_; }
+  const AttributeInfo& attribute(int i) const { return attrs_[i]; }
+  const std::vector<Point>& rows() const { return rows_; }
+  const Point& row(size_t i) const { return rows_[i]; }
+
+  /// The normalized domain [0,1]^dim.
+  Box Domain() const { return Box::Unit(dim()); }
+
+  /// Projects onto the given attribute indices (§4: "choose a subset of
+  /// attributes randomly and project the tuples").
+  Dataset Project(const std::vector<int>& attr_indices) const;
+
+  /// Per-dimension sample mean (used by tests to characterize skew).
+  Point Mean() const;
+
+ private:
+  std::vector<AttributeInfo> attrs_;
+  std::vector<Point> rows_;
+};
+
+}  // namespace sel
+
+#endif  // SEL_DATA_DATASET_H_

@@ -1,0 +1,287 @@
+#include "data/generators.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "common/string_util.h"
+
+namespace sel {
+
+namespace {
+
+std::vector<AttributeInfo> NumericAttrs(int d, const std::string& prefix) {
+  std::vector<AttributeInfo> attrs(d);
+  for (int i = 0; i < d; ++i) {
+    attrs[i].name = prefix + std::to_string(i);
+  }
+  return attrs;
+}
+
+/// Snaps a categorical draw (index in [0, card)) to its normalized value.
+double CategoryValue(int index, int cardinality) {
+  if (cardinality <= 1) return 0.0;
+  return static_cast<double>(index) / (cardinality - 1);
+}
+
+}  // namespace
+
+ZipfSampler::ZipfSampler(int cardinality, double exponent) {
+  SEL_CHECK(cardinality >= 1);
+  cdf_.resize(cardinality);
+  double total = 0.0;
+  for (int i = 0; i < cardinality; ++i) {
+    total += std::pow(i + 1, -exponent);
+    cdf_[i] = total;
+  }
+  for (auto& v : cdf_) v /= total;
+}
+
+int ZipfSampler::Sample(Rng* rng) const {
+  const double u = rng->NextDouble();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<int>(std::min<size_t>(it - cdf_.begin(),
+                                           cdf_.size() - 1));
+}
+
+int SampleZipf(int cardinality, double exponent, Rng* rng) {
+  SEL_CHECK(cardinality >= 1);
+  SEL_CHECK(rng != nullptr);
+  // Inverse-CDF sampling over the (small) finite support.
+  double total = 0.0;
+  for (int i = 1; i <= cardinality; ++i) total += std::pow(i, -exponent);
+  double u = rng->NextDouble() * total;
+  for (int i = 1; i <= cardinality; ++i) {
+    u -= std::pow(i, -exponent);
+    if (u <= 0.0) return i - 1;
+  }
+  return cardinality - 1;
+}
+
+Dataset MakeGaussianMixture(const std::vector<MixtureComponent>& components,
+                            const std::vector<AttributeInfo>& attrs,
+                            size_t n, uint64_t seed) {
+  SEL_CHECK(!components.empty());
+  const int d = static_cast<int>(attrs.size());
+  for (const auto& c : components) {
+    SEL_CHECK(static_cast<int>(c.mean.size()) == d);
+    SEL_CHECK(static_cast<int>(c.stddev.size()) == d);
+    SEL_CHECK(c.weight > 0.0);
+    SEL_CHECK(c.correlation >= 0.0 && c.correlation < 1.0);
+  }
+  double total_weight = 0.0;
+  for (const auto& c : components) total_weight += c.weight;
+
+  Rng rng(seed);
+  std::vector<Point> rows;
+  rows.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    // Pick a component.
+    double u = rng.NextDouble() * total_weight;
+    const MixtureComponent* comp = &components.back();
+    for (const auto& c : components) {
+      u -= c.weight;
+      if (u <= 0.0) {
+        comp = &c;
+        break;
+      }
+    }
+    const double rho = comp->correlation;
+    const double shared = rho > 0.0 ? rng.Gaussian() : 0.0;
+    const double a = std::sqrt(rho);
+    const double b = std::sqrt(1.0 - rho);
+    Point p(d);
+    for (int j = 0; j < d; ++j) {
+      const double z = a * shared + b * rng.Gaussian();
+      p[j] = std::clamp(comp->mean[j] + comp->stddev[j] * z, 0.0, 1.0);
+    }
+    rows.push_back(std::move(p));
+  }
+  return Dataset(attrs, std::move(rows));
+}
+
+Dataset MakeUniform(size_t n, int dim, uint64_t seed) {
+  SEL_CHECK(dim > 0);
+  Rng rng(seed);
+  std::vector<Point> rows;
+  rows.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    Point p(dim);
+    for (int j = 0; j < dim; ++j) p[j] = rng.NextDouble();
+    rows.push_back(std::move(p));
+  }
+  return Dataset(NumericAttrs(dim, "u"), std::move(rows));
+}
+
+Dataset MakePowerLike(size_t n, uint64_t seed) {
+  // Household power readings: a dominant "idle" cluster at low power,
+  // a medium-load cluster, and a diffuse high-load tail; readings are
+  // strongly correlated (active power ~ intensity ~ sub-meterings).
+  const int d = 7;
+  std::vector<MixtureComponent> comps(3);
+  comps[0].weight = 0.62;
+  comps[0].mean = {0.08, 0.12, 0.55, 0.10, 0.05, 0.06, 0.10};
+  comps[0].stddev = {0.04, 0.05, 0.06, 0.04, 0.03, 0.03, 0.05};
+  comps[0].correlation = 0.72;
+  comps[1].weight = 0.28;
+  comps[1].mean = {0.32, 0.25, 0.60, 0.33, 0.18, 0.20, 0.45};
+  comps[1].stddev = {0.09, 0.08, 0.05, 0.09, 0.10, 0.08, 0.15};
+  comps[1].correlation = 0.55;
+  comps[2].weight = 0.10;
+  comps[2].mean = {0.70, 0.45, 0.65, 0.72, 0.55, 0.50, 0.80};
+  comps[2].stddev = {0.15, 0.15, 0.08, 0.15, 0.22, 0.20, 0.15};
+  comps[2].correlation = 0.40;
+  auto attrs = NumericAttrs(d, "power_a");
+  return MakeGaussianMixture(comps, attrs, n, seed);
+}
+
+Dataset MakeForestLike(size_t n, uint64_t seed) {
+  // Cartographic variables: several terrain types (clusters) with
+  // moderate correlation plus a broad background component.
+  const int d = 10;
+  std::vector<MixtureComponent> comps(4);
+  comps[0].weight = 0.38;
+  comps[0].mean = {0.45, 0.30, 0.25, 0.35, 0.20, 0.55, 0.55, 0.60, 0.45,
+                   0.30};
+  comps[0].stddev = Point(d, 0.07);
+  comps[0].correlation = 0.35;
+  comps[1].weight = 0.30;
+  comps[1].mean = {0.65, 0.55, 0.40, 0.50, 0.45, 0.35, 0.60, 0.55, 0.50,
+                   0.55};
+  comps[1].stddev = Point(d, 0.10);
+  comps[1].correlation = 0.25;
+  comps[2].weight = 0.22;
+  comps[2].mean = {0.25, 0.70, 0.60, 0.20, 0.65, 0.75, 0.40, 0.45, 0.65,
+                   0.75};
+  comps[2].stddev = Point(d, 0.08);
+  comps[2].correlation = 0.30;
+  comps[3].weight = 0.10;  // diffuse background
+  comps[3].mean = Point(d, 0.5);
+  comps[3].stddev = Point(d, 0.28);
+  comps[3].correlation = 0.0;
+  auto attrs = NumericAttrs(d, "forest_a");
+  return MakeGaussianMixture(comps, attrs, n, seed);
+}
+
+namespace {
+
+Dataset MakeCategoricalHeavy(size_t n, uint64_t seed,
+                             const std::vector<AttributeInfo>& attrs,
+                             const std::vector<double>& zipf_exponents,
+                             const std::vector<MixtureComponent>& numeric) {
+  // Categorical attributes are Zipf-distributed over their category set;
+  // numeric attributes come from the given (1-component-per-draw) mixture.
+  const int d = static_cast<int>(attrs.size());
+  Rng rng(seed);
+  std::vector<Point> rows;
+  rows.reserve(n);
+  size_t zipf_i = 0;
+  std::vector<size_t> zipf_index(d, 0);
+  std::vector<ZipfSampler> samplers;
+  for (int j = 0; j < d; ++j) {
+    if (attrs[j].categorical) {
+      zipf_index[j] = zipf_i;
+      samplers.emplace_back(attrs[j].cardinality,
+                            zipf_exponents[zipf_i]);
+      ++zipf_i;
+    }
+  }
+  SEL_CHECK(zipf_i == zipf_exponents.size());
+
+  double total_weight = 0.0;
+  for (const auto& c : numeric) total_weight += c.weight;
+
+  for (size_t i = 0; i < n; ++i) {
+    // Numeric component for this tuple.
+    double u = rng.NextDouble() * total_weight;
+    const MixtureComponent* comp = &numeric.back();
+    for (const auto& c : numeric) {
+      u -= c.weight;
+      if (u <= 0.0) {
+        comp = &c;
+        break;
+      }
+    }
+    Point p(d);
+    int numeric_j = 0;
+    for (int j = 0; j < d; ++j) {
+      if (attrs[j].categorical) {
+        const int idx = samplers[zipf_index[j]].Sample(&rng);
+        p[j] = CategoryValue(idx, attrs[j].cardinality);
+      } else {
+        const double z = rng.Gaussian();
+        p[j] = std::clamp(
+            comp->mean[numeric_j] + comp->stddev[numeric_j] * z, 0.0, 1.0);
+        ++numeric_j;
+      }
+    }
+    rows.push_back(std::move(p));
+  }
+  return Dataset(attrs, std::move(rows));
+}
+
+}  // namespace
+
+Dataset MakeCensusLike(size_t n, uint64_t seed) {
+  // 13 attributes: 8 categorical (workclass, education, marital status,
+  // occupation, relationship, race, sex, native country) + 5 numeric
+  // (age, fnlwgt, education-num, capital, hours).
+  std::vector<AttributeInfo> attrs(13);
+  const int cards[8] = {9, 16, 7, 15, 6, 5, 2, 42};
+  std::vector<double> exps;
+  for (int j = 0; j < 8; ++j) {
+    attrs[j].name = "census_cat" + std::to_string(j);
+    attrs[j].categorical = true;
+    attrs[j].cardinality = cards[j];
+    exps.push_back(1.2);
+  }
+  for (int j = 8; j < 13; ++j) {
+    attrs[j].name = "census_num" + std::to_string(j - 8);
+  }
+  std::vector<MixtureComponent> numeric(2);
+  numeric[0].weight = 0.7;
+  numeric[0].mean = {0.35, 0.25, 0.55, 0.05, 0.42};
+  numeric[0].stddev = {0.13, 0.10, 0.12, 0.04, 0.08};
+  numeric[1].weight = 0.3;
+  numeric[1].mean = {0.55, 0.40, 0.75, 0.30, 0.55};
+  numeric[1].stddev = {0.15, 0.18, 0.10, 0.20, 0.14};
+  return MakeCategoricalHeavy(n, seed, attrs, exps, numeric);
+}
+
+Dataset MakeDmvLike(size_t n, uint64_t seed) {
+  // 11 attributes: 10 categorical (record/registration/vehicle classes,
+  // body type, fuel, color, county, ...) + 1 numeric (model year-ish).
+  std::vector<AttributeInfo> attrs(11);
+  const int cards[10] = {3, 4, 62, 24, 9, 12, 2, 2, 2, 30};
+  std::vector<double> exps;
+  for (int j = 0; j < 10; ++j) {
+    attrs[j].name = "dmv_cat" + std::to_string(j);
+    attrs[j].categorical = true;
+    attrs[j].cardinality = cards[j];
+    exps.push_back(j == 2 ? 1.05 : 1.4);  // county is flatter
+  }
+  attrs[10].name = "dmv_year";
+  std::vector<MixtureComponent> numeric(1);
+  numeric[0].weight = 1.0;
+  numeric[0].mean = {0.7};
+  numeric[0].stddev = {0.15};
+  return MakeCategoricalHeavy(n, seed, attrs, exps, numeric);
+}
+
+Result<Dataset> MakeDatasetByName(const std::string& name, size_t n,
+                                  uint64_t seed) {
+  if (name == "power") return MakePowerLike(n, seed);
+  if (name == "forest") return MakeForestLike(n, seed);
+  if (name == "census") return MakeCensusLike(n, seed);
+  if (name == "dmv") return MakeDmvLike(n, seed);
+  if (StartsWith(name, "uniform:")) {
+    const int d = std::atoi(name.c_str() + 8);
+    if (d <= 0) {
+      return Status::InvalidArgument("bad uniform dimension in: " + name);
+    }
+    return MakeUniform(n, d, seed);
+  }
+  return Status::NotFound("unknown dataset name: " + name);
+}
+
+}  // namespace sel

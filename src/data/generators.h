@@ -1,0 +1,80 @@
+// Synthetic dataset generators standing in for the paper's UCI datasets.
+//
+// The paper evaluates on Power (2.1M x 7), Forest/CoverType (581k x 10),
+// Census (49k x 13, 8 categorical) and DMV (11M x 11, 10 categorical).
+// Those files are not available offline, so each generator reproduces the
+// statistical character the experiments depend on — dimensionality,
+// categorical/numeric mix, heavy skew and inter-attribute correlation
+// (Fig. 7 shows Power's mass concentrated in a sub-region). Theorem 2.1
+// is distribution-free, so shape conclusions carry over; see DESIGN.md §4.
+#ifndef SEL_DATA_GENERATORS_H_
+#define SEL_DATA_GENERATORS_H_
+
+#include <string>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "data/dataset.h"
+
+namespace sel {
+
+/// One component of a Gaussian-mixture generator.
+struct MixtureComponent {
+  double weight = 1.0;     ///< Relative mass (normalized internally).
+  Point mean;              ///< Component mean in [0,1]^d.
+  Point stddev;            ///< Per-dimension standard deviation.
+  /// Pairwise correlation applied through one shared latent factor:
+  /// x_j = mean_j + stddev_j * (sqrt(rho) * z0 + sqrt(1-rho) * z_j).
+  double correlation = 0.0;
+};
+
+/// Draws `n` points from a mixture of axis-correlated Gaussians, clamped
+/// to [0,1]^d. Deterministic given (spec, seed).
+Dataset MakeGaussianMixture(const std::vector<MixtureComponent>& components,
+                            const std::vector<AttributeInfo>& attrs,
+                            size_t n, uint64_t seed);
+
+/// `n` i.i.d. uniform points in [0,1]^d (a non-skewed control dataset).
+Dataset MakeUniform(size_t n, int dim, uint64_t seed);
+
+/// Power-like: 7 numeric attributes, strong skew (most tuples in a dense
+/// low-value cluster) and strong correlation between power readings.
+Dataset MakePowerLike(size_t n, uint64_t seed = 7001);
+
+/// Forest-like: 10 numeric attributes, several terrain clusters of
+/// different spread plus a uniform background.
+Dataset MakeForestLike(size_t n, uint64_t seed = 7002);
+
+/// Census-like: 13 attributes, 8 categorical (Zipf-distributed categories)
+/// and 5 numeric.
+Dataset MakeCensusLike(size_t n, uint64_t seed = 7003);
+
+/// DMV-like: 11 attributes, 10 categorical and 1 numeric, with highly
+/// skewed category frequencies.
+Dataset MakeDmvLike(size_t n, uint64_t seed = 7004);
+
+/// Looks up a generator by paper name ("power", "forest", "census",
+/// "dmv", "uniform:<d>"); `n` rows, deterministic per (name, seed).
+Result<Dataset> MakeDatasetByName(const std::string& name, size_t n,
+                                  uint64_t seed = 7000);
+
+/// Samples `k` Zipf(exponent)-distributed category indices in [0, card).
+/// Exposed for tests of the categorical generators.
+int SampleZipf(int cardinality, double exponent, Rng* rng);
+
+/// Zipf sampler with a precomputed CDF — O(log k) per draw, used by the
+/// categorical-heavy generators (DMV draws tens of millions of values).
+class ZipfSampler {
+ public:
+  ZipfSampler(int cardinality, double exponent);
+
+  /// Draws an index in [0, cardinality).
+  int Sample(Rng* rng) const;
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace sel
+
+#endif  // SEL_DATA_GENERATORS_H_

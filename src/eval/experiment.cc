@@ -1,0 +1,100 @@
+#include "eval/experiment.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/env.h"
+
+namespace sel {
+
+const char* ModelKindName(ModelKind kind) {
+  switch (kind) {
+    case ModelKind::kQuadHist: return "QuadHist";
+    case ModelKind::kPtsHist: return "PtsHist";
+    case ModelKind::kQuickSel: return "QuickSel";
+    case ModelKind::kIsomer: return "Isomer";
+  }
+  return "unknown";
+}
+
+std::unique_ptr<SelectivityModel> MakeModel(
+    ModelKind kind, int dim, size_t train_size,
+    const ModelFactoryOptions& options) {
+  const size_t budget = options.bucket_budget > 0 ? options.bucket_budget
+                                                  : 4 * train_size;
+  switch (kind) {
+    case ModelKind::kQuadHist: {
+      QuadHistOptions o;
+      o.tau = options.quadhist_tau;
+      o.max_leaves = budget;
+      o.objective = options.objective;
+      return std::make_unique<QuadHist>(dim, o);
+    }
+    case ModelKind::kPtsHist: {
+      PtsHistOptions o;
+      o.model_size = budget;
+      o.objective = options.objective;
+      o.seed = options.seed;
+      return std::make_unique<PtsHist>(dim, o);
+    }
+    case ModelKind::kQuickSel: {
+      QuickSelOptions o;
+      o.num_kernels = budget;
+      o.seed = options.seed;
+      return std::make_unique<QuickSel>(dim, o);
+    }
+    case ModelKind::kIsomer: {
+      IsomerOptions o;
+      return std::make_unique<Isomer>(dim, o);
+    }
+  }
+  return nullptr;
+}
+
+EvalCell TrainAndEvaluate(SelectivityModel* model, const Workload& train,
+                          const Workload& test, double q_floor) {
+  EvalCell cell;
+  cell.model = model->Name();
+  cell.train_size = train.size();
+  const Status st = model->Train(train);
+  if (!st.ok()) {
+    cell.ok = false;
+    cell.status_message = st.ToString();
+    return cell;
+  }
+  cell.ok = true;
+  cell.buckets = model->NumBuckets();
+  cell.train_seconds = model->train_stats().train_seconds;
+  cell.train_loss = model->train_stats().train_loss;
+  cell.errors = EvaluateModel(*model, test, q_floor);
+  return cell;
+}
+
+bool IsomerFeasible(size_t train_size) { return train_size <= 200; }
+
+std::vector<size_t> ScaledSizes(const std::vector<size_t>& base,
+                                size_t min_size) {
+  const double scale = ReproScale();
+  std::vector<size_t> out;
+  out.reserve(base.size());
+  for (size_t b : base) {
+    const size_t scaled = static_cast<size_t>(
+        std::llround(static_cast<double>(b) * scale));
+    out.push_back(std::max(scaled, min_size));
+  }
+  // Scaling can collapse adjacent sizes; deduplicate preserving order.
+  std::vector<size_t> dedup;
+  for (size_t s : out) {
+    if (dedup.empty() || dedup.back() != s) dedup.push_back(s);
+  }
+  return dedup;
+}
+
+size_t ScaledCount(size_t base, size_t min_size) {
+  const double scale = ReproScale();
+  const size_t scaled =
+      static_cast<size_t>(std::llround(static_cast<double>(base) * scale));
+  return std::max(scaled, min_size);
+}
+
+}  // namespace sel

@@ -1,0 +1,72 @@
+// Shared experiment plumbing for the bench binaries: model factory with
+// the paper's conventions (bucket budget 4x the training size, §4.1),
+// train-and-score helpers, and REPRO_SCALE-aware sweep sizing.
+#ifndef SEL_EVAL_EXPERIMENT_H_
+#define SEL_EVAL_EXPERIMENT_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/isomer.h"
+#include "baselines/quicksel.h"
+#include "core/arrangement.h"
+#include "core/ptshist.h"
+#include "core/quadhist.h"
+#include "metrics/metrics.h"
+
+namespace sel {
+
+/// Model identifiers used by the experiment harness.
+enum class ModelKind { kQuadHist, kPtsHist, kQuickSel, kIsomer };
+
+/// Returns the display name for `kind`.
+const char* ModelKindName(ModelKind kind);
+
+/// Overrides applied on top of the paper's conventions.
+struct ModelFactoryOptions {
+  /// Bucket budget; 0 means 4x the training size.
+  size_t bucket_budget = 0;
+  /// QuadHist split threshold.
+  double quadhist_tau = 0.002;
+  /// Training objective (L2 default; §4.6 uses kLinf too).
+  TrainObjective objective = TrainObjective::kL2;
+  /// Seed for the stochastic models (PtsHist, QuickSel padding).
+  uint64_t seed = 20220612;
+};
+
+/// Builds an untrained model configured per the paper's setup.
+std::unique_ptr<SelectivityModel> MakeModel(
+    ModelKind kind, int dim, size_t train_size,
+    const ModelFactoryOptions& options = {});
+
+/// One scored experiment cell.
+struct EvalCell {
+  std::string model;
+  size_t train_size = 0;
+  size_t buckets = 0;
+  double train_seconds = 0.0;
+  double train_loss = 0.0;
+  ErrorReport errors;
+  bool ok = false;             ///< false if training failed
+  std::string status_message;  ///< error detail when !ok
+};
+
+/// Trains `model` on `train` and scores it on `test`.
+EvalCell TrainAndEvaluate(SelectivityModel* model, const Workload& train,
+                          const Workload& test, double q_floor = 1e-9);
+
+/// The paper runs ISOMER only while it finishes in reasonable time
+/// (§4.1: it could not finish 500 training queries in 30 minutes).
+bool IsomerFeasible(size_t train_size);
+
+/// Multiplies each size by REPRO_SCALE, rounding and clamping to >= min.
+std::vector<size_t> ScaledSizes(const std::vector<size_t>& base,
+                                size_t min_size = 25);
+
+/// Scales one count by REPRO_SCALE with a floor.
+size_t ScaledCount(size_t base, size_t min_size = 1000);
+
+}  // namespace sel
+
+#endif  // SEL_EVAL_EXPERIMENT_H_

@@ -1,0 +1,35 @@
+// Aligned ASCII tables for the bench binaries (paper-style rows).
+#ifndef SEL_EVAL_TABLE_PRINTER_H_
+#define SEL_EVAL_TABLE_PRINTER_H_
+
+#include <string>
+#include <vector>
+
+namespace sel {
+
+/// Collects rows and prints them with aligned columns.
+class TablePrinter {
+ public:
+  /// Creates a table with the given column headers.
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  /// Appends a row (must match the header arity).
+  void AddRow(std::vector<std::string> row);
+
+  /// Renders the table ("| a | b |" style with a header rule).
+  std::string ToString() const;
+
+  /// Prints to stdout.
+  void Print() const;
+
+  const std::vector<std::string>& headers() const { return headers_; }
+  const std::vector<std::vector<std::string>>& rows() const { return rows_; }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace sel
+
+#endif  // SEL_EVAL_TABLE_PRINTER_H_

@@ -1,0 +1,64 @@
+#include "geometry/ball.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "common/string_util.h"
+
+namespace sel {
+
+Ball::Ball(Point center, double radius)
+    : center_(std::move(center)), radius_(radius) {
+  SEL_CHECK_MSG(radius_ >= 0.0, "ball radius must be nonnegative");
+  SEL_CHECK_MSG(!center_.empty(), "ball center must be nonempty");
+}
+
+double Ball::MinSquaredDistanceToBox(const Box& box) const {
+  SEL_DCHECK(box.dim() == dim());
+  double s = 0.0;
+  for (int i = 0; i < dim(); ++i) {
+    const double c = center_[i];
+    if (c < box.lo(i)) {
+      const double d = box.lo(i) - c;
+      s += d * d;
+    } else if (c > box.hi(i)) {
+      const double d = c - box.hi(i);
+      s += d * d;
+    }
+  }
+  return s;
+}
+
+double Ball::MaxSquaredDistanceToBox(const Box& box) const {
+  SEL_DCHECK(box.dim() == dim());
+  double s = 0.0;
+  for (int i = 0; i < dim(); ++i) {
+    const double d =
+        std::max(std::abs(center_[i] - box.lo(i)),
+                 std::abs(center_[i] - box.hi(i)));
+    s += d * d;
+  }
+  return s;
+}
+
+Box Ball::BoundingBox(const Box& domain) const {
+  SEL_CHECK(domain.dim() == dim());
+  Point lo(dim()), hi(dim());
+  for (int i = 0; i < dim(); ++i) {
+    lo[i] = std::clamp(center_[i] - radius_, domain.lo(i), domain.hi(i));
+    hi[i] = std::clamp(center_[i] + radius_, domain.lo(i), domain.hi(i));
+    if (lo[i] > hi[i]) lo[i] = hi[i];
+  }
+  return Box(std::move(lo), std::move(hi));
+}
+
+std::string Ball::ToString() const {
+  std::vector<std::string> parts;
+  parts.reserve(center_.size());
+  for (double c : center_) parts.push_back(FormatDouble(c));
+  return "Ball(center=(" + Join(parts, ",") +
+         "), r=" + FormatDouble(radius_) + ")";
+}
+
+}  // namespace sel

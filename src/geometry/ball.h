@@ -1,0 +1,57 @@
+// Euclidean balls: the ranges of Σ_○ (distance-based queries, §2.2).
+#ifndef SEL_GEOMETRY_BALL_H_
+#define SEL_GEOMETRY_BALL_H_
+
+#include <string>
+
+#include "geometry/box.h"
+#include "geometry/point.h"
+
+namespace sel {
+
+/// The closed ball {x : ||x - center||_2 <= radius}.
+class Ball {
+ public:
+  Ball() = default;
+
+  /// Constructs from center and nonnegative radius.
+  Ball(Point center, double radius);
+
+  int dim() const { return static_cast<int>(center_.size()); }
+  const Point& center() const { return center_; }
+  double radius() const { return radius_; }
+
+  /// True if ||p - center|| <= radius.
+  bool Contains(const Point& p) const {
+    return SquaredDistance(p, center_) <= radius_ * radius_;
+  }
+
+  /// Squared distance from the center to the nearest point of `box`.
+  double MinSquaredDistanceToBox(const Box& box) const;
+
+  /// Squared distance from the center to the farthest point of `box`.
+  double MaxSquaredDistanceToBox(const Box& box) const;
+
+  /// True if the ball fully contains `box`.
+  bool ContainsBox(const Box& box) const {
+    return MaxSquaredDistanceToBox(box) <= radius_ * radius_;
+  }
+
+  /// True if the ball is disjoint from `box`.
+  bool DisjointFromBox(const Box& box) const {
+    return MinSquaredDistanceToBox(box) > radius_ * radius_;
+  }
+
+  /// Smallest axis-aligned bounding box of (ball ∩ domain).
+  Box BoundingBox(const Box& domain) const;
+
+  std::string ToString() const;
+
+ private:
+  Point center_;
+  double radius_ = 0.0;
+};
+
+}  // namespace sel
+
+#endif  // SEL_GEOMETRY_BALL_H_

@@ -1,0 +1,94 @@
+#include "geometry/box.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "common/string_util.h"
+
+namespace sel {
+
+Box::Box(Point lo, Point hi) : lo_(std::move(lo)), hi_(std::move(hi)) {
+  SEL_CHECK_MSG(lo_.size() == hi_.size(), "corner dimension mismatch");
+  for (size_t i = 0; i < lo_.size(); ++i) {
+    SEL_CHECK_MSG(lo_[i] <= hi_[i], "box has lo > hi in dimension %zu", i);
+  }
+}
+
+Box Box::Unit(int dim) {
+  SEL_CHECK(dim > 0);
+  return Box(Point(dim, 0.0), Point(dim, 1.0));
+}
+
+Box Box::FromCenterAndWidths(const Point& center, const Point& widths,
+                             const Box& domain) {
+  SEL_CHECK(center.size() == widths.size());
+  SEL_CHECK(static_cast<int>(center.size()) == domain.dim());
+  Point lo(center.size()), hi(center.size());
+  for (size_t i = 0; i < center.size(); ++i) {
+    SEL_CHECK_MSG(widths[i] >= 0.0, "negative width in dimension %zu", i);
+    lo[i] = std::clamp(center[i] - widths[i] / 2, domain.lo_[i],
+                       domain.hi_[i]);
+    hi[i] = std::clamp(center[i] + widths[i] / 2, domain.lo_[i],
+                       domain.hi_[i]);
+  }
+  return Box(std::move(lo), std::move(hi));
+}
+
+double Box::Volume() const {
+  double v = 1.0;
+  for (size_t i = 0; i < lo_.size(); ++i) v *= hi_[i] - lo_[i];
+  return v;
+}
+
+bool Box::Contains(const Point& p) const {
+  SEL_DCHECK(p.size() == lo_.size());
+  for (size_t i = 0; i < lo_.size(); ++i) {
+    if (p[i] < lo_[i] || p[i] > hi_[i]) return false;
+  }
+  return true;
+}
+
+bool Box::ContainsBox(const Box& other) const {
+  SEL_DCHECK(other.dim() == dim());
+  for (size_t i = 0; i < lo_.size(); ++i) {
+    if (other.lo_[i] < lo_[i] || other.hi_[i] > hi_[i]) return false;
+  }
+  return true;
+}
+
+bool Box::Intersects(const Box& other) const {
+  SEL_DCHECK(other.dim() == dim());
+  for (size_t i = 0; i < lo_.size(); ++i) {
+    if (other.hi_[i] < lo_[i] || other.lo_[i] > hi_[i]) return false;
+  }
+  return true;
+}
+
+std::optional<Box> Box::Intersection(const Box& other) const {
+  if (!Intersects(other)) return std::nullopt;
+  Point lo(lo_.size()), hi(lo_.size());
+  for (size_t i = 0; i < lo_.size(); ++i) {
+    lo[i] = std::max(lo_[i], other.lo_[i]);
+    hi[i] = std::min(hi_[i], other.hi_[i]);
+  }
+  return Box(std::move(lo), std::move(hi));
+}
+
+Point Box::Center() const {
+  Point c(lo_.size());
+  for (size_t i = 0; i < lo_.size(); ++i) c[i] = 0.5 * (lo_[i] + hi_[i]);
+  return c;
+}
+
+std::string Box::ToString() const {
+  std::vector<std::string> parts;
+  parts.reserve(lo_.size());
+  for (size_t i = 0; i < lo_.size(); ++i) {
+    parts.push_back("[" + FormatDouble(lo_[i]) + "," + FormatDouble(hi_[i]) +
+                    "]");
+  }
+  return Join(parts, "x");
+}
+
+}  // namespace sel

@@ -1,0 +1,68 @@
+// Axis-aligned hyper-rectangles: the ranges of Σ_□ (orthogonal range
+// queries, §2.2) and the buckets of QuadHist / ISOMER / QuickSel.
+#ifndef SEL_GEOMETRY_BOX_H_
+#define SEL_GEOMETRY_BOX_H_
+
+#include <optional>
+#include <string>
+
+#include "geometry/point.h"
+
+namespace sel {
+
+/// Closed axis-aligned box ×_i [lo[i], hi[i]]. Invariant: lo[i] <= hi[i].
+class Box {
+ public:
+  Box() = default;
+
+  /// Constructs from corner vectors; checks lo <= hi componentwise.
+  Box(Point lo, Point hi);
+
+  /// The unit cube [0,1]^dim (the normalized data domain of §4).
+  static Box Unit(int dim);
+
+  /// Box from center and per-dimension side lengths, clipped to `domain`.
+  /// This is exactly how §4 generates orthogonal range queries.
+  static Box FromCenterAndWidths(const Point& center, const Point& widths,
+                                 const Box& domain);
+
+  int dim() const { return static_cast<int>(lo_.size()); }
+  const Point& lo() const { return lo_; }
+  const Point& hi() const { return hi_; }
+  double lo(int i) const { return lo_[i]; }
+  double hi(int i) const { return hi_[i]; }
+  double width(int i) const { return hi_[i] - lo_[i]; }
+
+  /// Geometric volume Π_i (hi_i - lo_i). Zero if any side is degenerate.
+  double Volume() const;
+
+  /// True if `p` lies inside (closed on all faces).
+  bool Contains(const Point& p) const;
+
+  /// True if `other` is fully inside this box.
+  bool ContainsBox(const Box& other) const;
+
+  /// True if this box and `other` have a nonempty (closed) intersection.
+  bool Intersects(const Box& other) const;
+
+  /// Intersection box, or nullopt if disjoint.
+  std::optional<Box> Intersection(const Box& other) const;
+
+  /// Center point of the box.
+  Point Center() const;
+
+  /// Human-readable form, e.g. "[0,0.5]x[0.25,1]".
+  std::string ToString() const;
+
+  bool operator==(const Box& other) const {
+    return lo_ == other.lo_ && hi_ == other.hi_;
+  }
+
+ private:
+  Point lo_;
+  Point hi_;
+};
+
+}  // namespace sel
+
+#endif  // SEL_GEOMETRY_BOX_H_

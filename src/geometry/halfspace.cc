@@ -1,0 +1,84 @@
+#include "geometry/halfspace.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "common/string_util.h"
+
+namespace sel {
+
+Halfspace::Halfspace(Point a, double b) : a_(std::move(a)), b_(b) {
+  double norm2 = 0.0;
+  for (double c : a_) norm2 += c * c;
+  SEL_CHECK_MSG(norm2 > 0.0, "halfspace normal must be nonzero");
+}
+
+Halfspace Halfspace::ThroughPoint(const Point& point, const Point& normal) {
+  SEL_CHECK(point.size() == normal.size());
+  return Halfspace(normal, Dot(normal, point));
+}
+
+double Halfspace::MinOverBox(const Box& box) const {
+  SEL_DCHECK(box.dim() == dim());
+  double s = 0.0;
+  for (int i = 0; i < dim(); ++i) {
+    s += a_[i] >= 0.0 ? a_[i] * box.lo(i) : a_[i] * box.hi(i);
+  }
+  return s;
+}
+
+double Halfspace::MaxOverBox(const Box& box) const {
+  SEL_DCHECK(box.dim() == dim());
+  double s = 0.0;
+  for (int i = 0; i < dim(); ++i) {
+    s += a_[i] >= 0.0 ? a_[i] * box.hi(i) : a_[i] * box.lo(i);
+  }
+  return s;
+}
+
+Box Halfspace::BoundingBox(const Box& domain) const {
+  SEL_CHECK(domain.dim() == dim());
+  // Appendix A.2: interval propagation until fixpoint. For each dimension
+  // with a_i != 0, the extreme feasible coordinate is attained when every
+  // other coordinate maximizes its contribution a_j * x_j.
+  Point lo = domain.lo();
+  Point hi = domain.hi();
+  const int d = dim();
+  for (int iter = 0; iter < 2 * d + 2; ++iter) {
+    bool changed = false;
+    for (int i = 0; i < d; ++i) {
+      if (a_[i] == 0.0) continue;
+      double rest = 0.0;  // max of sum_{j != i} a_j x_j over current bounds
+      for (int j = 0; j < d; ++j) {
+        if (j == i) continue;
+        rest += std::max(a_[j] * lo[j], a_[j] * hi[j]);
+      }
+      const double bound = (b_ - rest) / a_[i];
+      if (a_[i] > 0.0) {
+        if (bound > lo[i]) {
+          lo[i] = std::min(bound, hi[i]);
+          changed = true;
+        }
+      } else {
+        if (bound < hi[i]) {
+          hi[i] = std::max(bound, lo[i]);
+          changed = true;
+        }
+      }
+    }
+    if (!changed) break;
+  }
+  return Box(std::move(lo), std::move(hi));
+}
+
+std::string Halfspace::ToString() const {
+  std::vector<std::string> terms;
+  terms.reserve(a_.size());
+  for (size_t i = 0; i < a_.size(); ++i) {
+    terms.push_back(FormatDouble(a_[i]) + "*x" + std::to_string(i));
+  }
+  return Join(terms, " + ") + " >= " + FormatDouble(b_);
+}
+
+}  // namespace sel

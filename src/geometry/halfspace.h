@@ -1,0 +1,57 @@
+// Halfspaces: the ranges of Σ_\ (linear inequality queries, §2.2).
+#ifndef SEL_GEOMETRY_HALFSPACE_H_
+#define SEL_GEOMETRY_HALFSPACE_H_
+
+#include <string>
+
+#include "geometry/box.h"
+#include "geometry/point.h"
+
+namespace sel {
+
+/// The closed halfspace {x : a·x >= b} (the paper's R_\(a,b)).
+class Halfspace {
+ public:
+  Halfspace() = default;
+
+  /// Constructs from normal `a` and offset `b`. `a` must be nonzero.
+  Halfspace(Point a, double b);
+
+  /// Halfspace whose boundary hyperplane passes through `point` with the
+  /// given (unit) `normal`; exactly §4's halfspace-workload construction.
+  static Halfspace ThroughPoint(const Point& point, const Point& normal);
+
+  int dim() const { return static_cast<int>(a_.size()); }
+  const Point& normal() const { return a_; }
+  double offset() const { return b_; }
+
+  /// True if a·p >= b.
+  bool Contains(const Point& p) const {
+    return Dot(a_, p) >= b_;
+  }
+
+  /// min / max of a·x over the corners of `box` (evaluated without
+  /// enumerating corners, using the sign of each coefficient).
+  double MinOverBox(const Box& box) const;
+  double MaxOverBox(const Box& box) const;
+
+  /// True if the halfspace fully contains `box`.
+  bool ContainsBox(const Box& box) const { return MinOverBox(box) >= b_; }
+
+  /// True if the halfspace is disjoint from `box`.
+  bool DisjointFromBox(const Box& box) const { return MaxOverBox(box) < b_; }
+
+  /// Smallest axis-aligned bounding box of (halfspace ∩ domain), computed
+  /// by the iterative tightening procedure of Appendix A.2.
+  Box BoundingBox(const Box& domain) const;
+
+  std::string ToString() const;
+
+ private:
+  Point a_;
+  double b_ = 0.0;
+};
+
+}  // namespace sel
+
+#endif  // SEL_GEOMETRY_HALFSPACE_H_

@@ -1,0 +1,32 @@
+// Point type shared across the geometry substrate.
+#ifndef SEL_GEOMETRY_POINT_H_
+#define SEL_GEOMETRY_POINT_H_
+
+#include <vector>
+
+namespace sel {
+
+/// A point in R^d. Dimension is carried by the vector length; all geometry
+/// routines SEL_CHECK dimension agreement at API boundaries.
+using Point = std::vector<double>;
+
+/// Dot product of two equal-length vectors.
+inline double Dot(const Point& a, const Point& b) {
+  double s = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) s += a[i] * b[i];
+  return s;
+}
+
+/// Squared Euclidean distance.
+inline double SquaredDistance(const Point& a, const Point& b) {
+  double s = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    s += d * d;
+  }
+  return s;
+}
+
+}  // namespace sel
+
+#endif  // SEL_GEOMETRY_POINT_H_

@@ -1,0 +1,235 @@
+#include "geometry/polynomial.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "common/check.h"
+#include "common/string_util.h"
+
+namespace sel {
+
+Interval operator+(const Interval& a, const Interval& b) {
+  return {a.lo + b.lo, a.hi + b.hi};
+}
+
+Interval operator*(const Interval& a, const Interval& b) {
+  const double p1 = a.lo * b.lo, p2 = a.lo * b.hi;
+  const double p3 = a.hi * b.lo, p4 = a.hi * b.hi;
+  return {std::min(std::min(p1, p2), std::min(p3, p4)),
+          std::max(std::max(p1, p2), std::max(p3, p4))};
+}
+
+Interval operator*(double c, const Interval& a) {
+  return c >= 0.0 ? Interval{c * a.lo, c * a.hi}
+                  : Interval{c * a.hi, c * a.lo};
+}
+
+Interval Pow(const Interval& a, int k) {
+  SEL_CHECK(k >= 0);
+  if (k == 0) return {1.0, 1.0};
+  const double plo = std::pow(a.lo, k);
+  const double phi = std::pow(a.hi, k);
+  if (k % 2 == 1) return {plo, phi};
+  // Even power: minimum is 0 if the interval straddles zero.
+  const double m = std::max(plo, phi);
+  if (a.lo <= 0.0 && a.hi >= 0.0) return {0.0, m};
+  return {std::min(plo, phi), m};
+}
+
+Polynomial::Polynomial(int dim) : dim_(dim) { SEL_CHECK(dim >= 1); }
+
+Polynomial Polynomial::Constant(int dim, double c) {
+  Polynomial p(dim);
+  if (c != 0.0) {
+    p.monomials_.push_back(Monomial{c, std::vector<int>(dim, 0)});
+  }
+  return p;
+}
+
+Polynomial Polynomial::Variable(int dim, int i) {
+  SEL_CHECK(i >= 0 && i < dim);
+  Polynomial p(dim);
+  Monomial m{1.0, std::vector<int>(dim, 0)};
+  m.exponents[i] = 1;
+  p.monomials_.push_back(std::move(m));
+  return p;
+}
+
+Polynomial Polynomial::FromMonomials(int dim,
+                                     std::vector<Monomial> monomials) {
+  Polynomial p(dim);
+  for (const auto& m : monomials) {
+    SEL_CHECK(static_cast<int>(m.exponents.size()) == dim);
+    for (int e : m.exponents) SEL_CHECK(e >= 0);
+  }
+  p.monomials_ = std::move(monomials);
+  p.Normalize();
+  return p;
+}
+
+int Polynomial::Degree() const {
+  int deg = 0;
+  for (const auto& m : monomials_) {
+    int d = 0;
+    for (int e : m.exponents) d += e;
+    deg = std::max(deg, d);
+  }
+  return deg;
+}
+
+double Polynomial::Eval(const Point& p) const {
+  SEL_DCHECK(static_cast<int>(p.size()) == dim_);
+  double sum = 0.0;
+  for (const auto& m : monomials_) {
+    double term = m.coefficient;
+    for (int j = 0; j < dim_; ++j) {
+      for (int e = 0; e < m.exponents[j]; ++e) term *= p[j];
+    }
+    sum += term;
+  }
+  return sum;
+}
+
+Polynomial Polynomial::ShiftedTo(const Point& center) const {
+  SEL_CHECK(static_cast<int>(center.size()) == dim_);
+  Polynomial out(dim_);
+  for (const auto& m : monomials_) {
+    // Expand c * Π_j (center_j + t_j)^{e_j} dimension by dimension.
+    std::vector<Monomial> partial = {
+        Monomial{m.coefficient, std::vector<int>(dim_, 0)}};
+    for (int j = 0; j < dim_; ++j) {
+      const int e = m.exponents[j];
+      if (e == 0) continue;
+      // Binomial coefficients for (center_j + t_j)^e.
+      std::vector<double> binom(e + 1, 0.0);
+      binom[0] = 1.0;
+      for (int row = 1; row <= e; ++row) {
+        for (int k = row; k >= 1; --k) binom[k] += binom[k - 1];
+      }
+      std::vector<Monomial> next;
+      next.reserve(partial.size() * (e + 1));
+      for (const auto& pm : partial) {
+        double cpow = 1.0;  // center_j^{e-k}, built from k = e downward
+        for (int k = e; k >= 0; --k) {
+          Monomial nm = pm;
+          nm.coefficient *= binom[k] * cpow;
+          nm.exponents[j] += k;
+          if (nm.coefficient != 0.0) next.push_back(std::move(nm));
+          cpow *= center[j];
+        }
+      }
+      partial = std::move(next);
+    }
+    out.monomials_.insert(out.monomials_.end(), partial.begin(),
+                          partial.end());
+  }
+  out.Normalize();
+  return out;
+}
+
+Interval Polynomial::EvalIntervalNaive(const Box& box) const {
+  SEL_CHECK(box.dim() == dim_);
+  Interval sum{0.0, 0.0};
+  for (const auto& m : monomials_) {
+    Interval term{1.0, 1.0};
+    for (int j = 0; j < dim_; ++j) {
+      if (m.exponents[j] > 0) {
+        term = term * Pow(Interval{box.lo(j), box.hi(j)}, m.exponents[j]);
+      }
+    }
+    sum = sum + m.coefficient * term;
+  }
+  return sum;
+}
+
+Interval Polynomial::EvalInterval(const Box& box) const {
+  SEL_CHECK(box.dim() == dim_);
+  // Centered form: evaluate p(center + t) for t in the symmetric box.
+  const Point center = box.Center();
+  const Polynomial shifted = ShiftedTo(center);
+  Point lo(dim_), hi(dim_);
+  for (int j = 0; j < dim_; ++j) {
+    const double h = 0.5 * box.width(j);
+    lo[j] = -h;
+    hi[j] = h;
+  }
+  return shifted.EvalIntervalNaive(Box(std::move(lo), std::move(hi)));
+}
+
+void Polynomial::Normalize() {
+  std::map<std::vector<int>, double> merged;
+  for (const auto& m : monomials_) {
+    merged[m.exponents] += m.coefficient;
+  }
+  monomials_.clear();
+  for (auto& [exps, coef] : merged) {
+    if (coef != 0.0) monomials_.push_back(Monomial{coef, exps});
+  }
+}
+
+Polynomial Polynomial::operator+(const Polynomial& other) const {
+  SEL_CHECK(dim_ == other.dim_);
+  Polynomial out(dim_);
+  out.monomials_ = monomials_;
+  out.monomials_.insert(out.monomials_.end(), other.monomials_.begin(),
+                        other.monomials_.end());
+  out.Normalize();
+  return out;
+}
+
+Polynomial Polynomial::operator-() const {
+  Polynomial out(dim_);
+  out.monomials_ = monomials_;
+  for (auto& m : out.monomials_) m.coefficient = -m.coefficient;
+  return out;
+}
+
+Polynomial Polynomial::operator-(const Polynomial& other) const {
+  return *this + (-other);
+}
+
+Polynomial Polynomial::operator*(const Polynomial& other) const {
+  SEL_CHECK(dim_ == other.dim_);
+  Polynomial out(dim_);
+  for (const auto& a : monomials_) {
+    for (const auto& b : other.monomials_) {
+      Monomial m;
+      m.coefficient = a.coefficient * b.coefficient;
+      m.exponents.resize(dim_);
+      for (int j = 0; j < dim_; ++j) {
+        m.exponents[j] = a.exponents[j] + b.exponents[j];
+      }
+      out.monomials_.push_back(std::move(m));
+    }
+  }
+  out.Normalize();
+  return out;
+}
+
+Polynomial Polynomial::operator*(double c) const {
+  Polynomial out(dim_);
+  if (c == 0.0) return out;
+  out.monomials_ = monomials_;
+  for (auto& m : out.monomials_) m.coefficient *= c;
+  return out;
+}
+
+std::string Polynomial::ToString() const {
+  if (monomials_.empty()) return "0";
+  std::vector<std::string> terms;
+  for (const auto& m : monomials_) {
+    std::string t = FormatDouble(m.coefficient);
+    for (int j = 0; j < dim_; ++j) {
+      if (m.exponents[j] == 1) {
+        t += "*x" + std::to_string(j);
+      } else if (m.exponents[j] > 1) {
+        t += "*x" + std::to_string(j) + "^" + std::to_string(m.exponents[j]);
+      }
+    }
+    terms.push_back(t);
+  }
+  return Join(terms, " + ");
+}
+
+}  // namespace sel

@@ -1,0 +1,94 @@
+// Multivariate polynomials with interval arithmetic — the atoms of
+// semi-algebraic range queries (§2.2). Interval evaluation over a box
+// yields sound inside/outside classification for kd-tree pruning and
+// histogram-bucket tests without closed-form volumes.
+#ifndef SEL_GEOMETRY_POLYNOMIAL_H_
+#define SEL_GEOMETRY_POLYNOMIAL_H_
+
+#include <string>
+#include <vector>
+
+#include "geometry/box.h"
+#include "geometry/point.h"
+
+namespace sel {
+
+/// A closed interval [lo, hi] used for range analysis.
+struct Interval {
+  double lo = 0.0;
+  double hi = 0.0;
+
+  bool Contains(double v) const { return v >= lo && v <= hi; }
+};
+
+/// Interval addition.
+Interval operator+(const Interval& a, const Interval& b);
+/// Interval multiplication (min/max of the four corner products).
+Interval operator*(const Interval& a, const Interval& b);
+/// Interval scaling.
+Interval operator*(double c, const Interval& a);
+/// Tight interval power (handles even powers crossing zero).
+Interval Pow(const Interval& a, int k);
+
+/// One term c * Π_i x_i^{e_i}.
+struct Monomial {
+  double coefficient = 0.0;
+  std::vector<int> exponents;  ///< one nonnegative exponent per dimension
+};
+
+/// A sparse multivariate polynomial over R^d.
+class Polynomial {
+ public:
+  /// The zero polynomial in `dim` variables.
+  explicit Polynomial(int dim);
+
+  /// The constant polynomial c.
+  static Polynomial Constant(int dim, double c);
+
+  /// The coordinate polynomial x_i.
+  static Polynomial Variable(int dim, int i);
+
+  /// Builds from explicit monomials (exponent vectors must have size dim).
+  static Polynomial FromMonomials(int dim, std::vector<Monomial> monomials);
+
+  int dim() const { return dim_; }
+  const std::vector<Monomial>& monomials() const { return monomials_; }
+
+  /// Total degree (max over monomials of the exponent sum); 0 for zero.
+  int Degree() const;
+
+  /// Evaluates at a point.
+  double Eval(const Point& p) const;
+
+  /// Rewrites the polynomial in shifted coordinates t = x - center, i.e.
+  /// returns q with q(t) = p(center + t). Used for centered-form interval
+  /// evaluation (tight for distance-like atoms such as (x-c)^2 - r^2).
+  Polynomial ShiftedTo(const Point& center) const;
+
+  /// Sound interval enclosure of the polynomial's range over `box`,
+  /// using the centered form (shift to the box center, then evaluate
+  /// monomial-wise on the symmetric box). Always encloses the true range.
+  Interval EvalInterval(const Box& box) const;
+
+  /// Plain monomial-wise interval evaluation (looser; exposed for tests
+  /// and for comparison against the centered form).
+  Interval EvalIntervalNaive(const Box& box) const;
+
+  Polynomial operator+(const Polynomial& other) const;
+  Polynomial operator-(const Polynomial& other) const;
+  Polynomial operator*(const Polynomial& other) const;
+  Polynomial operator*(double c) const;
+  Polynomial operator-() const;
+
+  std::string ToString() const;
+
+ private:
+  void Normalize();  // merge duplicate exponent vectors, drop zeros
+
+  int dim_;
+  std::vector<Monomial> monomials_;
+};
+
+}  // namespace sel
+
+#endif  // SEL_GEOMETRY_POLYNOMIAL_H_

@@ -1,0 +1,80 @@
+#include "geometry/query.h"
+
+#include "common/check.h"
+
+namespace sel {
+
+const char* QueryTypeName(QueryType t) {
+  switch (t) {
+    case QueryType::kBox: return "box";
+    case QueryType::kHalfspace: return "halfspace";
+    case QueryType::kBall: return "ball";
+    case QueryType::kSemiAlgebraic: return "semialgebraic";
+  }
+  return "unknown";
+}
+
+int Query::dim() const {
+  return std::visit([](const auto& r) { return r.dim(); }, v_);
+}
+
+bool Query::Contains(const Point& p) const {
+  return std::visit([&p](const auto& r) { return r.Contains(p); }, v_);
+}
+
+bool Query::ContainsBox(const Box& box) const {
+  switch (type()) {
+    case QueryType::kBox:
+      return std::get<Box>(v_).ContainsBox(box);
+    case QueryType::kHalfspace:
+      return std::get<Halfspace>(v_).ContainsBox(box);
+    case QueryType::kBall:
+      return std::get<Ball>(v_).ContainsBox(box);
+    case QueryType::kSemiAlgebraic:
+      // Sound but conservative: kUnknown reports "not provably inside".
+      return std::get<SemiAlgebraicSet>(v_).ClassifyBox(box) ==
+             BoxRelation::kInside;
+  }
+  return false;
+}
+
+bool Query::DisjointFromBox(const Box& box) const {
+  switch (type()) {
+    case QueryType::kBox:
+      return !std::get<Box>(v_).Intersects(box);
+    case QueryType::kHalfspace:
+      return std::get<Halfspace>(v_).DisjointFromBox(box);
+    case QueryType::kBall:
+      return std::get<Ball>(v_).DisjointFromBox(box);
+    case QueryType::kSemiAlgebraic:
+      return std::get<SemiAlgebraicSet>(v_).ClassifyBox(box) ==
+             BoxRelation::kOutside;
+  }
+  return false;
+}
+
+Box Query::BoundingBox(const Box& domain) const {
+  switch (type()) {
+    case QueryType::kBox: {
+      auto inter = std::get<Box>(v_).Intersection(domain);
+      if (inter.has_value()) return *inter;
+      // Disjoint from the domain: return a degenerate box at the nearest
+      // domain corner so downstream volume code yields 0.
+      return Box(domain.lo(), domain.lo());
+    }
+    case QueryType::kHalfspace:
+      return std::get<Halfspace>(v_).BoundingBox(domain);
+    case QueryType::kBall:
+      return std::get<Ball>(v_).BoundingBox(domain);
+    case QueryType::kSemiAlgebraic:
+      return std::get<SemiAlgebraicSet>(v_).BoundingBox(domain);
+  }
+  SEL_CHECK(false);
+  return domain;
+}
+
+std::string Query::ToString() const {
+  return std::visit([](const auto& r) { return r.ToString(); }, v_);
+}
+
+}  // namespace sel

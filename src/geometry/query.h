@@ -1,0 +1,69 @@
+// A range query: one of the three range spaces studied in the paper
+// (orthogonal ranges Σ_□, linear inequalities Σ_\, distance queries Σ_○),
+// with uniform geometric operations dispatched over the variant.
+#ifndef SEL_GEOMETRY_QUERY_H_
+#define SEL_GEOMETRY_QUERY_H_
+
+#include <string>
+#include <variant>
+
+#include "geometry/ball.h"
+#include "geometry/box.h"
+#include "geometry/halfspace.h"
+#include "geometry/point.h"
+#include "geometry/semialgebraic.h"
+
+namespace sel {
+
+/// Tag for the query classes of §2.2 (the three canonical ones plus
+/// general semi-algebraic ranges).
+enum class QueryType { kBox, kHalfspace, kBall, kSemiAlgebraic };
+
+/// Returns a display name ("box", "halfspace", "ball", "semialgebraic").
+const char* QueryTypeName(QueryType t);
+
+/// A range query over R^d.
+class Query {
+ public:
+  /* implicit */ Query(Box box) : v_(std::move(box)) {}
+  /* implicit */ Query(Halfspace hs) : v_(std::move(hs)) {}
+  /* implicit */ Query(Ball ball) : v_(std::move(ball)) {}
+  /* implicit */ Query(SemiAlgebraicSet set) : v_(std::move(set)) {}
+
+  QueryType type() const {
+    if (std::holds_alternative<Box>(v_)) return QueryType::kBox;
+    if (std::holds_alternative<Halfspace>(v_)) return QueryType::kHalfspace;
+    if (std::holds_alternative<Ball>(v_)) return QueryType::kBall;
+    return QueryType::kSemiAlgebraic;
+  }
+
+  int dim() const;
+
+  const Box& box() const { return std::get<Box>(v_); }
+  const Halfspace& halfspace() const { return std::get<Halfspace>(v_); }
+  const Ball& ball() const { return std::get<Ball>(v_); }
+  const SemiAlgebraicSet& semialgebraic() const {
+    return std::get<SemiAlgebraicSet>(v_);
+  }
+
+  /// True if the query range contains point `p`.
+  bool Contains(const Point& p) const;
+
+  /// True if the range fully contains `box`.
+  bool ContainsBox(const Box& box) const;
+
+  /// True if the range is disjoint from `box`.
+  bool DisjointFromBox(const Box& box) const;
+
+  /// Smallest axis-aligned bounding box of (range ∩ domain) — App. A.2.
+  Box BoundingBox(const Box& domain) const;
+
+  std::string ToString() const;
+
+ private:
+  std::variant<Box, Halfspace, Ball, SemiAlgebraicSet> v_;
+};
+
+}  // namespace sel
+
+#endif  // SEL_GEOMETRY_QUERY_H_

@@ -1,0 +1,53 @@
+#include "geometry/sampling.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace sel {
+
+Point SampleBox(const Box& box, Rng* rng) {
+  SEL_CHECK(rng != nullptr);
+  Point p(box.dim());
+  for (int i = 0; i < box.dim(); ++i) {
+    p[i] = box.width(i) == 0.0 ? box.lo(i)
+                               : rng->Uniform(box.lo(i), box.hi(i));
+  }
+  return p;
+}
+
+std::optional<Point> SampleQueryInterior(const Query& query,
+                                         const Box& domain, Rng* rng,
+                                         int max_attempts) {
+  SEL_CHECK(rng != nullptr);
+  const Box bbox = query.BoundingBox(domain);
+  for (int attempt = 0; attempt < max_attempts; ++attempt) {
+    Point p = SampleBox(bbox, rng);
+    if (query.Contains(p)) return p;
+  }
+  return std::nullopt;
+}
+
+Point SampleQueryInteriorOrFallback(const Query& query, const Box& domain,
+                                    Rng* rng, int max_attempts) {
+  auto p = SampleQueryInterior(query, domain, rng, max_attempts);
+  if (p.has_value()) return *std::move(p);
+  // Deterministic fallbacks per query type. These only trigger when the
+  // range barely intersects the domain; any in-domain witness suffices as
+  // a PtsHist bucket location (weight estimation fixes the mass).
+  const Box bbox = query.BoundingBox(domain);
+  Point center = bbox.Center();
+  if (query.Contains(center)) return center;
+  if (query.type() == QueryType::kBall) {
+    // Project the ball center into the domain.
+    Point proj = query.ball().center();
+    for (int i = 0; i < domain.dim(); ++i) {
+      proj[i] = std::clamp(proj[i], domain.lo(i), domain.hi(i));
+    }
+    if (query.Contains(proj)) return proj;
+  }
+  return center;
+}
+
+}  // namespace sel

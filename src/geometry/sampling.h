@@ -1,0 +1,35 @@
+// Sampling points from geometric regions (Appendix A.2).
+//
+// PtsHist (§3.3) draws bucket points from training-range interiors via
+// rejection sampling from the range's smallest bounding box.
+#ifndef SEL_GEOMETRY_SAMPLING_H_
+#define SEL_GEOMETRY_SAMPLING_H_
+
+#include <optional>
+
+#include "common/rng.h"
+#include "geometry/box.h"
+#include "geometry/query.h"
+
+namespace sel {
+
+/// Uniform sample from a box (degenerate dimensions yield their value).
+Point SampleBox(const Box& box, Rng* rng);
+
+/// Rejection-samples a point uniformly from (query ∩ domain) using the
+/// smallest bounding box (App. A.2). Returns nullopt after `max_attempts`
+/// consecutive rejections (the intersection is empty or has measure far
+/// smaller than its bounding box).
+std::optional<Point> SampleQueryInterior(const Query& query,
+                                         const Box& domain, Rng* rng,
+                                         int max_attempts = 256);
+
+/// Like SampleQueryInterior, but falls back to a deterministic interior
+/// witness (bounding-box center projected into the range where possible)
+/// so callers always receive a point inside the domain.
+Point SampleQueryInteriorOrFallback(const Query& query, const Box& domain,
+                                    Rng* rng, int max_attempts = 256);
+
+}  // namespace sel
+
+#endif  // SEL_GEOMETRY_SAMPLING_H_

@@ -1,0 +1,249 @@
+#include "geometry/semialgebraic.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace sel {
+
+struct SemiAlgebraicSet::Node {
+  Kind kind;
+  // kAtom
+  std::unique_ptr<Polynomial> poly;  // atom: poly(x) <= 0
+  // kAnd / kOr: both children; kNot: left only
+  std::shared_ptr<const Node> left;
+  std::shared_ptr<const Node> right;
+};
+
+SemiAlgebraicSet SemiAlgebraicSet::Atom(Polynomial p) {
+  auto node = std::make_shared<Node>();
+  node->kind = Kind::kAtom;
+  node->poly = std::make_unique<Polynomial>(std::move(p));
+  return SemiAlgebraicSet(std::move(node));
+}
+
+SemiAlgebraicSet SemiAlgebraicSet::AtomGeq(Polynomial p) {
+  return Atom(-p);
+}
+
+SemiAlgebraicSet SemiAlgebraicSet::And(SemiAlgebraicSet a,
+                                       SemiAlgebraicSet b) {
+  SEL_CHECK(a.dim() == b.dim());
+  auto node = std::make_shared<Node>();
+  node->kind = Kind::kAnd;
+  node->left = std::move(a.root_);
+  node->right = std::move(b.root_);
+  return SemiAlgebraicSet(std::move(node));
+}
+
+SemiAlgebraicSet SemiAlgebraicSet::Or(SemiAlgebraicSet a,
+                                      SemiAlgebraicSet b) {
+  SEL_CHECK(a.dim() == b.dim());
+  auto node = std::make_shared<Node>();
+  node->kind = Kind::kOr;
+  node->left = std::move(a.root_);
+  node->right = std::move(b.root_);
+  return SemiAlgebraicSet(std::move(node));
+}
+
+SemiAlgebraicSet SemiAlgebraicSet::Not(SemiAlgebraicSet a) {
+  auto node = std::make_shared<Node>();
+  node->kind = Kind::kNot;
+  node->left = std::move(a.root_);
+  return SemiAlgebraicSet(std::move(node));
+}
+
+int SemiAlgebraicSet::dim() const {
+  const Node* n = root_.get();
+  while (n->kind != Kind::kAtom) n = n->left.get();
+  return n->poly->dim();
+}
+
+bool SemiAlgebraicSet::Contains(const Point& p) const {
+  struct Visitor {
+    static bool Visit(const Node* n, const Point& p) {
+      switch (n->kind) {
+        case Kind::kAtom: return n->poly->Eval(p) <= 0.0;
+        case Kind::kAnd:
+          return Visit(n->left.get(), p) && Visit(n->right.get(), p);
+        case Kind::kOr:
+          return Visit(n->left.get(), p) || Visit(n->right.get(), p);
+        case Kind::kNot: return !Visit(n->left.get(), p);
+      }
+      return false;
+    }
+  };
+  return Visitor::Visit(root_.get(), p);
+}
+
+BoxRelation SemiAlgebraicSet::ClassifyBox(const Box& box) const {
+  struct Visitor {
+    static BoxRelation Visit(const Node* n, const Box& box) {
+      switch (n->kind) {
+        case Kind::kAtom: {
+          const Interval r = n->poly->EvalInterval(box);
+          if (r.hi <= 0.0) return BoxRelation::kInside;
+          if (r.lo > 0.0) return BoxRelation::kOutside;
+          return BoxRelation::kUnknown;
+        }
+        case Kind::kAnd: {
+          const BoxRelation a = Visit(n->left.get(), box);
+          if (a == BoxRelation::kOutside) return BoxRelation::kOutside;
+          const BoxRelation b = Visit(n->right.get(), box);
+          if (b == BoxRelation::kOutside) return BoxRelation::kOutside;
+          if (a == BoxRelation::kInside && b == BoxRelation::kInside) {
+            return BoxRelation::kInside;
+          }
+          return BoxRelation::kUnknown;
+        }
+        case Kind::kOr: {
+          const BoxRelation a = Visit(n->left.get(), box);
+          if (a == BoxRelation::kInside) return BoxRelation::kInside;
+          const BoxRelation b = Visit(n->right.get(), box);
+          if (b == BoxRelation::kInside) return BoxRelation::kInside;
+          if (a == BoxRelation::kOutside && b == BoxRelation::kOutside) {
+            return BoxRelation::kOutside;
+          }
+          return BoxRelation::kUnknown;
+        }
+        case Kind::kNot: {
+          const BoxRelation a = Visit(n->left.get(), box);
+          if (a == BoxRelation::kInside) return BoxRelation::kOutside;
+          if (a == BoxRelation::kOutside) return BoxRelation::kInside;
+          return BoxRelation::kUnknown;
+        }
+      }
+      return BoxRelation::kUnknown;
+    }
+  };
+  return Visitor::Visit(root_.get(), box);
+}
+
+int SemiAlgebraicSet::NumAtoms() const {
+  struct Visitor {
+    static int Visit(const Node* n) {
+      switch (n->kind) {
+        case Kind::kAtom: return 1;
+        case Kind::kAnd:
+        case Kind::kOr:
+          return Visit(n->left.get()) + Visit(n->right.get());
+        case Kind::kNot: return Visit(n->left.get());
+      }
+      return 0;
+    }
+  };
+  return Visitor::Visit(root_.get());
+}
+
+int SemiAlgebraicSet::MaxDegree() const {
+  struct Visitor {
+    static int Visit(const Node* n) {
+      switch (n->kind) {
+        case Kind::kAtom: return n->poly->Degree();
+        case Kind::kAnd:
+        case Kind::kOr:
+          return std::max(Visit(n->left.get()), Visit(n->right.get()));
+        case Kind::kNot: return Visit(n->left.get());
+      }
+      return 0;
+    }
+  };
+  return Visitor::Visit(root_.get());
+}
+
+Box SemiAlgebraicSet::BoundingBox(const Box& domain, int depth) const {
+  SEL_CHECK(domain.dim() == dim());
+  // Recursive subdivision: keep every box not proven outside, take the
+  // union of their extents. Sound (never under-approximates).
+  Point lo(domain.dim(), 1e300), hi(domain.dim(), -1e300);
+  bool any = false;
+  struct Frame {
+    Box box;
+    int depth;
+  };
+  std::vector<Frame> stack = {{domain, depth}};
+  while (!stack.empty()) {
+    Frame f = std::move(stack.back());
+    stack.pop_back();
+    const BoxRelation rel = ClassifyBox(f.box);
+    if (rel == BoxRelation::kOutside) continue;
+    if (rel == BoxRelation::kInside || f.depth == 0) {
+      any = true;
+      for (int j = 0; j < domain.dim(); ++j) {
+        lo[j] = std::min(lo[j], f.box.lo(j));
+        hi[j] = std::max(hi[j], f.box.hi(j));
+      }
+      continue;
+    }
+    // Split the widest dimension.
+    int axis = 0;
+    for (int j = 1; j < domain.dim(); ++j) {
+      if (f.box.width(j) > f.box.width(axis)) axis = j;
+    }
+    const double mid = 0.5 * (f.box.lo(axis) + f.box.hi(axis));
+    Point lo1 = f.box.lo(), hi1 = f.box.hi();
+    hi1[axis] = mid;
+    Point lo2 = f.box.lo(), hi2 = f.box.hi();
+    lo2[axis] = mid;
+    stack.push_back({Box(std::move(lo1), std::move(hi1)), f.depth - 1});
+    stack.push_back({Box(std::move(lo2), std::move(hi2)), f.depth - 1});
+  }
+  if (!any) return Box(domain.lo(), domain.lo());  // empty: degenerate
+  return Box(std::move(lo), std::move(hi));
+}
+
+std::string SemiAlgebraicSet::ToString() const {
+  struct Visitor {
+    static std::string Visit(const Node* n) {
+      switch (n->kind) {
+        case Kind::kAtom: return "(" + n->poly->ToString() + " <= 0)";
+        case Kind::kAnd:
+          return "(" + Visit(n->left.get()) + " AND " +
+                 Visit(n->right.get()) + ")";
+        case Kind::kOr:
+          return "(" + Visit(n->left.get()) + " OR " +
+                 Visit(n->right.get()) + ")";
+        case Kind::kNot: return "NOT " + Visit(n->left.get());
+      }
+      return "?";
+    }
+  };
+  return Visitor::Visit(root_.get());
+}
+
+SemiAlgebraicSet DiscIntersectionRange(double center_x, double center_y,
+                                       double radius) {
+  const int d = 3;
+  const Polynomial x = Polynomial::Variable(d, 0);
+  const Polynomial y = Polynomial::Variable(d, 1);
+  const Polynomial z = Polynomial::Variable(d, 2);
+  const Polynomial cx = Polynomial::Constant(d, center_x);
+  const Polynomial cy = Polynomial::Constant(d, center_y);
+  const Polynomial r = Polynomial::Constant(d, radius);
+  // (x - cx)^2 + (y - cy)^2 - (r + z)^2 <= 0
+  const Polynomial dist =
+      (x - cx) * (x - cx) + (y - cy) * (y - cy) - (r + z) * (r + z);
+  // z >= 0
+  return SemiAlgebraicSet::And(SemiAlgebraicSet::Atom(dist),
+                               SemiAlgebraicSet::AtomGeq(z));
+}
+
+SemiAlgebraicSet AnnulusWithParabolicCut(double r_inner, double r_outer,
+                                         double a, double cut) {
+  const int d = 2;
+  const Polynomial x = Polynomial::Variable(d, 0);
+  const Polynomial y = Polynomial::Variable(d, 1);
+  const Polynomial rr = x * x + y * y;
+  // rr <= r_outer^2
+  auto outer = SemiAlgebraicSet::Atom(
+      rr - Polynomial::Constant(d, r_outer * r_outer));
+  // rr >= r_inner^2
+  auto inner = SemiAlgebraicSet::AtomGeq(
+      rr - Polynomial::Constant(d, r_inner * r_inner));
+  // y - a x^2 <= cut
+  auto parab = SemiAlgebraicSet::Atom(
+      y - x * x * a - Polynomial::Constant(d, cut));
+  return SemiAlgebraicSet::And(SemiAlgebraicSet::And(outer, inner), parab);
+}
+
+}  // namespace sel

@@ -1,0 +1,87 @@
+// Semi-algebraic range queries (§2.2): Boolean formulas over polynomial
+// inequalities, Γ_{d,b,Δ}. The VC-dimension of (R^d, Γ_{d,b,Δ}) is a
+// constant λ(d,b,Δ), so Theorem 2.1 makes their selectivity learnable —
+// this module supplies the geometry so the generic learners apply.
+//
+// Box classification (inside / outside / straddles-boundary) is done with
+// sound interval arithmetic on the atom polynomials, which is what the
+// kd-tree pruning, histogram fractions, and QMC volumes build on.
+#ifndef SEL_GEOMETRY_SEMIALGEBRAIC_H_
+#define SEL_GEOMETRY_SEMIALGEBRAIC_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "geometry/box.h"
+#include "geometry/point.h"
+#include "geometry/polynomial.h"
+
+namespace sel {
+
+/// Three-valued result of testing a region against a box.
+enum class BoxRelation {
+  kInside,   ///< the box lies entirely in the set
+  kOutside,  ///< the box is disjoint from the set
+  kUnknown,  ///< the boundary may cross the box (or analysis too coarse)
+};
+
+/// A semi-algebraic set: AND/OR/NOT over atoms "p(x) <= 0".
+class SemiAlgebraicSet {
+ public:
+  /// The atom {x : p(x) <= 0}.
+  static SemiAlgebraicSet Atom(Polynomial p);
+
+  /// The atom {x : p(x) >= 0} (sugar for Atom(-p)).
+  static SemiAlgebraicSet AtomGeq(Polynomial p);
+
+  static SemiAlgebraicSet And(SemiAlgebraicSet a, SemiAlgebraicSet b);
+  static SemiAlgebraicSet Or(SemiAlgebraicSet a, SemiAlgebraicSet b);
+  static SemiAlgebraicSet Not(SemiAlgebraicSet a);
+
+  int dim() const;
+
+  /// Membership test.
+  bool Contains(const Point& p) const;
+
+  /// Sound three-valued box classification by interval arithmetic.
+  BoxRelation ClassifyBox(const Box& box) const;
+
+  /// Number of atoms (the b of Γ_{d,b,Δ}).
+  int NumAtoms() const;
+
+  /// Maximum atom degree (the Δ of Γ_{d,b,Δ}).
+  int MaxDegree() const;
+
+  /// Axis-aligned bounding box of (set ∩ domain), computed by recursive
+  /// subdivision to `depth` levels (sound over-approximation).
+  Box BoundingBox(const Box& domain, int depth = 6) const;
+
+  std::string ToString() const;
+
+ private:
+  enum class Kind { kAtom, kAnd, kOr, kNot };
+
+  struct Node;
+  explicit SemiAlgebraicSet(std::shared_ptr<const Node> root)
+      : root_(std::move(root)) {}
+
+  std::shared_ptr<const Node> root_;
+};
+
+/// The paper's disc-intersection range (§2.2 / Fig. 3 right): data discs
+/// are lifted to points (x, y, z) in R^3 (center + radius); the range of
+/// discs intersecting a query disc B(c, r) is
+///   γ_B = {(x,y,z) : (x-c_x)^2 + (y-c_y)^2 <= (r+z)^2, z >= 0},
+/// a semi-algebraic set with b = 2 and Δ = 2.
+SemiAlgebraicSet DiscIntersectionRange(double center_x, double center_y,
+                                       double radius);
+
+/// An annulus-with-cut like Fig. 3 left:
+/// {(x,y) : r_in^2 <= x^2+y^2 <= r_out^2 AND y - a x^2 <= cut}.
+SemiAlgebraicSet AnnulusWithParabolicCut(double r_inner, double r_outer,
+                                         double a, double cut);
+
+}  // namespace sel
+
+#endif  // SEL_GEOMETRY_SEMIALGEBRAIC_H_

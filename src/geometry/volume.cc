@@ -1,0 +1,251 @@
+#include "geometry/volume.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace sel {
+
+namespace {
+
+// Volume of { y in Π_i [0, w_i] : sum_i c_i y_i <= t } with all c_i > 0,
+// all w_i > 0, via the inclusion–exclusion over the 2^d "upper corners":
+//   vol = (1 / (d! Π c_i)) Σ_{S ⊆ [d]} (-1)^{|S|} max(0, t - Σ_{i∈S} c_i w_i)^d
+// Accumulated in long double; result clamped to [0, Π w_i].
+double PositiveSimplexBoxVolume(const std::vector<double>& c,
+                                const std::vector<double>& w, double t) {
+  const int d = static_cast<int>(c.size());
+  SEL_DCHECK(d >= 1);
+  double box_vol = 1.0;
+  double full = 0.0;  // Σ c_i w_i
+  for (int i = 0; i < d; ++i) {
+    box_vol *= w[i];
+    full += c[i] * w[i];
+  }
+  if (t <= 0.0) return 0.0;
+  if (t >= full) return box_vol;
+
+  long double sum = 0.0L;
+  const uint32_t limit = 1u << d;
+  for (uint32_t mask = 0; mask < limit; ++mask) {
+    long double arg = t;
+    for (int i = 0; i < d; ++i) {
+      if (mask & (1u << i)) arg -= static_cast<long double>(c[i]) * w[i];
+    }
+    if (arg <= 0.0L) continue;
+    long double term = 1.0L;
+    for (int i = 0; i < d; ++i) term *= arg;
+    sum += (__builtin_popcount(mask) & 1) ? -term : term;
+  }
+  long double denom = 1.0L;
+  for (int i = 1; i <= d; ++i) denom *= i;
+  for (int i = 0; i < d; ++i) denom *= c[i];
+  const double vol = static_cast<double>(sum / denom);
+  return std::clamp(vol, 0.0, box_vol);
+}
+
+// Volume of { x in box : a·x <= t }, exact. Handles zero coefficients and
+// degenerate widths by factoring them out, and negative coefficients by
+// reflecting the corresponding axis.
+double LowerHalfspaceBoxVolume(const Box& box, const Point& a, double t) {
+  const int d = box.dim();
+  std::vector<double> c, w;
+  c.reserve(d);
+  w.reserve(d);
+  double free_factor = 1.0;  // product of widths of unconstrained dims
+  double thresh = t;
+  for (int i = 0; i < d; ++i) {
+    const double width = box.width(i);
+    const double ai = a[i];
+    if (width == 0.0) {
+      // Degenerate dimension: the box has zero volume overall.
+      return 0.0;
+    }
+    thresh -= ai >= 0.0 ? ai * box.lo(i)
+                        : ai * box.hi(i);  // shift to y in [0, width]
+    const double coef = std::abs(ai);
+    if (coef == 0.0) {
+      free_factor *= width;
+    } else {
+      c.push_back(coef);
+      w.push_back(width);
+    }
+  }
+  if (c.empty()) {
+    // No constraining coefficient: either the whole box or nothing.
+    return thresh >= 0.0 ? free_factor : 0.0;
+  }
+  return free_factor * PositiveSimplexBoxVolume(c, w, thresh);
+}
+
+// Deterministic QMC estimate of vol(box ∩ predicate) using Halton points.
+template <typename ContainsFn>
+double QmcVolume(const Box& box, int samples, ContainsFn&& contains) {
+  const double box_vol = box.Volume();
+  if (box_vol == 0.0) return 0.0;
+  const int d = box.dim();
+  HaltonSequence halton(d);
+  std::vector<double> u(d);
+  Point p(d);
+  long hits = 0;
+  for (int i = 0; i < samples; ++i) {
+    halton.Next(u.data());
+    for (int j = 0; j < d; ++j) {
+      p[j] = box.lo(j) + u[j] * box.width(j);
+    }
+    if (contains(p)) ++hits;
+  }
+  return box_vol * static_cast<double>(hits) / samples;
+}
+
+// Antiderivative of sqrt(r^2 - x^2):
+//   F(x) = (x sqrt(r^2-x^2) + r^2 asin(x/r)) / 2.
+double CircleAntiderivative(double x, double r) {
+  const double xr = std::clamp(x / r, -1.0, 1.0);
+  const double s = std::sqrt(std::max(0.0, r * r - x * x));
+  return 0.5 * (x * s + r * r * std::asin(xr));
+}
+
+}  // namespace
+
+double BoxBoxIntersectionVolume(const Box& a, const Box& b) {
+  SEL_CHECK(a.dim() == b.dim());
+  double v = 1.0;
+  for (int i = 0; i < a.dim(); ++i) {
+    const double lo = std::max(a.lo(i), b.lo(i));
+    const double hi = std::min(a.hi(i), b.hi(i));
+    if (hi <= lo) return 0.0;
+    v *= hi - lo;
+  }
+  return v;
+}
+
+double BoxHalfspaceIntersectionVolume(const Box& box, const Halfspace& hs,
+                                      const VolumeOptions& opts) {
+  SEL_CHECK(box.dim() == hs.dim());
+  if (box.Volume() == 0.0) return 0.0;
+  if (hs.ContainsBox(box)) return box.Volume();
+  if (hs.DisjointFromBox(box)) return 0.0;
+  if (box.dim() <= opts.halfspace_exact_max_dim) {
+    // {a·x >= b} == complement of {a·x <= b} up to a measure-zero slice;
+    // compute as {(-a)·x <= -b}.
+    Point neg = hs.normal();
+    for (auto& v : neg) v = -v;
+    return LowerHalfspaceBoxVolume(box, neg, -hs.offset());
+  }
+  return QmcVolume(box, opts.qmc_samples,
+                   [&hs](const Point& p) { return hs.Contains(p); });
+}
+
+double DiscRectangleArea(const Ball& disc, const Box& rect) {
+  SEL_CHECK(disc.dim() == 2 && rect.dim() == 2);
+  const double r = disc.radius();
+  if (r == 0.0) return 0.0;
+  // Translate so the disc is centered at the origin.
+  const double x0 = rect.lo(0) - disc.center()[0];
+  const double x1 = rect.hi(0) - disc.center()[0];
+  const double y0 = rect.lo(1) - disc.center()[1];
+  const double y1 = rect.hi(1) - disc.center()[1];
+
+  const double a = std::clamp(x0, -r, r);
+  const double b = std::clamp(x1, -r, r);
+  if (a >= b) return 0.0;
+
+  // Breakpoints where min(y1, f) or max(y0, -f) switch regime, with
+  // f(x) = sqrt(r^2 - x^2).
+  std::vector<double> xs = {a, b};
+  for (double y : {y0, y1}) {
+    if (std::abs(y) < r) {
+      const double x = std::sqrt(r * r - y * y);
+      if (-x > a && -x < b) xs.push_back(-x);
+      if (x > a && x < b) xs.push_back(x);
+    }
+  }
+  std::sort(xs.begin(), xs.end());
+
+  double area = 0.0;
+  for (size_t k = 0; k + 1 < xs.size(); ++k) {
+    const double lo = xs[k];
+    const double hi = xs[k + 1];
+    if (hi - lo <= 0.0) continue;
+    const double mid = 0.5 * (lo + hi);
+    const double fmid = std::sqrt(std::max(0.0, r * r - mid * mid));
+    const bool top_is_arc = fmid < y1;
+    const bool bot_is_arc = -fmid > y0;
+    const double top_mid = top_is_arc ? fmid : y1;
+    const double bot_mid = bot_is_arc ? -fmid : y0;
+    if (top_mid <= bot_mid) continue;  // no intersection on this piece
+    const double arc = CircleAntiderivative(hi, r) -
+                       CircleAntiderivative(lo, r);
+    const double top_int = top_is_arc ? arc : y1 * (hi - lo);
+    const double bot_int = bot_is_arc ? -arc : y0 * (hi - lo);
+    area += std::max(0.0, top_int - bot_int);
+  }
+  return std::min(area, rect.Volume());
+}
+
+double BoxBallIntersectionVolume(const Box& box, const Ball& ball,
+                                 const VolumeOptions& opts) {
+  SEL_CHECK(box.dim() == ball.dim());
+  if (box.Volume() == 0.0) return 0.0;
+  if (ball.DisjointFromBox(box)) return 0.0;
+  if (ball.ContainsBox(box)) return box.Volume();
+  const int d = box.dim();
+  if (d == 1) {
+    const double lo = std::max(box.lo(0), ball.center()[0] - ball.radius());
+    const double hi = std::min(box.hi(0), ball.center()[0] + ball.radius());
+    return std::max(0.0, hi - lo);
+  }
+  if (d == 2) return DiscRectangleArea(ball, box);
+  // d >= 3: deterministic QMC over the part of the box that can intersect
+  // the ball (its bounding-box clip), which sharpens the estimate.
+  const Box clip = ball.BoundingBox(box);
+  return QmcVolume(clip, opts.qmc_samples,
+                   [&ball](const Point& p) { return ball.Contains(p); });
+}
+
+double BoxSemiAlgebraicIntersectionVolume(const Box& box,
+                                          const SemiAlgebraicSet& set,
+                                          const VolumeOptions& opts) {
+  SEL_CHECK(box.dim() == set.dim());
+  if (box.Volume() == 0.0) return 0.0;
+  switch (set.ClassifyBox(box)) {
+    case BoxRelation::kInside: return box.Volume();
+    case BoxRelation::kOutside: return 0.0;
+    case BoxRelation::kUnknown: break;
+  }
+  return QmcVolume(box, opts.qmc_samples,
+                   [&set](const Point& p) { return set.Contains(p); });
+}
+
+double QueryBoxIntersectionVolume(const Query& query, const Box& box,
+                                  const VolumeOptions& opts) {
+  switch (query.type()) {
+    case QueryType::kBox:
+      return BoxBoxIntersectionVolume(query.box(), box);
+    case QueryType::kHalfspace:
+      return BoxHalfspaceIntersectionVolume(box, query.halfspace(), opts);
+    case QueryType::kBall:
+      return BoxBallIntersectionVolume(box, query.ball(), opts);
+    case QueryType::kSemiAlgebraic:
+      return BoxSemiAlgebraicIntersectionVolume(box, query.semialgebraic(),
+                                                opts);
+  }
+  SEL_CHECK(false);
+  return 0.0;
+}
+
+double QueryBoxFraction(const Query& query, const Box& box,
+                        const VolumeOptions& opts) {
+  const double bv = box.Volume();
+  if (bv == 0.0) {
+    return query.Contains(box.Center()) ? 1.0 : 0.0;
+  }
+  const double inter = QueryBoxIntersectionVolume(query, box, opts);
+  return std::clamp(inter / bv, 0.0, 1.0);
+}
+
+}  // namespace sel

@@ -1,0 +1,66 @@
+// Intersection-volume kernels.
+//
+// These implement the geometric core of Eq. (6): a histogram's estimate
+// needs vol(B ∩ R) for bucket boxes B and ranges R of all three query
+// classes. Box∩box and box∩halfspace are computed exactly; box∩ball is
+// exact for d <= 2 and uses deterministic Halton quasi-Monte Carlo for
+// d >= 3 (the paper suggests MCMC for complex ranges; we use QMC so that
+// models and tests are reproducible — see DESIGN.md §4).
+#ifndef SEL_GEOMETRY_VOLUME_H_
+#define SEL_GEOMETRY_VOLUME_H_
+
+#include "geometry/ball.h"
+#include "geometry/box.h"
+#include "geometry/halfspace.h"
+#include "geometry/query.h"
+
+namespace sel {
+
+/// Tunables for the volume kernels.
+struct VolumeOptions {
+  /// Number of Halton QMC points for box∩ball in d >= 3.
+  int qmc_samples = 4096;
+  /// Dimension above which box∩halfspace switches from the exact
+  /// 2^d inclusion–exclusion formula to QMC (cost and conditioning).
+  int halfspace_exact_max_dim = 20;
+};
+
+/// Exact volume of the intersection of two boxes.
+double BoxBoxIntersectionVolume(const Box& a, const Box& b);
+
+/// Volume of {x in box : hs.normal()·x >= hs.offset()}.
+///
+/// Exact via the simplex inclusion–exclusion formula (2^d terms, with
+/// zero-coefficient and degenerate-width dimensions factored out) for
+/// d <= opts.halfspace_exact_max_dim; Halton QMC above that.
+double BoxHalfspaceIntersectionVolume(const Box& box, const Halfspace& hs,
+                                      const VolumeOptions& opts = {});
+
+/// Volume of box ∩ ball. Exact for d in {1, 2}; Halton QMC for d >= 3.
+double BoxBallIntersectionVolume(const Box& box, const Ball& ball,
+                                 const VolumeOptions& opts = {});
+
+/// Volume of box ∩ semi-algebraic set: interval-arithmetic quick outs,
+/// deterministic Halton QMC otherwise.
+double BoxSemiAlgebraicIntersectionVolume(const Box& box,
+                                          const SemiAlgebraicSet& set,
+                                          const VolumeOptions& opts = {});
+
+/// Volume of (query range ∩ box), dispatching on the query type.
+double QueryBoxIntersectionVolume(const Query& query, const Box& box,
+                                  const VolumeOptions& opts = {});
+
+/// Fraction vol(box ∩ R) / vol(box) in [0, 1]. For a degenerate
+/// (zero-volume) box the fraction degenerates to whether the box center
+/// lies in the range — the natural limit and what categorical (equality)
+/// buckets need.
+double QueryBoxFraction(const Query& query, const Box& box,
+                        const VolumeOptions& opts = {});
+
+/// Exact area of the intersection of a disc with a rectangle in R^2.
+/// Exposed for direct testing; BoxBallIntersectionVolume uses it for d=2.
+double DiscRectangleArea(const Ball& disc, const Box& rect);
+
+}  // namespace sel
+
+#endif  // SEL_GEOMETRY_VOLUME_H_

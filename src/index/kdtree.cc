@@ -1,0 +1,112 @@
+#include "index/kdtree.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/check.h"
+
+namespace sel {
+
+namespace {
+
+Box ComputeBounds(const std::vector<Point>& pts, uint32_t begin,
+                  uint32_t end) {
+  SEL_CHECK(end > begin);
+  const int d = static_cast<int>(pts[begin].size());
+  Point lo = pts[begin], hi = pts[begin];
+  for (uint32_t i = begin + 1; i < end; ++i) {
+    for (int j = 0; j < d; ++j) {
+      lo[j] = std::min(lo[j], pts[i][j]);
+      hi[j] = std::max(hi[j], pts[i][j]);
+    }
+  }
+  return Box(std::move(lo), std::move(hi));
+}
+
+}  // namespace
+
+CountingKdTree::CountingKdTree(std::vector<Point> points, int leaf_size)
+    : points_(std::move(points)),
+      leaf_size_(std::max(1, leaf_size)),
+      empty_bounds_(Point{0.0}, Point{0.0}) {
+  if (points_.empty()) return;
+  const size_t d = points_[0].size();
+  for (const auto& p : points_) {
+    SEL_CHECK_MSG(p.size() == d, "kd-tree points must share a dimension");
+  }
+  nodes_.reserve(2 * points_.size() / leaf_size_ + 2);
+  Build(0, static_cast<uint32_t>(points_.size()), 0);
+}
+
+int32_t CountingKdTree::Build(uint32_t begin, uint32_t end, int depth) {
+  const int32_t id = static_cast<int32_t>(nodes_.size());
+  nodes_.push_back(Node{});
+  nodes_[id].begin = begin;
+  nodes_[id].end = end;
+  Box bbox = ComputeBounds(points_, begin, end);
+
+  if (end - begin <= static_cast<uint32_t>(leaf_size_)) {
+    nodes_[id].bbox = std::move(bbox);
+    return id;
+  }
+
+  // Split the widest dimension at the median (falling back to round-robin
+  // if the widest is degenerate).
+  const int d = bbox.dim();
+  int axis = 0;
+  double best_width = -1.0;
+  for (int j = 0; j < d; ++j) {
+    if (bbox.width(j) > best_width) {
+      best_width = bbox.width(j);
+      axis = j;
+    }
+  }
+  if (best_width <= 0.0) axis = depth % d;
+
+  const uint32_t mid = begin + (end - begin) / 2;
+  std::nth_element(points_.begin() + begin, points_.begin() + mid,
+                   points_.begin() + end,
+                   [axis](const Point& a, const Point& b) {
+                     return a[axis] < b[axis];
+                   });
+  if (mid == begin || mid == end) {
+    nodes_[id].bbox = std::move(bbox);
+    return id;
+  }
+
+  const int32_t left = Build(begin, mid, depth + 1);
+  const int32_t right = Build(mid, end, depth + 1);
+  nodes_[id].bbox = std::move(bbox);
+  nodes_[id].left = left;
+  nodes_[id].right = right;
+  return id;
+}
+
+size_t CountingKdTree::CountNode(int32_t node, const Query& query) const {
+  const Node& n = nodes_[node];
+  if (query.DisjointFromBox(n.bbox)) return 0;
+  if (query.ContainsBox(n.bbox)) return n.end - n.begin;
+  if (n.left < 0) {
+    size_t c = 0;
+    for (uint32_t i = n.begin; i < n.end; ++i) {
+      if (query.Contains(points_[i])) ++c;
+    }
+    return c;
+  }
+  return CountNode(n.left, query) + CountNode(n.right, query);
+}
+
+size_t CountingKdTree::Count(const Query& query) const {
+  if (nodes_.empty()) return 0;
+  SEL_CHECK_MSG(query.dim() == nodes_[0].bbox.dim(),
+                "query dimension does not match indexed points");
+  return CountNode(0, query);
+}
+
+double CountingKdTree::Selectivity(const Query& query) const {
+  if (points_.empty()) return 0.0;
+  return static_cast<double>(Count(query)) /
+         static_cast<double>(points_.size());
+}
+
+}  // namespace sel

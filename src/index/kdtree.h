@@ -1,0 +1,59 @@
+// Counting kd-tree: exact ground-truth selectivities.
+//
+// Workload labeling (§4) needs the exact count of dataset points inside
+// each training/test range. The tree stores subtree counts and bounding
+// boxes, so a count query prunes subtrees that are fully inside or fully
+// outside the range — this works uniformly for boxes, halfspaces, and
+// balls via Query::ContainsBox / Query::DisjointFromBox.
+#ifndef SEL_INDEX_KDTREE_H_
+#define SEL_INDEX_KDTREE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "geometry/box.h"
+#include "geometry/query.h"
+
+namespace sel {
+
+/// Static kd-tree over a fixed point set supporting exact range counting.
+class CountingKdTree {
+ public:
+  /// Builds the tree (median splits, leaf size `leaf_size`). Points are
+  /// copied and reordered internally.
+  explicit CountingKdTree(std::vector<Point> points, int leaf_size = 32);
+
+  /// Number of indexed points.
+  size_t size() const { return points_.size(); }
+
+  /// Exact number of points inside the query range.
+  size_t Count(const Query& query) const;
+
+  /// Selectivity = Count / size. Returns 0 for an empty tree.
+  double Selectivity(const Query& query) const;
+
+  /// Bounding box of all points (degenerate for an empty tree).
+  const Box& bounds() const { return nodes_.empty() ? empty_bounds_
+                                                    : nodes_[0].bbox; }
+
+ private:
+  struct Node {
+    Box bbox;
+    int32_t left = -1;    // child node index, -1 for leaf
+    int32_t right = -1;
+    uint32_t begin = 0;   // point range [begin, end)
+    uint32_t end = 0;
+  };
+
+  int32_t Build(uint32_t begin, uint32_t end, int depth);
+  size_t CountNode(int32_t node, const Query& query) const;
+
+  std::vector<Point> points_;
+  std::vector<Node> nodes_;
+  int leaf_size_;
+  Box empty_bounds_;
+};
+
+}  // namespace sel
+
+#endif  // SEL_INDEX_KDTREE_H_

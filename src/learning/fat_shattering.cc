@@ -1,0 +1,112 @@
+#include "learning/fat_shattering.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+
+#include "common/check.h"
+
+namespace sel {
+
+bool IsFatShatteredWithWitness(const DenseMatrix& selectivity,
+                               const std::vector<int>& range_subset,
+                               const Vector& witness, double gamma) {
+  const int k = static_cast<int>(range_subset.size());
+  SEL_CHECK(k <= 20);
+  SEL_CHECK(static_cast<int>(witness.size()) == k);
+  SEL_CHECK(gamma > 0.0);
+  const int rows = selectivity.rows();
+  const uint32_t limit = 1u << k;
+  for (uint32_t mask = 0; mask < limit; ++mask) {
+    bool found = false;
+    for (int d = 0; d < rows && !found; ++d) {
+      bool ok = true;
+      for (int j = 0; j < k && ok; ++j) {
+        const double s = selectivity.at(d, range_subset[j]);
+        if (mask & (1u << j)) {
+          ok = s >= witness[j] + gamma - 1e-12;
+        } else {
+          ok = s <= witness[j] - gamma + 1e-12;
+        }
+      }
+      found = ok;
+    }
+    if (!found) return false;
+  }
+  return true;
+}
+
+namespace {
+
+// Candidate witness levels for one range: midpoints between consecutive
+// distinct observed selectivities (only the induced high/low labeling of
+// rows matters, so midpoints cover all distinct witnesses).
+std::vector<double> WitnessCandidates(const DenseMatrix& selectivity,
+                                      int range) {
+  std::vector<double> vals;
+  vals.reserve(selectivity.rows());
+  for (int d = 0; d < selectivity.rows(); ++d) {
+    vals.push_back(selectivity.at(d, range));
+  }
+  std::sort(vals.begin(), vals.end());
+  vals.erase(std::unique(vals.begin(), vals.end()), vals.end());
+  std::vector<double> mids;
+  for (size_t i = 0; i + 1 < vals.size(); ++i) {
+    mids.push_back(0.5 * (vals[i] + vals[i + 1]));
+  }
+  if (mids.empty()) mids.push_back(vals.empty() ? 0.5 : vals[0]);
+  return mids;
+}
+
+bool SearchWitness(const DenseMatrix& selectivity,
+                   const std::vector<int>& subset,
+                   const std::vector<std::vector<double>>& candidates,
+                   Vector* witness, size_t depth, double gamma) {
+  if (depth == subset.size()) {
+    return IsFatShatteredWithWitness(selectivity, subset, *witness, gamma);
+  }
+  for (double w : candidates[depth]) {
+    (*witness)[depth] = w;
+    if (SearchWitness(selectivity, subset, candidates, witness, depth + 1,
+                      gamma)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+bool IsFatShattered(const DenseMatrix& selectivity,
+                    const std::vector<int>& range_subset, double gamma) {
+  std::vector<std::vector<double>> candidates;
+  candidates.reserve(range_subset.size());
+  size_t combos = 1;
+  for (int r : range_subset) {
+    candidates.push_back(WitnessCandidates(selectivity, r));
+    combos *= candidates.back().size();
+    SEL_CHECK_MSG(combos <= (1u << 22),
+                  "IsFatShattered: witness search space too large");
+  }
+  Vector witness(range_subset.size(), 0.5);
+  return SearchWitness(selectivity, range_subset, candidates, &witness, 0,
+                       gamma);
+}
+
+int FatShatteringDimension(const DenseMatrix& selectivity, double gamma) {
+  const int r = selectivity.cols();
+  SEL_CHECK(r <= 16);
+  int best = 0;
+  for (uint32_t mask = 1; mask < (1u << r); ++mask) {
+    const int size = __builtin_popcount(mask);
+    if (size <= best) continue;
+    std::vector<int> subset;
+    for (int j = 0; j < r; ++j) {
+      if (mask & (1u << j)) subset.push_back(j);
+    }
+    if (IsFatShattered(selectivity, subset, gamma)) best = size;
+  }
+  return best;
+}
+
+}  // namespace sel

@@ -1,0 +1,39 @@
+// γ-fat-shattering of selectivity-function classes (§2.3, Eq. 2).
+//
+// The combinatorics operate on a *selectivity matrix* S where
+// S[d][r] = s_{D_d}(R_r) for a finite family of distributions {D_d} and
+// candidate ranges {R_r}: a range subset T is γ-shattered with witness σ
+// iff for every E ⊆ T some row d satisfies S[d][r] >= σ(r) + γ on E and
+// <= σ(r) - γ on T \ E. This makes Lemma 2.7's construction (point-mass
+// distributions on dually-shattered ranges are γ-shattered for any
+// γ < 1/2) and Lemma 2.6's finiteness executable on small instances.
+#ifndef SEL_LEARNING_FAT_SHATTERING_H_
+#define SEL_LEARNING_FAT_SHATTERING_H_
+
+#include <vector>
+
+#include "solver/dense.h"
+
+namespace sel {
+
+/// True if the ranges (columns of `selectivity`) indexed by
+/// `range_subset` are γ-shattered with the given per-range witness.
+/// selectivity: rows = distributions, cols = ranges.
+/// Requires |range_subset| <= 20.
+bool IsFatShatteredWithWitness(const DenseMatrix& selectivity,
+                               const std::vector<int>& range_subset,
+                               const Vector& witness, double gamma);
+
+/// Searches for a witness over the candidate levels given per range
+/// (e.g. midpoints between observed selectivity values) and reports
+/// whether any witness γ-shatters the subset.
+bool IsFatShattered(const DenseMatrix& selectivity,
+                    const std::vector<int>& range_subset, double gamma);
+
+/// Size of the largest γ-shattered subset of all ranges (exhaustive over
+/// subsets; requires #ranges <= 16).
+int FatShatteringDimension(const DenseMatrix& selectivity, double gamma);
+
+}  // namespace sel
+
+#endif  // SEL_LEARNING_FAT_SHATTERING_H_

@@ -1,0 +1,93 @@
+#include "learning/low_crossing.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/check.h"
+
+namespace sel {
+
+int CrossingsOfPoint(const Point& x, const std::vector<Query>& ranges,
+                     const std::vector<int>& order) {
+  SEL_CHECK(order.size() == ranges.size());
+  int crossings = 0;
+  bool prev = false;
+  for (size_t i = 0; i < order.size(); ++i) {
+    const bool in = ranges[order[i]].Contains(x);
+    if (i > 0 && in != prev) ++crossings;
+    prev = in;
+  }
+  return crossings;
+}
+
+int MaxCrossings(const std::vector<Point>& probes,
+                 const std::vector<Query>& ranges,
+                 const std::vector<int>& order) {
+  int worst = 0;
+  for (const auto& x : probes) {
+    worst = std::max(worst, CrossingsOfPoint(x, ranges, order));
+  }
+  return worst;
+}
+
+double MeanCrossings(const std::vector<Point>& probes,
+                     const std::vector<Query>& ranges,
+                     const std::vector<int>& order) {
+  if (probes.empty()) return 0.0;
+  double total = 0.0;
+  for (const auto& x : probes) {
+    total += CrossingsOfPoint(x, ranges, order);
+  }
+  return total / static_cast<double>(probes.size());
+}
+
+std::vector<int> GreedyLowCrossingOrder(const std::vector<Query>& ranges,
+                                        const std::vector<Point>& sample) {
+  const size_t k = ranges.size();
+  if (k == 0) return {};
+  // Precompute membership bitsets (as vector<bool> rows) once.
+  std::vector<std::vector<bool>> member(k,
+                                        std::vector<bool>(sample.size()));
+  for (size_t r = 0; r < k; ++r) {
+    for (size_t s = 0; s < sample.size(); ++s) {
+      member[r][s] = ranges[r].Contains(sample[s]);
+    }
+  }
+  auto symdiff = [&](size_t a, size_t b) {
+    int count = 0;
+    for (size_t s = 0; s < sample.size(); ++s) {
+      if (member[a][s] != member[b][s]) ++count;
+    }
+    return count;
+  };
+
+  std::vector<bool> used(k, false);
+  std::vector<int> order;
+  order.reserve(k);
+  order.push_back(0);
+  used[0] = true;
+  for (size_t step = 1; step < k; ++step) {
+    const size_t last = order.back();
+    int best = -1;
+    int best_cost = std::numeric_limits<int>::max();
+    for (size_t r = 0; r < k; ++r) {
+      if (used[r]) continue;
+      const int cost = symdiff(last, r);
+      if (cost < best_cost) {
+        best_cost = cost;
+        best = static_cast<int>(r);
+      }
+    }
+    order.push_back(best);
+    used[best] = true;
+  }
+  return order;
+}
+
+std::vector<int> IdentityOrder(size_t k) {
+  std::vector<int> order(k);
+  for (size_t i = 0; i < k; ++i) order[i] = static_cast<int>(i);
+  return order;
+}
+
+}  // namespace sel

@@ -1,0 +1,50 @@
+// Low-crossing orderings of ranges — the combinatorial engine of the
+// upper-bound proof (Lemma 2.4, via Chazelle–Welzl 1989).
+//
+// A point x "crosses" a consecutive pair (R_i, R_{i+1}) of an ordering
+// when x lies in exactly one of them (the symmetric difference). Lemma
+// 2.4 needs an ordering of any k ranges in which every point crosses only
+// O(k^{1-1/λ} log k) pairs; combined with the γ-shattering lower bound
+// E[I_x] > γ(k-1) (Lemma 2.3) this caps the fat-shattering dimension.
+//
+// This module provides (a) exact crossing diagnostics and (b) a greedy
+// nearest-neighbor ordering in symmetric-difference distance over a point
+// sample — the standard practical surrogate for the Chazelle–Welzl
+// reweighting construction, good enough to observe the sublinear bound.
+#ifndef SEL_LEARNING_LOW_CROSSING_H_
+#define SEL_LEARNING_LOW_CROSSING_H_
+
+#include <vector>
+
+#include "geometry/query.h"
+
+namespace sel {
+
+/// Number of consecutive pairs of `order` (indices into `ranges`) crossed
+/// by `x`: |{i : x in R_{order[i]} XOR x in R_{order[i+1]}}|.
+int CrossingsOfPoint(const Point& x, const std::vector<Query>& ranges,
+                     const std::vector<int>& order);
+
+/// Maximum crossings over a set of probe points.
+int MaxCrossings(const std::vector<Point>& probes,
+                 const std::vector<Query>& ranges,
+                 const std::vector<int>& order);
+
+/// Average crossings over a set of probe points (the E[I_x] of Lemma 2.3
+/// under the empirical distribution of `probes`).
+double MeanCrossings(const std::vector<Point>& probes,
+                     const std::vector<Query>& ranges,
+                     const std::vector<int>& order);
+
+/// Greedy low-crossing ordering: starting from range 0, repeatedly append
+/// the unused range with the smallest symmetric-difference count against
+/// the last one, measured over `sample`. O(k^2 * |sample|).
+std::vector<int> GreedyLowCrossingOrder(const std::vector<Query>& ranges,
+                                        const std::vector<Point>& sample);
+
+/// The identity ordering 0..k-1 (baseline for comparisons).
+std::vector<int> IdentityOrder(size_t k);
+
+}  // namespace sel
+
+#endif  // SEL_LEARNING_LOW_CROSSING_H_

@@ -1,0 +1,49 @@
+#include "learning/sample_complexity.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace sel {
+
+int VcDimensionOf(QueryType type, int dim) {
+  SEL_CHECK(dim >= 1);
+  switch (type) {
+    case QueryType::kBox: return 2 * dim;
+    case QueryType::kHalfspace: return dim + 1;
+    case QueryType::kBall: return dim + 2;
+    case QueryType::kSemiAlgebraic:
+      // Quadratic atoms lift to halfspaces in the Veronese embedding of
+      // dimension d(d+3)/2; a single-atom proxy.
+      return dim * (dim + 3) / 2 + 1;
+  }
+  SEL_CHECK(false);
+  return 0;
+}
+
+double FatShatteringBound(int vc_dim, double gamma) {
+  SEL_CHECK(vc_dim >= 1);
+  SEL_CHECK(gamma > 0.0 && gamma < 1.0);
+  const double inv = 1.0 / gamma;
+  const double lg = std::max(1.0, std::log2(inv));
+  // |T_j| = O((1/γ log 1/γ)^λ) per witness bucket, times 1/γ buckets.
+  return std::pow(inv * lg, vc_dim) * inv;
+}
+
+double TrainingSizeBound(int vc_dim, double epsilon, double delta) {
+  SEL_CHECK(epsilon > 0.0 && epsilon < 1.0);
+  SEL_CHECK(delta > 0.0 && delta < 1.0);
+  const double inv_eps = 1.0 / epsilon;
+  const double log_eps = std::max(1.0, std::log2(inv_eps));
+  const double fat = FatShatteringBound(vc_dim, epsilon / 9.0);
+  return inv_eps * inv_eps *
+         (fat * log_eps * log_eps + std::log2(1.0 / delta));
+}
+
+double TrainingSizeBound(QueryType type, int dim, double epsilon,
+                         double delta) {
+  return TrainingSizeBound(VcDimensionOf(type, dim), epsilon, delta);
+}
+
+}  // namespace sel

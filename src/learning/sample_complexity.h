@@ -1,0 +1,42 @@
+// Theorem 2.1 as a calculator: training-set size bounds for the
+// selectivity classes of §2.2.
+//
+// The paper's chain is
+//   VC-dim(Σ) = λ
+//     ⇒ fat_𝓢(γ) = Õ(γ^{-(λ+1)})                      (Lemma 2.6)
+//     ⇒ n₀(ε,δ) = O(ε^{-2} (fat_𝓢(ε/9) log²(1/ε) + log(1/δ)))
+//                                                      (Bartlett–Long)
+//     = Õ(ε^{-(λ+3)}).
+// These are upper bounds with unspecified constants; the calculator
+// exposes the *functional form* (constants set to 1) so callers can
+// reason about relative requirements — how much more training a higher
+// dimension or a tighter ε demands — exactly the comparisons §4.1/§4.4
+// make empirically.
+#ifndef SEL_LEARNING_SAMPLE_COMPLEXITY_H_
+#define SEL_LEARNING_SAMPLE_COMPLEXITY_H_
+
+#include "geometry/query.h"
+
+namespace sel {
+
+/// VC-dimension of the §2.2 range space over R^d (boxes 2d, halfspaces
+/// d+1, balls d+2 upper bound). Semi-algebraic classes have a finite
+/// constant λ(d,b,Δ) without a closed form; this returns the quadratic
+/// b=1 lifting bound (d+2 in the lifted dimension) as a usable proxy.
+int VcDimensionOf(QueryType type, int dim);
+
+/// Lemma 2.6's fat-shattering bound (1/γ)^{λ+1} · log^λ(1/γ), constants
+/// dropped.
+double FatShatteringBound(int vc_dim, double gamma);
+
+/// The Bartlett–Long training-size bound
+///   (1/ε²) (fat(ε/9) log²(1/ε) + log(1/δ)), constants dropped.
+double TrainingSizeBound(int vc_dim, double epsilon, double delta);
+
+/// Convenience: bound for a query type over R^d.
+double TrainingSizeBound(QueryType type, int dim, double epsilon,
+                         double delta);
+
+}  // namespace sel
+
+#endif  // SEL_LEARNING_SAMPLE_COMPLEXITY_H_

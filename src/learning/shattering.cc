@@ -1,0 +1,243 @@
+#include "learning/shattering.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "solver/lp.h"
+
+namespace sel {
+
+namespace {
+
+// LP feasibility of strict linear separation with margin: find (a, b) with
+//   a·x - b >= +1 for positive points,
+//   a·x - b <= -1 for negative points.
+// Free variables are split into nonnegative pairs for the simplex solver.
+// `lift` optionally appends extra coordinates computed from x.
+bool LinearlySeparable(const std::vector<Point>& pos,
+                       const std::vector<Point>& neg) {
+  if (pos.empty() || neg.empty()) return true;  // empty side: trivial
+  const int d = static_cast<int>(pos[0].size());
+  const int m = static_cast<int>(pos.size() + neg.size());
+  // Variables: a+ (d), a- (d), b+ (1), b- (1).
+  const int vars = 2 * d + 2;
+  LinearProgram lp;
+  lp.objective.assign(vars, 0.0);  // pure feasibility
+  lp.constraint_matrix = DenseMatrix(m, vars);
+  lp.rhs.assign(m, 1.0);
+  lp.senses.assign(m, ConstraintSense::kGreaterEqual);
+  int row = 0;
+  for (const auto& x : pos) {
+    for (int j = 0; j < d; ++j) {
+      lp.constraint_matrix.at(row, j) = x[j];
+      lp.constraint_matrix.at(row, d + j) = -x[j];
+    }
+    lp.constraint_matrix.at(row, 2 * d) = -1.0;
+    lp.constraint_matrix.at(row, 2 * d + 1) = 1.0;
+    ++row;
+  }
+  for (const auto& x : neg) {
+    // a·x - b <= -1  <=>  -(a·x) + b >= 1
+    for (int j = 0; j < d; ++j) {
+      lp.constraint_matrix.at(row, j) = -x[j];
+      lp.constraint_matrix.at(row, d + j) = x[j];
+    }
+    lp.constraint_matrix.at(row, 2 * d) = 1.0;
+    lp.constraint_matrix.at(row, 2 * d + 1) = -1.0;
+    ++row;
+  }
+  const LpResult res = SolveLinearProgram(lp);
+  return res.status == LpStatus::kOptimal;
+}
+
+double Cross(const Point& o, const Point& a, const Point& b) {
+  return (a[0] - o[0]) * (b[1] - o[1]) - (a[1] - o[1]) * (b[0] - o[0]);
+}
+
+}  // namespace
+
+bool BoxFamily::CanRealize(const std::vector<Point>& points,
+                           uint32_t subset_mask) const {
+  SEL_CHECK(!points.empty());
+  const int d = static_cast<int>(points[0].size());
+  // Bounding box of the positive side must exclude every negative point.
+  Point lo(d, 0.0), hi(d, 0.0);
+  bool any = false;
+  for (size_t i = 0; i < points.size(); ++i) {
+    if (!(subset_mask & (1u << i))) continue;
+    if (!any) {
+      lo = hi = points[i];
+      any = true;
+    } else {
+      for (int j = 0; j < d; ++j) {
+        lo[j] = std::min(lo[j], points[i][j]);
+        hi[j] = std::max(hi[j], points[i][j]);
+      }
+    }
+  }
+  if (!any) return true;  // the empty range realizes the empty subset
+  for (size_t i = 0; i < points.size(); ++i) {
+    if (subset_mask & (1u << i)) continue;
+    bool inside = true;
+    for (int j = 0; j < d; ++j) {
+      if (points[i][j] < lo[j] || points[i][j] > hi[j]) {
+        inside = false;
+        break;
+      }
+    }
+    if (inside) return false;
+  }
+  return true;
+}
+
+bool HalfspaceFamily::CanRealize(const std::vector<Point>& points,
+                                 uint32_t subset_mask) const {
+  std::vector<Point> pos, neg;
+  for (size_t i = 0; i < points.size(); ++i) {
+    if (subset_mask & (1u << i)) {
+      pos.push_back(points[i]);
+    } else {
+      neg.push_back(points[i]);
+    }
+  }
+  return LinearlySeparable(pos, neg);
+}
+
+bool BallFamily::CanRealize(const std::vector<Point>& points,
+                            uint32_t subset_mask) const {
+  // Paraboloid lifting: x -> (x, ||x||^2). A ball dichotomy in R^d is a
+  // halfspace dichotomy of the lifted points in R^{d+1} with the positive
+  // side *below* the separating hyperplane; allowing either orientation
+  // accepts ball complements too, so constrain the lifted coefficient's
+  // sign by separating (neg above, pos below), which matches balls.
+  std::vector<Point> pos, neg;
+  for (size_t i = 0; i < points.size(); ++i) {
+    Point lifted = points[i];
+    lifted.push_back(SquaredDistance(points[i], Point(points[i].size(), 0.0)));
+    if (subset_mask & (1u << i)) {
+      pos.push_back(std::move(lifted));
+    } else {
+      neg.push_back(std::move(lifted));
+    }
+  }
+  if (pos.empty() || neg.empty()) return true;
+  // Inside ball: ||x||^2 - 2c·x + (||c||^2 - r^2) <= 0. With the lifted
+  // last coordinate z = ||x||^2 this is z + u·x + t <= 0 — a halfspace
+  // whose z-coefficient is exactly +1. Feasibility LP: find u (free),
+  // t (free) with z + u·x + t <= -eps on pos and >= +eps on neg.
+  const int d = static_cast<int>(points[0].size());
+  const int vars = 2 * d + 2;  // u+/u-, t+/t-
+  const int m = static_cast<int>(pos.size() + neg.size());
+  LinearProgram lp;
+  lp.objective.assign(vars, 0.0);
+  lp.constraint_matrix = DenseMatrix(m, vars);
+  lp.rhs.assign(m, 0.0);
+  lp.senses.assign(m, ConstraintSense::kGreaterEqual);
+  // The margin must comfortably exceed the LP's phase-1 infeasibility
+  // tolerance: the z-coefficient is pinned at +1, so degenerate (e.g.
+  // co-circular) configurations are only "separable" by ~0 margins and a
+  // too-small margin here would make them look shattered.
+  const double kMargin = 1e-3;
+  int row = 0;
+  for (const auto& x : pos) {
+    // u·x + t <= -z - margin  <=>  -(u·x) - t >= z + margin
+    for (int j = 0; j < d; ++j) {
+      lp.constraint_matrix.at(row, j) = -x[j];
+      lp.constraint_matrix.at(row, d + j) = x[j];
+    }
+    lp.constraint_matrix.at(row, 2 * d) = -1.0;
+    lp.constraint_matrix.at(row, 2 * d + 1) = 1.0;
+    lp.rhs[row] = x[d] + kMargin;
+    ++row;
+  }
+  for (const auto& x : neg) {
+    // u·x + t >= -z + margin
+    for (int j = 0; j < d; ++j) {
+      lp.constraint_matrix.at(row, j) = x[j];
+      lp.constraint_matrix.at(row, d + j) = -x[j];
+    }
+    lp.constraint_matrix.at(row, 2 * d) = 1.0;
+    lp.constraint_matrix.at(row, 2 * d + 1) = -1.0;
+    lp.rhs[row] = -x[d] + kMargin;
+    ++row;
+  }
+  const LpResult res = SolveLinearProgram(lp);
+  return res.status == LpStatus::kOptimal;
+}
+
+std::vector<Point> ConvexHull2D(std::vector<Point> points) {
+  SEL_CHECK(points.empty() || points[0].size() == 2);
+  std::sort(points.begin(), points.end());
+  points.erase(std::unique(points.begin(), points.end()), points.end());
+  const size_t n = points.size();
+  if (n <= 2) return points;
+  std::vector<Point> hull(2 * n);
+  size_t k = 0;
+  for (size_t i = 0; i < n; ++i) {  // lower hull
+    while (k >= 2 && Cross(hull[k - 2], hull[k - 1], points[i]) <= 0.0) --k;
+    hull[k++] = points[i];
+  }
+  const size_t lower = k + 1;
+  for (size_t i = n - 1; i-- > 0;) {  // upper hull
+    while (k >= lower && Cross(hull[k - 2], hull[k - 1], points[i]) <= 0.0) {
+      --k;
+    }
+    hull[k++] = points[i];
+  }
+  hull.resize(k - 1);
+  return hull;
+}
+
+bool PointInConvexPolygon(const Point& p, const std::vector<Point>& hull) {
+  if (hull.empty()) return false;
+  if (hull.size() == 1) {
+    return p[0] == hull[0][0] && p[1] == hull[0][1];
+  }
+  if (hull.size() == 2) {
+    // Closed segment test.
+    const double c = Cross(hull[0], hull[1], p);
+    if (std::abs(c) > 1e-12) return false;
+    const double dot = (p[0] - hull[0][0]) * (hull[1][0] - hull[0][0]) +
+                       (p[1] - hull[0][1]) * (hull[1][1] - hull[0][1]);
+    const double len2 = SquaredDistance(hull[0], hull[1]);
+    return dot >= -1e-12 && dot <= len2 + 1e-12;
+  }
+  for (size_t i = 0; i < hull.size(); ++i) {
+    const Point& a = hull[i];
+    const Point& b = hull[(i + 1) % hull.size()];
+    if (Cross(a, b, p) < -1e-12) return false;  // hull is CCW
+  }
+  return true;
+}
+
+bool ConvexPolygonFamily::CanRealize(const std::vector<Point>& points,
+                                     uint32_t subset_mask) const {
+  SEL_CHECK(!points.empty() && points[0].size() == 2);
+  std::vector<Point> pos, neg;
+  for (size_t i = 0; i < points.size(); ++i) {
+    if (subset_mask & (1u << i)) {
+      pos.push_back(points[i]);
+    } else {
+      neg.push_back(points[i]);
+    }
+  }
+  if (pos.empty()) return true;
+  const auto hull = ConvexHull2D(pos);
+  for (const auto& p : neg) {
+    if (PointInConvexPolygon(p, hull)) return false;
+  }
+  return true;
+}
+
+bool IsShattered(const RangeFamily& family,
+                 const std::vector<Point>& points) {
+  SEL_CHECK_MSG(points.size() <= 25, "IsShattered: too many points");
+  const uint32_t limit = 1u << points.size();
+  for (uint32_t mask = 0; mask < limit; ++mask) {
+    if (!family.CanRealize(points, mask)) return false;
+  }
+  return true;
+}
+
+}  // namespace sel

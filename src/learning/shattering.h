@@ -1,0 +1,78 @@
+// Executable shattering checks for the range spaces of §2.
+//
+// A subset P is shattered by a range family 𝓡 when every dichotomy of P
+// is realized by some range (Fig. 2). These brute-force oracles make the
+// paper's VC-dimension claims testable: boxes realize a dichotomy iff the
+// bounding box of the positive side excludes the negative side;
+// halfspaces and balls reduce to LP feasibility (balls via the standard
+// paraboloid lifting); convex polygons realize a dichotomy iff no
+// negative point lies in the convex hull of the positive side.
+#ifndef SEL_LEARNING_SHATTERING_H_
+#define SEL_LEARNING_SHATTERING_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "geometry/point.h"
+
+namespace sel {
+
+/// A family of ranges with a dichotomy-realizability oracle.
+class RangeFamily {
+ public:
+  virtual ~RangeFamily() = default;
+
+  /// Display name.
+  virtual std::string Name() const = 0;
+
+  /// True if some range contains exactly {points[i] : bit i of mask set}.
+  virtual bool CanRealize(const std::vector<Point>& points,
+                          uint32_t subset_mask) const = 0;
+};
+
+/// Axis-aligned boxes in any dimension (VC-dim = 2d).
+class BoxFamily : public RangeFamily {
+ public:
+  std::string Name() const override { return "boxes"; }
+  bool CanRealize(const std::vector<Point>& points,
+                  uint32_t subset_mask) const override;
+};
+
+/// Halfspaces in any dimension (VC-dim = d + 1).
+class HalfspaceFamily : public RangeFamily {
+ public:
+  std::string Name() const override { return "halfspaces"; }
+  bool CanRealize(const std::vector<Point>& points,
+                  uint32_t subset_mask) const override;
+};
+
+/// Euclidean balls in any dimension (VC-dim <= d + 2; = d + 1 for discs).
+class BallFamily : public RangeFamily {
+ public:
+  std::string Name() const override { return "balls"; }
+  bool CanRealize(const std::vector<Point>& points,
+                  uint32_t subset_mask) const override;
+};
+
+/// Convex polygons with arbitrarily many vertices in R^2 (VC-dim = ∞).
+class ConvexPolygonFamily : public RangeFamily {
+ public:
+  std::string Name() const override { return "convex polygons"; }
+  bool CanRealize(const std::vector<Point>& points,
+                  uint32_t subset_mask) const override;
+};
+
+/// True if `family` shatters all of `points` (all 2^n dichotomies).
+/// Requires points.size() <= 25.
+bool IsShattered(const RangeFamily& family, const std::vector<Point>& points);
+
+/// 2-D convex hull (Andrew's monotone chain), exposed for tests.
+std::vector<Point> ConvexHull2D(std::vector<Point> points);
+
+/// Point-in-convex-polygon test (closed; hull in CCW order).
+bool PointInConvexPolygon(const Point& p, const std::vector<Point>& hull);
+
+}  // namespace sel
+
+#endif  // SEL_LEARNING_SHATTERING_H_

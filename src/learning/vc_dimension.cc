@@ -1,0 +1,54 @@
+#include "learning/vc_dimension.h"
+
+#include "common/check.h"
+
+namespace sel {
+
+namespace {
+
+// Enumerates k-subsets of [0, n) and tests shattering.
+bool SearchSubsets(const RangeFamily& family,
+                   const std::vector<Point>& ground, int k,
+                   std::vector<int>* chosen, int next) {
+  if (static_cast<int>(chosen->size()) == k) {
+    std::vector<Point> subset;
+    subset.reserve(k);
+    for (int idx : *chosen) subset.push_back(ground[idx]);
+    return IsShattered(family, subset);
+  }
+  const int n = static_cast<int>(ground.size());
+  const int remaining = k - static_cast<int>(chosen->size());
+  for (int i = next; i + remaining <= n; ++i) {
+    chosen->push_back(i);
+    if (SearchSubsets(family, ground, k, chosen, i + 1)) {
+      chosen->pop_back();
+      return true;
+    }
+    chosen->pop_back();
+  }
+  return false;
+}
+
+}  // namespace
+
+bool SomeSubsetShattered(const RangeFamily& family,
+                         const std::vector<Point>& ground, int k) {
+  SEL_CHECK(k >= 0 && k <= 8);
+  SEL_CHECK(ground.size() <= 24);
+  if (k == 0) return true;
+  if (k > static_cast<int>(ground.size())) return false;
+  std::vector<int> chosen;
+  return SearchSubsets(family, ground, k, &chosen, 0);
+}
+
+int LargestShatteredSubset(const RangeFamily& family,
+                           const std::vector<Point>& ground, int max_k) {
+  int best = 0;
+  for (int k = 1; k <= max_k; ++k) {
+    if (!SomeSubsetShattered(family, ground, k)) break;
+    best = k;
+  }
+  return best;
+}
+
+}  // namespace sel

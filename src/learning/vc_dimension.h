@@ -1,0 +1,26 @@
+// Empirical VC-dimension search (lower bounds by exhibiting shattered
+// subsets of a ground set), making §2.2's dimension table executable:
+// boxes 2d, halfspaces d+1, balls <= d+2, convex polygons ∞.
+#ifndef SEL_LEARNING_VC_DIMENSION_H_
+#define SEL_LEARNING_VC_DIMENSION_H_
+
+#include <vector>
+
+#include "learning/shattering.h"
+
+namespace sel {
+
+/// Size of the largest subset of `ground` (searched exhaustively up to
+/// `max_k` elements) shattered by `family`. This lower-bounds the true
+/// VC-dimension; with a well-chosen ground set it is exact.
+/// Requires ground.size() <= 24 and max_k <= 8 (combinatorial search).
+int LargestShatteredSubset(const RangeFamily& family,
+                           const std::vector<Point>& ground, int max_k);
+
+/// Convenience: true if some k-subset of `ground` is shattered.
+bool SomeSubsetShattered(const RangeFamily& family,
+                         const std::vector<Point>& ground, int k);
+
+}  // namespace sel
+
+#endif  // SEL_LEARNING_VC_DIMENSION_H_

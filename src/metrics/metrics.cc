@@ -1,0 +1,66 @@
+#include "metrics/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace sel {
+
+double QError(double estimate, double truth, double floor) {
+  const double a = std::max(estimate, floor);
+  const double b = std::max(truth, floor);
+  return std::max(a, b) / std::min(a, b);
+}
+
+double Quantile(std::vector<double> values, double p) {
+  SEL_CHECK(!values.empty());
+  SEL_CHECK(p >= 0.0 && p <= 1.0);
+  std::sort(values.begin(), values.end());
+  const double pos = p * static_cast<double>(values.size() - 1);
+  const size_t lo = static_cast<size_t>(pos);
+  const size_t hi = std::min(lo + 1, values.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return values[lo] * (1.0 - frac) + values[hi] * frac;
+}
+
+ErrorReport ComputeErrors(const std::vector<double>& estimates,
+                          const std::vector<double>& truths,
+                          double q_floor) {
+  SEL_CHECK(estimates.size() == truths.size());
+  ErrorReport r;
+  r.num_queries = estimates.size();
+  if (estimates.empty()) return r;
+
+  double sq = 0.0, abs_sum = 0.0;
+  std::vector<double> qerrs;
+  qerrs.reserve(estimates.size());
+  for (size_t i = 0; i < estimates.size(); ++i) {
+    const double d = estimates[i] - truths[i];
+    sq += d * d;
+    abs_sum += std::abs(d);
+    r.linf = std::max(r.linf, std::abs(d));
+    qerrs.push_back(QError(estimates[i], truths[i], q_floor));
+  }
+  r.rms = std::sqrt(sq / static_cast<double>(estimates.size()));
+  r.mae = abs_sum / static_cast<double>(estimates.size());
+  r.q50 = Quantile(qerrs, 0.50);
+  r.q95 = Quantile(qerrs, 0.95);
+  r.q99 = Quantile(qerrs, 0.99);
+  r.qmax = *std::max_element(qerrs.begin(), qerrs.end());
+  return r;
+}
+
+ErrorReport EvaluateModel(const SelectivityModel& model,
+                          const Workload& test, double q_floor) {
+  std::vector<double> est, truth;
+  est.reserve(test.size());
+  truth.reserve(test.size());
+  for (const auto& z : test) {
+    est.push_back(model.Estimate(z.query));
+    truth.push_back(z.selectivity);
+  }
+  return ComputeErrors(est, truth, q_floor);
+}
+
+}  // namespace sel

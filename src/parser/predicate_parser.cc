@@ -1,0 +1,441 @@
+#include "parser/predicate_parser.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+
+#include "common/check.h"
+#include "common/string_util.h"
+
+namespace sel {
+
+namespace {
+
+enum class TokKind {
+  kIdent,    // attribute name or keyword
+  kNumber,
+  kLe,       // <= or <
+  kGe,       // >= or >
+  kEq,       // =
+  kPlus,
+  kMinus,
+  kStar,
+  kLParen,
+  kRParen,
+  kSemi,
+  kComma,
+  kEnd,
+};
+
+struct Token {
+  TokKind kind;
+  std::string text;   // for idents
+  double value = 0.0; // for numbers
+};
+
+std::string Upper(std::string s) {
+  for (auto& c : s) c = static_cast<char>(std::toupper(c));
+  return s;
+}
+
+Result<std::vector<Token>> Tokenize(const std::string& text) {
+  std::vector<Token> out;
+  size_t i = 0;
+  while (i < text.size()) {
+    const char c = text[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      size_t j = i;
+      while (j < text.size() &&
+             (std::isalnum(static_cast<unsigned char>(text[j])) ||
+              text[j] == '_')) {
+        ++j;
+      }
+      out.push_back(Token{TokKind::kIdent, text.substr(i, j - i)});
+      i = j;
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) || c == '.') {
+      char* end = nullptr;
+      const double v = std::strtod(text.c_str() + i, &end);
+      if (end == text.c_str() + i) {
+        return Status::InvalidArgument("bad number at offset " +
+                                       std::to_string(i));
+      }
+      out.push_back(Token{TokKind::kNumber, "", v});
+      i = static_cast<size_t>(end - text.c_str());
+      continue;
+    }
+    switch (c) {
+      case '<':
+        out.push_back(Token{TokKind::kLe, ""});
+        i += (i + 1 < text.size() && text[i + 1] == '=') ? 2 : 1;
+        break;
+      case '>':
+        out.push_back(Token{TokKind::kGe, ""});
+        i += (i + 1 < text.size() && text[i + 1] == '=') ? 2 : 1;
+        break;
+      case '=':
+        out.push_back(Token{TokKind::kEq, ""});
+        ++i;
+        break;
+      case '+':
+        out.push_back(Token{TokKind::kPlus, ""});
+        ++i;
+        break;
+      case '-':
+        out.push_back(Token{TokKind::kMinus, ""});
+        ++i;
+        break;
+      case '*':
+        out.push_back(Token{TokKind::kStar, ""});
+        ++i;
+        break;
+      case '(':
+        out.push_back(Token{TokKind::kLParen, ""});
+        ++i;
+        break;
+      case ')':
+        out.push_back(Token{TokKind::kRParen, ""});
+        ++i;
+        break;
+      case ';':
+        out.push_back(Token{TokKind::kSemi, ""});
+        ++i;
+        break;
+      case ',':
+        out.push_back(Token{TokKind::kComma, ""});
+        ++i;
+        break;
+      default:
+        return Status::InvalidArgument(std::string("unexpected character '") +
+                                       c + "' at offset " +
+                                       std::to_string(i));
+    }
+  }
+  out.push_back(Token{TokKind::kEnd, ""});
+  return out;
+}
+
+// Recursive-descent parser over the token stream.
+class Parser {
+ public:
+  Parser(std::vector<Token> toks, const std::vector<std::string>& names,
+         const ParserOptions& options)
+      : toks_(std::move(toks)), names_(names), options_(options) {}
+
+  Result<Query> ParsePredicate() {
+    // DIST(...) <= r  -> ball.
+    if (Peek().kind == TokKind::kIdent && Upper(Peek().text) == "DIST") {
+      return ParseBall();
+    }
+    // Heuristic dispatch: a linear-inequality predicate contains '*' or
+    // '+' or a leading coefficient before the first comparison.
+    if (LooksLinear()) return ParseHalfspace();
+    return ParseBoxConjunction();
+  }
+
+ private:
+  const Token& Peek(size_t ahead = 0) const {
+    const size_t i = std::min(pos_ + ahead, toks_.size() - 1);
+    return toks_[i];
+  }
+  Token Next() { return toks_[std::min(pos_++, toks_.size() - 1)]; }
+  bool Accept(TokKind k) {
+    if (Peek().kind == k) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Result<int> AttrIndex(const std::string& name) const {
+    for (size_t j = 0; j < names_.size(); ++j) {
+      if (names_[j] == name) return static_cast<int>(j);
+    }
+    return Status::NotFound("unknown attribute '" + name + "'");
+  }
+
+  bool LooksLinear() const {
+    // Scan to the first comparison; '*' or '+' or '-' before it means a
+    // linear combination on the left-hand side.
+    for (size_t i = pos_; i < toks_.size(); ++i) {
+      switch (toks_[i].kind) {
+        case TokKind::kLe:
+        case TokKind::kGe:
+        case TokKind::kEq:
+        case TokKind::kEnd:
+          return false;
+        case TokKind::kStar:
+        case TokKind::kPlus:
+        case TokKind::kMinus:
+          return true;
+        default:
+          break;
+      }
+    }
+    return false;
+  }
+
+  // cond := ident (<=|>=|=) number | ident BETWEEN number AND number
+  //       | number (<=|>=) ident
+  Status ParseCondition(Point* lo, Point* hi) {
+    if (Peek().kind == TokKind::kNumber) {
+      // number op ident  (reversed comparison)
+      const double v = Next().value;
+      const TokKind op = Next().kind;
+      if (Peek().kind != TokKind::kIdent) {
+        return Status::InvalidArgument("expected attribute after constant");
+      }
+      auto idx = AttrIndex(Next().text);
+      SEL_RETURN_IF_ERROR(idx.status());
+      const int j = idx.value();
+      if (op == TokKind::kLe) {           // v <= attr
+        (*lo)[j] = std::max((*lo)[j], v);
+      } else if (op == TokKind::kGe) {    // v >= attr
+        (*hi)[j] = std::min((*hi)[j], v);
+      } else {
+        return Status::InvalidArgument("expected <=, >= after constant");
+      }
+      return Status::OK();
+    }
+    if (Peek().kind != TokKind::kIdent) {
+      return Status::InvalidArgument("expected attribute name");
+    }
+    auto idx = AttrIndex(Next().text);
+    SEL_RETURN_IF_ERROR(idx.status());
+    const int j = idx.value();
+
+    if (Peek().kind == TokKind::kIdent &&
+        Upper(Peek().text) == "BETWEEN") {
+      Next();
+      if (Peek().kind != TokKind::kNumber) {
+        return Status::InvalidArgument("expected number after BETWEEN");
+      }
+      const double a = Next().value;
+      if (!(Peek().kind == TokKind::kIdent && Upper(Next().text) == "AND")) {
+        return Status::InvalidArgument("expected AND inside BETWEEN");
+      }
+      if (Peek().kind != TokKind::kNumber) {
+        return Status::InvalidArgument("expected number after BETWEEN..AND");
+      }
+      const double b = Next().value;
+      if (a > b) {
+        return Status::InvalidArgument("BETWEEN bounds out of order");
+      }
+      (*lo)[j] = std::max((*lo)[j], a);
+      (*hi)[j] = std::min((*hi)[j], b);
+      return Status::OK();
+    }
+
+    const TokKind op = Next().kind;
+    if (Peek().kind != TokKind::kNumber) {
+      return Status::InvalidArgument("expected number in comparison");
+    }
+    const double v = Next().value;
+    switch (op) {
+      case TokKind::kLe:
+        (*hi)[j] = std::min((*hi)[j], v);
+        break;
+      case TokKind::kGe:
+        (*lo)[j] = std::max((*lo)[j], v);
+        break;
+      case TokKind::kEq:
+        (*lo)[j] = std::max((*lo)[j], v - options_.equality_halfwidth);
+        (*hi)[j] = std::min((*hi)[j], v + options_.equality_halfwidth);
+        break;
+      default:
+        return Status::InvalidArgument("expected <=, >=, = or BETWEEN");
+    }
+    return Status::OK();
+  }
+
+  Result<Query> ParseBoxConjunction() {
+    const int d = static_cast<int>(names_.size());
+    Point lo(d, 0.0), hi(d, 1.0);
+    SEL_RETURN_IF_ERROR(ParseCondition(&lo, &hi));
+    while (Peek().kind == TokKind::kIdent && Upper(Peek().text) == "AND") {
+      Next();
+      SEL_RETURN_IF_ERROR(ParseCondition(&lo, &hi));
+    }
+    if (Peek().kind != TokKind::kEnd) {
+      return Status::InvalidArgument("trailing tokens after predicate");
+    }
+    for (int j = 0; j < d; ++j) {
+      if (lo[j] > hi[j]) {
+        // Contradictory bounds: an empty range. Collapse to a degenerate
+        // sliver so the query is valid and selects (almost) nothing.
+        hi[j] = lo[j];
+      }
+    }
+    return Query(Box(std::move(lo), std::move(hi)));
+  }
+
+  // linear := term ((+|-) term)* (>=|<=) number
+  // term   := number '*' ident | ident | number
+  Result<Query> ParseHalfspace() {
+    const int d = static_cast<int>(names_.size());
+    Point coef(d, 0.0);
+    double constant = 0.0;
+    double sign = 1.0;
+    bool expect_term = true;
+    while (true) {
+      const Token& t = Peek();
+      if (expect_term) {
+        if (t.kind == TokKind::kMinus) {
+          sign = -sign;
+          Next();
+          continue;
+        }
+        if (t.kind == TokKind::kNumber) {
+          const double v = Next().value;
+          if (Accept(TokKind::kStar)) {
+            if (Peek().kind != TokKind::kIdent) {
+              return Status::InvalidArgument("expected attribute after *");
+            }
+            auto idx = AttrIndex(Next().text);
+            SEL_RETURN_IF_ERROR(idx.status());
+            coef[idx.value()] += sign * v;
+          } else {
+            constant += sign * v;
+          }
+        } else if (t.kind == TokKind::kIdent) {
+          auto idx = AttrIndex(Next().text);
+          SEL_RETURN_IF_ERROR(idx.status());
+          coef[idx.value()] += sign;
+        } else {
+          return Status::InvalidArgument("expected term in linear predicate");
+        }
+        sign = 1.0;
+        expect_term = false;
+        continue;
+      }
+      if (t.kind == TokKind::kPlus) {
+        Next();
+        expect_term = true;
+        continue;
+      }
+      if (t.kind == TokKind::kMinus) {
+        Next();
+        sign = -1.0;
+        expect_term = true;
+        continue;
+      }
+      break;
+    }
+    const TokKind op = Next().kind;
+    if (op != TokKind::kLe && op != TokKind::kGe) {
+      return Status::InvalidArgument(
+          "expected <= or >= in linear predicate");
+    }
+    if (Peek().kind != TokKind::kNumber) {
+      return Status::InvalidArgument("expected rhs constant");
+    }
+    const double rhs = Next().value - constant;
+    if (Peek().kind != TokKind::kEnd) {
+      return Status::InvalidArgument("trailing tokens after predicate");
+    }
+    double norm = 0.0;
+    for (double c : coef) norm += c * c;
+    if (norm == 0.0) {
+      return Status::InvalidArgument("linear predicate has no attributes");
+    }
+    if (op == TokKind::kGe) {
+      return Query(Halfspace(std::move(coef), rhs));
+    }
+    // coef·x <= rhs  <=>  (-coef)·x >= -rhs
+    for (auto& c : coef) c = -c;
+    return Query(Halfspace(std::move(coef), -rhs));
+  }
+
+  // ball := DIST '(' ident (',' ident)* ';' number (',' number)* ')'
+  //         <= number
+  Result<Query> ParseBall() {
+    Next();  // DIST
+    if (!Accept(TokKind::kLParen)) {
+      return Status::InvalidArgument("expected ( after DIST");
+    }
+    std::vector<int> attrs;
+    while (true) {
+      if (Peek().kind != TokKind::kIdent) {
+        return Status::InvalidArgument("expected attribute in DIST");
+      }
+      auto idx = AttrIndex(Next().text);
+      SEL_RETURN_IF_ERROR(idx.status());
+      attrs.push_back(idx.value());
+      if (Accept(TokKind::kComma)) continue;
+      break;
+    }
+    if (!Accept(TokKind::kSemi)) {
+      return Status::InvalidArgument("expected ; between DIST attrs and "
+                                     "reference point");
+    }
+    std::vector<double> ref;
+    while (true) {
+      double s = 1.0;
+      if (Accept(TokKind::kMinus)) s = -1.0;
+      if (Peek().kind != TokKind::kNumber) {
+        return Status::InvalidArgument("expected number in DIST reference");
+      }
+      ref.push_back(s * Next().value);
+      if (Accept(TokKind::kComma)) continue;
+      break;
+    }
+    if (ref.size() != attrs.size()) {
+      return Status::InvalidArgument(
+          "DIST attribute and reference arity mismatch");
+    }
+    if (!Accept(TokKind::kRParen)) {
+      return Status::InvalidArgument("expected ) closing DIST");
+    }
+    if (!Accept(TokKind::kLe)) {
+      return Status::InvalidArgument("expected <= after DIST(...)");
+    }
+    if (Peek().kind != TokKind::kNumber) {
+      return Status::InvalidArgument("expected radius after <=");
+    }
+    const double radius = Next().value;
+    if (radius < 0.0) {
+      return Status::InvalidArgument("negative DIST radius");
+    }
+    if (Peek().kind != TokKind::kEnd) {
+      return Status::InvalidArgument("trailing tokens after predicate");
+    }
+    // The distance runs over a subset of attributes; the ball lives in
+    // the full space with the untouched dimensions unconstrained. A
+    // d-dimensional Ball cannot express that, so require full arity.
+    if (attrs.size() != names_.size()) {
+      return Status::Unimplemented(
+          "DIST over a strict attribute subset is not supported; project "
+          "the dataset to the DIST attributes first");
+    }
+    Point center(names_.size(), 0.0);
+    for (size_t i = 0; i < attrs.size(); ++i) center[attrs[i]] = ref[i];
+    return Query(Ball(std::move(center), radius));
+  }
+
+  std::vector<Token> toks_;
+  size_t pos_ = 0;
+  const std::vector<std::string>& names_;
+  ParserOptions options_;
+};
+
+}  // namespace
+
+PredicateParser::PredicateParser(std::vector<std::string> attribute_names,
+                                 ParserOptions options)
+    : names_(std::move(attribute_names)), options_(options) {
+  SEL_CHECK(!names_.empty());
+}
+
+Result<Query> PredicateParser::Parse(const std::string& text) const {
+  auto toks = Tokenize(text);
+  if (!toks.ok()) return toks.status();
+  Parser parser(std::move(toks.value()), names_, options_);
+  return parser.ParsePredicate();
+}
+
+}  // namespace sel

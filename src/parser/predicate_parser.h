@@ -1,0 +1,51 @@
+// A small SQL-WHERE-style predicate parser producing Query objects, so
+// the estimators plug into an optimizer pipeline without hand-built
+// geometry. Exactly the three §2.2 query classes:
+//
+//   orthogonal range:  "price >= 0.2 AND price <= 0.8 AND qty = 0.5"
+//                      "price BETWEEN 0.2 AND 0.8"
+//   linear inequality: "0.3*price + 0.5*qty - 0.1 >= 0.2"
+//   distance-based:    "DIST(price, qty; 0.3, 0.4) <= 0.25"
+//
+// Attribute names come from the schema the parser is constructed with;
+// values are expected in the normalized [0,1] domain (§4). Comparisons
+// are closed (< and <= coincide on a continuous domain); equality
+// predicates become a thin interval of configurable half-width, matching
+// how the workload generator treats categorical equality.
+#ifndef SEL_PARSER_PREDICATE_PARSER_H_
+#define SEL_PARSER_PREDICATE_PARSER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "geometry/query.h"
+
+namespace sel {
+
+/// Parser tunables.
+struct ParserOptions {
+  /// Half-width of the interval an equality predicate selects.
+  double equality_halfwidth = 0.0005;
+};
+
+/// Parses WHERE-style predicates against a fixed attribute schema.
+class PredicateParser {
+ public:
+  /// `attribute_names` maps name -> dimension index by position.
+  explicit PredicateParser(std::vector<std::string> attribute_names,
+                           ParserOptions options = {});
+
+  /// Parses one predicate into a Query, or a descriptive error.
+  Result<Query> Parse(const std::string& text) const;
+
+  int dim() const { return static_cast<int>(names_.size()); }
+
+ private:
+  std::vector<std::string> names_;
+  ParserOptions options_;
+};
+
+}  // namespace sel
+
+#endif  // SEL_PARSER_PREDICATE_PARSER_H_

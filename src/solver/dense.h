@@ -1,0 +1,99 @@
+// Minimal dense linear algebra shared by the solvers. Row-major storage,
+// no expression templates — the problem sizes here (thousands of rows /
+// columns) do not justify a heavier substrate.
+#ifndef SEL_SOLVER_DENSE_H_
+#define SEL_SOLVER_DENSE_H_
+
+#include <vector>
+
+#include "common/check.h"
+
+namespace sel {
+
+using Vector = std::vector<double>;
+
+/// Row-major dense matrix.
+class DenseMatrix {
+ public:
+  DenseMatrix() = default;
+  DenseMatrix(int rows, int cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(static_cast<size_t>(rows) * cols,
+                                        fill) {
+    SEL_CHECK(rows >= 0 && cols >= 0);
+  }
+
+  int rows() const { return rows_; }
+  int cols() const { return cols_; }
+
+  double& at(int i, int j) {
+    SEL_DCHECK(i >= 0 && i < rows_ && j >= 0 && j < cols_);
+    return data_[static_cast<size_t>(i) * cols_ + j];
+  }
+  double at(int i, int j) const {
+    SEL_DCHECK(i >= 0 && i < rows_ && j >= 0 && j < cols_);
+    return data_[static_cast<size_t>(i) * cols_ + j];
+  }
+
+  const double* row(int i) const {
+    return data_.data() + static_cast<size_t>(i) * cols_;
+  }
+  double* row(int i) { return data_.data() + static_cast<size_t>(i) * cols_; }
+
+  /// y = A x.
+  Vector Apply(const Vector& x) const {
+    SEL_CHECK(static_cast<int>(x.size()) == cols_);
+    Vector y(rows_, 0.0);
+    for (int i = 0; i < rows_; ++i) {
+      const double* r = row(i);
+      double s = 0.0;
+      for (int j = 0; j < cols_; ++j) s += r[j] * x[j];
+      y[i] = s;
+    }
+    return y;
+  }
+
+  /// y = A^T x.
+  Vector ApplyTranspose(const Vector& x) const {
+    SEL_CHECK(static_cast<int>(x.size()) == rows_);
+    Vector y(cols_, 0.0);
+    for (int i = 0; i < rows_; ++i) {
+      const double* r = row(i);
+      const double xi = x[i];
+      if (xi == 0.0) continue;
+      for (int j = 0; j < cols_; ++j) y[j] += r[j] * xi;
+    }
+    return y;
+  }
+
+ private:
+  int rows_ = 0;
+  int cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// Squared Euclidean norm.
+inline double SquaredNorm(const Vector& v) {
+  double s = 0.0;
+  for (double x : v) s += x * x;
+  return s;
+}
+
+/// Residual r = A x - b.
+inline Vector Residual(const DenseMatrix& a, const Vector& x,
+                       const Vector& b) {
+  Vector r = a.Apply(x);
+  SEL_CHECK(r.size() == b.size());
+  for (size_t i = 0; i < r.size(); ++i) r[i] -= b[i];
+  return r;
+}
+
+/// Mean squared residual (the empirical loss of Eq. 8).
+inline double MeanSquaredResidual(const DenseMatrix& a, const Vector& x,
+                                  const Vector& b) {
+  if (a.rows() == 0) return 0.0;
+  return SquaredNorm(Residual(a, x, b)) / a.rows();
+}
+
+}  // namespace sel
+
+#endif  // SEL_SOLVER_DENSE_H_

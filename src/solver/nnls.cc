@@ -1,0 +1,163 @@
+#include "solver/nnls.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace sel {
+
+Vector SolveLeastSquaresQr(const DenseMatrix& a, const Vector& b) {
+  const int m = a.rows();
+  const int n = a.cols();
+  SEL_CHECK(static_cast<int>(b.size()) == m);
+  SEL_CHECK(n <= m);
+
+  // Householder QR on working copies.
+  DenseMatrix r = a;
+  Vector qtb = b;
+  for (int k = 0; k < n; ++k) {
+    // Build the Householder reflector for column k below the diagonal.
+    double norm = 0.0;
+    for (int i = k; i < m; ++i) norm += r.at(i, k) * r.at(i, k);
+    norm = std::sqrt(norm);
+    if (norm < 1e-14) continue;  // (near-)rank-deficient column
+    double alpha = r.at(k, k) >= 0.0 ? -norm : norm;
+    Vector v(m - k);
+    v[0] = r.at(k, k) - alpha;
+    for (int i = k + 1; i < m; ++i) v[i - k] = r.at(i, k);
+    double vtv = 0.0;
+    for (double x : v) vtv += x * x;
+    if (vtv < 1e-28) continue;
+    // Apply I - 2 v v^T / (v^T v) to remaining columns and to qtb.
+    for (int j = k; j < n; ++j) {
+      double dot = 0.0;
+      for (int i = k; i < m; ++i) dot += v[i - k] * r.at(i, j);
+      const double f = 2.0 * dot / vtv;
+      for (int i = k; i < m; ++i) r.at(i, j) -= f * v[i - k];
+    }
+    double dot = 0.0;
+    for (int i = k; i < m; ++i) dot += v[i - k] * qtb[i];
+    const double f = 2.0 * dot / vtv;
+    for (int i = k; i < m; ++i) qtb[i] -= f * v[i - k];
+  }
+
+  // Back-substitution on the upper-triangular part.
+  Vector x(n, 0.0);
+  for (int k = n - 1; k >= 0; --k) {
+    double s = qtb[k];
+    for (int j = k + 1; j < n; ++j) s -= r.at(k, j) * x[j];
+    const double diag = r.at(k, k);
+    x[k] = std::abs(diag) < 1e-12 ? 0.0 : s / diag;
+  }
+  return x;
+}
+
+Result<NnlsResult> SolveNnls(const DenseMatrix& a, const Vector& b,
+                             const NnlsOptions& options) {
+  const int m = a.rows();
+  const int n = a.cols();
+  if (static_cast<int>(b.size()) != m) {
+    return Status::InvalidArgument("NNLS: rhs size does not match rows");
+  }
+  if (n == 0) {
+    return NnlsResult{Vector{}, std::sqrt(SquaredNorm(b)), 0};
+  }
+  const int max_iter =
+      options.max_iterations > 0 ? options.max_iterations : 3 * n + 30;
+
+  Vector x(n, 0.0);
+  std::vector<bool> passive(n, false);
+  Vector w = a.ApplyTranspose(b);  // gradient of -0.5||Ax-b||^2 at x=0
+
+  auto SubproblemSolve = [&](const std::vector<int>& cols) {
+    DenseMatrix sub(m, static_cast<int>(cols.size()));
+    for (int i = 0; i < m; ++i) {
+      for (size_t j = 0; j < cols.size(); ++j) {
+        sub.at(i, static_cast<int>(j)) = a.at(i, cols[j]);
+      }
+    }
+    return SolveLeastSquaresQr(sub, b);
+  };
+
+  int iterations = 0;
+  while (iterations < max_iter) {
+    // Select the most violated dual coordinate among the active set.
+    int best = -1;
+    double best_w = options.tolerance;
+    for (int j = 0; j < n; ++j) {
+      if (!passive[j] && w[j] > best_w) {
+        best_w = w[j];
+        best = j;
+      }
+    }
+    if (best < 0) break;  // KKT satisfied
+    passive[best] = true;
+    ++iterations;
+
+    // Inner loop: solve the unconstrained problem on the passive set and
+    // walk back along the segment if any passive coordinate went negative.
+    for (int inner = 0; inner < max_iter; ++inner) {
+      std::vector<int> cols;
+      for (int j = 0; j < n; ++j) {
+        if (passive[j]) cols.push_back(j);
+      }
+      if (cols.empty()) break;
+      if (static_cast<int>(cols.size()) > m) {
+        // More passive columns than rows: the subproblem is
+        // underdetermined; drop the newest column and stop growing.
+        passive[cols.back()] = false;
+        break;
+      }
+      Vector z = SubproblemSolve(cols);
+
+      bool all_positive = true;
+      for (size_t j = 0; j < cols.size(); ++j) {
+        if (z[j] <= options.tolerance) {
+          all_positive = false;
+          break;
+        }
+      }
+      if (all_positive) {
+        std::fill(x.begin(), x.end(), 0.0);
+        for (size_t j = 0; j < cols.size(); ++j) x[cols[j]] = z[j];
+        break;
+      }
+      // Step length: largest alpha in (0,1] keeping x + alpha (z - x) >= 0.
+      double alpha = 1.0;
+      for (size_t j = 0; j < cols.size(); ++j) {
+        if (z[j] <= options.tolerance) {
+          const double xj = x[cols[j]];
+          if (xj - z[j] > 0.0) {
+            alpha = std::min(alpha, xj / (xj - z[j]));
+          } else {
+            alpha = 0.0;
+          }
+        }
+      }
+      for (size_t j = 0; j < cols.size(); ++j) {
+        const int col = cols[j];
+        x[col] = x[col] + alpha * (z[j] - x[col]);
+        if (x[col] <= options.tolerance) {
+          x[col] = 0.0;
+          passive[col] = false;
+        }
+      }
+    }
+
+    // Refresh the dual vector w = A^T (b - A x).
+    Vector r = a.Apply(x);
+    for (int i = 0; i < m; ++i) r[i] = b[i] - r[i];
+    w = a.ApplyTranspose(r);
+    for (int j = 0; j < n; ++j) {
+      if (passive[j]) w[j] = 0.0;  // already in the basis
+    }
+  }
+
+  NnlsResult out;
+  out.x = std::move(x);
+  out.residual_norm = std::sqrt(SquaredNorm(Residual(a, out.x, b)));
+  out.iterations = iterations;
+  return out;
+}
+
+}  // namespace sel

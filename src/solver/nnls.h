@@ -1,0 +1,38 @@
+// Non-negative least squares, the optimizer the paper uses for weight
+// estimation (§3.1 cites scipy.optimize.nnls, which wraps Lawson–Hanson).
+#ifndef SEL_SOLVER_NNLS_H_
+#define SEL_SOLVER_NNLS_H_
+
+#include "common/status.h"
+#include "solver/dense.h"
+
+namespace sel {
+
+/// Options for the Lawson–Hanson active-set iteration.
+struct NnlsOptions {
+  /// Maximum outer iterations; 0 means 3 * cols (the classic default).
+  int max_iterations = 0;
+  /// Dual-feasibility tolerance on the gradient.
+  double tolerance = 1e-10;
+};
+
+/// Result of an NNLS solve.
+struct NnlsResult {
+  Vector x;               ///< Solution with x >= 0.
+  double residual_norm;   ///< ||A x - b||_2.
+  int iterations;         ///< Outer iterations used.
+};
+
+/// Solves min_x ||A x - b||_2 subject to x >= 0 with the Lawson–Hanson
+/// active-set algorithm (least-squares subproblems via Householder QR).
+Result<NnlsResult> SolveNnls(const DenseMatrix& a, const Vector& b,
+                             const NnlsOptions& options = {});
+
+/// Unconstrained dense least squares min ||A x - b|| via Householder QR
+/// with column pivoting disabled (A assumed full column rank; rank
+/// deficiency is handled by a tiny-pivot guard that zeroes the component).
+Vector SolveLeastSquaresQr(const DenseMatrix& a, const Vector& b);
+
+}  // namespace sel
+
+#endif  // SEL_SOLVER_NNLS_H_

@@ -1,0 +1,172 @@
+#include "solver/qp.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "solver/nnls.h"
+#include "solver/simplex_projection.h"
+
+namespace sel {
+
+namespace {
+
+template <typename Matrix>
+double EstimateLipschitzT(const Matrix& a, int iterations) {
+  const int n = a.cols();
+  SEL_CHECK(n > 0);
+  Vector v(n, 1.0 / std::sqrt(static_cast<double>(n)));
+  double lambda = 0.0;
+  for (int it = 0; it < iterations; ++it) {
+    Vector av = a.Apply(v);
+    Vector atav = a.ApplyTranspose(av);
+    const double norm = std::sqrt(SquaredNorm(atav));
+    if (norm < 1e-30) return 1.0;
+    lambda = norm;
+    for (int j = 0; j < n; ++j) v[j] = atav[j] / norm;
+  }
+  return lambda;
+}
+
+template <typename Matrix>
+Result<SimplexLsqResult> SolveByProjectedGradient(
+    const Matrix& a, const Vector& s, const SimplexLsqOptions& options) {
+  const int m = a.cols();
+  const double lip = EstimateLipschitzT(a, 50) + options.ridge;
+  const double step = 1.0 / std::max(lip * 1.05, 1e-12);
+
+  Vector w(m, 1.0 / m);
+  Vector y = w;          // FISTA extrapolation point
+  Vector w_prev = w;
+  double t = 1.0;
+  double last_check_obj = std::numeric_limits<double>::infinity();
+  int it = 0;
+  for (; it < options.max_iterations; ++it) {
+    // gradient at y: A^T (A y - s) + ridge * y
+    Vector r = a.Apply(y);
+    for (size_t i = 0; i < r.size(); ++i) r[i] -= s[i];
+    Vector g = a.ApplyTranspose(r);
+    if (options.ridge > 0.0) {
+      for (int j = 0; j < m; ++j) g[j] += options.ridge * y[j];
+    }
+    w_prev = w;
+    for (int j = 0; j < m; ++j) w[j] = y[j] - step * g[j];
+    ProjectToSimplex(&w);
+
+    const double t_next = 0.5 * (1.0 + std::sqrt(1.0 + 4.0 * t * t));
+    const double beta = (t - 1.0) / t_next;
+    for (int j = 0; j < m; ++j) y[j] = w[j] + beta * (w[j] - w_prev[j]);
+    t = t_next;
+
+    if ((it + 1) % 10 == 0) {
+      const double obj = SquaredNorm(Residual(a, w, s)) +
+                         options.ridge * SquaredNorm(w);
+      if (obj <= last_check_obj &&
+          last_check_obj - obj <
+              options.tolerance * std::max(1.0, last_check_obj)) {
+        ++it;
+        break;
+      }
+      if (obj > last_check_obj) {
+        // FISTA momentum overshoot: restart the extrapolation.
+        y = w;
+        t = 1.0;
+      }
+      last_check_obj = std::min(last_check_obj, obj);
+    }
+  }
+
+  SimplexLsqResult out;
+  out.w = std::move(w);
+  out.loss = MeanSquaredResidual(a, out.w, s);
+  out.iterations = it;
+  return out;
+}
+
+Result<SimplexLsqResult> SolveByNnls(const DenseMatrix& a, const Vector& s,
+                                     const SimplexLsqOptions& options) {
+  const int n = a.rows();
+  const int m = a.cols();
+  // Augment with a penalty row lambda * 1^T w = lambda.
+  DenseMatrix aug(n + 1, m);
+  Vector rhs(n + 1);
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < m; ++j) aug.at(i, j) = a.at(i, j);
+    rhs[i] = s[i];
+  }
+  for (int j = 0; j < m; ++j) aug.at(n, j) = options.nnls_sum_penalty;
+  rhs[n] = options.nnls_sum_penalty;
+
+  auto nnls = SolveNnls(aug, rhs);
+  if (!nnls.ok()) return nnls.status();
+
+  Vector w = std::move(nnls.value().x);
+  double sum = 0.0;
+  for (double x : w) sum += x;
+  if (sum <= 0.0) {
+    std::fill(w.begin(), w.end(), 1.0 / m);
+  } else {
+    for (auto& x : w) x /= sum;
+  }
+  SimplexLsqResult out;
+  out.w = std::move(w);
+  out.loss = MeanSquaredResidual(a, out.w, s);
+  out.iterations = nnls.value().iterations;
+  return out;
+}
+
+}  // namespace
+
+double EstimateLipschitz(const DenseMatrix& a, int iterations) {
+  return EstimateLipschitzT(a, iterations);
+}
+
+double EstimateLipschitz(const SparseMatrix& a, int iterations) {
+  return EstimateLipschitzT(a, iterations);
+}
+
+Result<SimplexLsqResult> SolveSimplexLeastSquares(
+    const DenseMatrix& a, const Vector& s,
+    const SimplexLsqOptions& options) {
+  if (a.rows() != static_cast<int>(s.size())) {
+    return Status::InvalidArgument(
+        "SolveSimplexLeastSquares: rhs size does not match rows");
+  }
+  if (a.cols() == 0) {
+    return Status::InvalidArgument(
+        "SolveSimplexLeastSquares: no buckets (zero columns)");
+  }
+  switch (options.method) {
+    case SimplexLsqOptions::Method::kProjectedGradient:
+      return SolveByProjectedGradient(a, s, options);
+    case SimplexLsqOptions::Method::kNnls:
+      return SolveByNnls(a, s, options);
+  }
+  return Status::Internal("unknown method");
+}
+
+Result<SimplexLsqResult> SolveSimplexLeastSquares(
+    const SparseMatrix& a, const Vector& s,
+    const SimplexLsqOptions& options) {
+  if (a.rows() != static_cast<int>(s.size())) {
+    return Status::InvalidArgument(
+        "SolveSimplexLeastSquares: rhs size does not match rows");
+  }
+  if (a.cols() == 0) {
+    return Status::InvalidArgument(
+        "SolveSimplexLeastSquares: no buckets (zero columns)");
+  }
+  if (options.method == SimplexLsqOptions::Method::kNnls) {
+    // Lawson–Hanson needs dense column access: densify when affordable,
+    // otherwise fall back to projected gradient (same optimum, Eq. 8 is
+    // convex with a unique loss value).
+    const size_t cells =
+        static_cast<size_t>(a.rows() + 1) * static_cast<size_t>(a.cols());
+    if (cells <= (4u << 20)) {
+      return SolveByNnls(a.ToDense(), s, options);
+    }
+  }
+  return SolveByProjectedGradient(a, s, options);
+}
+
+}  // namespace sel

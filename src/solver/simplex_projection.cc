@@ -1,0 +1,35 @@
+#include "solver/simplex_projection.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace sel {
+
+void ProjectToSimplex(Vector* v, double total) {
+  SEL_CHECK(v != nullptr && !v->empty());
+  SEL_CHECK(total > 0.0);
+  // Duchi et al.: find tau so that sum max(v_i - tau, 0) = total.
+  Vector sorted = *v;
+  std::sort(sorted.begin(), sorted.end(), std::greater<double>());
+  double cumsum = 0.0;
+  double tau = 0.0;
+  int rho = 0;
+  for (size_t i = 0; i < sorted.size(); ++i) {
+    cumsum += sorted[i];
+    const double t = (cumsum - total) / static_cast<double>(i + 1);
+    if (sorted[i] - t > 0.0) {
+      rho = static_cast<int>(i + 1);
+      tau = t;
+    }
+  }
+  SEL_CHECK(rho > 0);
+  for (auto& x : *v) x = std::max(0.0, x - tau);
+}
+
+Vector SimplexProjection(Vector v, double total) {
+  ProjectToSimplex(&v, total);
+  return v;
+}
+
+}  // namespace sel

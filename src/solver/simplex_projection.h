@@ -1,0 +1,20 @@
+// Euclidean projection onto the probability simplex
+// {w : w >= 0, sum w = 1} (Duchi, Shalev-Shwartz, Singer, Chandra 2008),
+// the building block of the projected-gradient QP solver for Eq. (8).
+#ifndef SEL_SOLVER_SIMPLEX_PROJECTION_H_
+#define SEL_SOLVER_SIMPLEX_PROJECTION_H_
+
+#include "solver/dense.h"
+
+namespace sel {
+
+/// Projects `v` in place onto the simplex of the given total mass
+/// (default 1). O(n log n) via sorting.
+void ProjectToSimplex(Vector* v, double total = 1.0);
+
+/// Returns the projection of `v` onto the simplex.
+Vector SimplexProjection(Vector v, double total = 1.0);
+
+}  // namespace sel
+
+#endif  // SEL_SOLVER_SIMPLEX_PROJECTION_H_

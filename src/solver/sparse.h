@@ -1,0 +1,177 @@
+// CSR sparse matrix for the weight-estimation systems: most buckets do
+// not intersect most training ranges, so the fraction matrix of Eq. (8)
+// is sparse, and the projected-gradient solver only needs mat-vec.
+#ifndef SEL_SOLVER_SPARSE_H_
+#define SEL_SOLVER_SPARSE_H_
+
+#include <algorithm>
+#include <tuple>
+#include <utility>
+#include <vector>
+
+#include "common/check.h"
+#include "solver/dense.h"
+
+namespace sel {
+
+/// (row, col, value) entry used to assemble a SparseMatrix.
+struct Triplet {
+  int row;
+  int col;
+  double value;
+};
+
+/// Compressed-sparse-row matrix supporting Apply / ApplyTranspose.
+class SparseMatrix {
+ public:
+  SparseMatrix() = default;
+
+  /// Builds from triplets (duplicates are summed). Triplets need not be
+  /// sorted.
+  static SparseMatrix FromTriplets(int rows, int cols,
+                                   std::vector<Triplet> triplets);
+
+  /// Builds row-by-row: `rows[i]` holds (col, value) pairs of row i.
+  static SparseMatrix FromRows(
+      int cols, const std::vector<std::vector<std::pair<int, double>>>& rows);
+
+  int rows() const { return rows_; }
+  int cols() const { return cols_; }
+  size_t nnz() const { return values_.size(); }
+
+  /// y = A x.
+  Vector Apply(const Vector& x) const;
+
+  /// y = A^T x.
+  Vector ApplyTranspose(const Vector& x) const;
+
+  /// Dense copy (for tests and small NNLS fallback).
+  DenseMatrix ToDense() const;
+
+  /// Iterates row i's entries: [RowBegin(i), RowEnd(i)).
+  struct Entry {
+    int col;
+    double value;
+  };
+  const Entry* RowBegin(int i) const { return entries_.data() + row_ptr_[i]; }
+  const Entry* RowEnd(int i) const {
+    return entries_.data() + row_ptr_[i + 1];
+  }
+
+ private:
+  int rows_ = 0;
+  int cols_ = 0;
+  std::vector<size_t> row_ptr_;
+  std::vector<Entry> entries_;
+  std::vector<double> values_;  // kept to report nnz cheaply
+
+  void Finalize(std::vector<Triplet> triplets);
+};
+
+inline SparseMatrix SparseMatrix::FromTriplets(int rows, int cols,
+                                               std::vector<Triplet> t) {
+  SparseMatrix m;
+  m.rows_ = rows;
+  m.cols_ = cols;
+  m.Finalize(std::move(t));
+  return m;
+}
+
+inline SparseMatrix SparseMatrix::FromRows(
+    int cols, const std::vector<std::vector<std::pair<int, double>>>& rows) {
+  std::vector<Triplet> t;
+  size_t total = 0;
+  for (const auto& r : rows) total += r.size();
+  t.reserve(total);
+  for (size_t i = 0; i < rows.size(); ++i) {
+    for (const auto& [c, v] : rows[i]) {
+      t.push_back(Triplet{static_cast<int>(i), c, v});
+    }
+  }
+  return FromTriplets(static_cast<int>(rows.size()), cols, std::move(t));
+}
+
+inline void SparseMatrix::Finalize(std::vector<Triplet> triplets) {
+  for (const auto& t : triplets) {
+    SEL_CHECK(t.row >= 0 && t.row < rows_ && t.col >= 0 && t.col < cols_);
+  }
+  std::sort(triplets.begin(), triplets.end(),
+            [](const Triplet& a, const Triplet& b) {
+              return std::tie(a.row, a.col) < std::tie(b.row, b.col);
+            });
+  row_ptr_.assign(rows_ + 1, 0);
+  entries_.clear();
+  values_.clear();
+  for (size_t i = 0; i < triplets.size();) {
+    size_t j = i;
+    double sum = 0.0;
+    while (j < triplets.size() && triplets[j].row == triplets[i].row &&
+           triplets[j].col == triplets[i].col) {
+      sum += triplets[j].value;
+      ++j;
+    }
+    if (sum != 0.0) {
+      entries_.push_back(Entry{triplets[i].col, sum});
+      values_.push_back(sum);
+      ++row_ptr_[triplets[i].row + 1];
+    }
+    i = j;
+  }
+  for (int i = 0; i < rows_; ++i) row_ptr_[i + 1] += row_ptr_[i];
+}
+
+inline Vector SparseMatrix::Apply(const Vector& x) const {
+  SEL_CHECK(static_cast<int>(x.size()) == cols_);
+  Vector y(rows_, 0.0);
+  for (int i = 0; i < rows_; ++i) {
+    double s = 0.0;
+    for (const Entry* e = RowBegin(i); e != RowEnd(i); ++e) {
+      s += e->value * x[e->col];
+    }
+    y[i] = s;
+  }
+  return y;
+}
+
+inline Vector SparseMatrix::ApplyTranspose(const Vector& x) const {
+  SEL_CHECK(static_cast<int>(x.size()) == rows_);
+  Vector y(cols_, 0.0);
+  for (int i = 0; i < rows_; ++i) {
+    const double xi = x[i];
+    if (xi == 0.0) continue;
+    for (const Entry* e = RowBegin(i); e != RowEnd(i); ++e) {
+      y[e->col] += e->value * xi;
+    }
+  }
+  return y;
+}
+
+inline DenseMatrix SparseMatrix::ToDense() const {
+  DenseMatrix d(rows_, cols_);
+  for (int i = 0; i < rows_; ++i) {
+    for (const Entry* e = RowBegin(i); e != RowEnd(i); ++e) {
+      d.at(i, e->col) = e->value;
+    }
+  }
+  return d;
+}
+
+/// Residual r = A x - b for sparse A.
+inline Vector Residual(const SparseMatrix& a, const Vector& x,
+                       const Vector& b) {
+  Vector r = a.Apply(x);
+  SEL_CHECK(r.size() == b.size());
+  for (size_t i = 0; i < r.size(); ++i) r[i] -= b[i];
+  return r;
+}
+
+/// Mean squared residual for sparse A.
+inline double MeanSquaredResidual(const SparseMatrix& a, const Vector& x,
+                                  const Vector& b) {
+  if (a.rows() == 0) return 0.0;
+  return SquaredNorm(Residual(a, x, b)) / a.rows();
+}
+
+}  // namespace sel
+
+#endif  // SEL_SOLVER_SPARSE_H_

@@ -1,0 +1,131 @@
+#include "workload/workload.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace sel {
+
+const char* CenterDistributionName(CenterDistribution c) {
+  switch (c) {
+    case CenterDistribution::kDataDriven: return "data-driven";
+    case CenterDistribution::kRandom: return "random";
+    case CenterDistribution::kGaussian: return "gaussian";
+  }
+  return "unknown";
+}
+
+WorkloadGenerator::WorkloadGenerator(const Dataset* dataset,
+                                     const CountingKdTree* index,
+                                     const WorkloadOptions& options)
+    : dataset_(dataset), index_(index), options_(options),
+      rng_(options.seed) {
+  SEL_CHECK(dataset_ != nullptr && index_ != nullptr);
+  SEL_CHECK(dataset_->num_rows() > 0);
+  SEL_CHECK(index_->size() == dataset_->num_rows());
+}
+
+Point WorkloadGenerator::SampleCenter() {
+  const int d = dataset_->dim();
+  switch (options_.centers) {
+    case CenterDistribution::kDataDriven: {
+      const size_t i = rng_.UniformInt(dataset_->num_rows());
+      return dataset_->row(i);
+    }
+    case CenterDistribution::kRandom: {
+      Point p(d);
+      for (int j = 0; j < d; ++j) p[j] = rng_.NextDouble();
+      return p;
+    }
+    case CenterDistribution::kGaussian: {
+      Point p(d);
+      for (int j = 0; j < d; ++j) {
+        p[j] = std::clamp(
+            rng_.Gaussian(options_.gaussian_mean, options_.gaussian_stddev),
+            0.0, 1.0);
+      }
+      return p;
+    }
+  }
+  SEL_CHECK(false);
+  return Point(d, 0.5);
+}
+
+Query WorkloadGenerator::SampleQuery() {
+  const int d = dataset_->dim();
+  Point center = SampleCenter();
+  switch (options_.query_type) {
+    case QueryType::kBox: {
+      Point widths(d);
+      for (int j = 0; j < d; ++j) {
+        const AttributeInfo& a = dataset_->attribute(j);
+        if (a.categorical && a.cardinality > 1) {
+          // Equality predicate: snap the center to the category lattice
+          // and select exactly that value. §4 uses width zero; we use
+          // half the lattice gap so bucket-volume fractions stay defined
+          // while selecting the same tuple set.
+          const double gap = 1.0 / (a.cardinality - 1);
+          const double snapped = std::round(center[j] / gap) * gap;
+          center[j] = std::clamp(snapped, 0.0, 1.0);
+          widths[j] = 0.5 * gap;
+        } else {
+          widths[j] = rng_.NextDouble() * options_.max_width;
+        }
+      }
+      return Box::FromCenterAndWidths(center, widths,
+                                      dataset_->Domain());
+    }
+    case QueryType::kBall: {
+      const double radius = rng_.NextDouble() * options_.max_width;
+      return Ball(std::move(center), radius);
+    }
+    case QueryType::kHalfspace: {
+      Point normal = rng_.UnitVector(d);
+      return Halfspace::ThroughPoint(center, normal);
+    }
+  }
+  SEL_CHECK(false);
+  return Box::Unit(d);
+}
+
+LabeledQuery WorkloadGenerator::Next() {
+  Query q = SampleQuery();
+  const double s = index_->Selectivity(q);
+  return LabeledQuery{std::move(q), s};
+}
+
+Workload WorkloadGenerator::Generate(size_t n) {
+  Workload w;
+  w.reserve(n);
+  for (size_t i = 0; i < n; ++i) w.push_back(Next());
+  return w;
+}
+
+Workload FilterNonEmpty(const Workload& w) {
+  Workload out;
+  out.reserve(w.size());
+  for (const auto& z : w) {
+    if (z.selectivity > 0.0) out.push_back(z);
+  }
+  return out;
+}
+
+std::vector<Query> QueriesOf(const Workload& w) {
+  std::vector<Query> qs;
+  qs.reserve(w.size());
+  for (const auto& z : w) qs.push_back(z.query);
+  return qs;
+}
+
+Workload LabelQueries(const std::vector<Query>& queries,
+                      const CountingKdTree& index) {
+  Workload out;
+  out.reserve(queries.size());
+  for (const auto& q : queries) {
+    out.push_back(LabeledQuery{q, index.Selectivity(q)});
+  }
+  return out;
+}
+
+}  // namespace sel

@@ -1,0 +1,90 @@
+// Query workload generation and ground-truth labeling (§4 "Workloads").
+//
+// Orthogonal range queries are boxes from a center point plus per-dimension
+// side lengths uniform in [0,1]; ball queries add a uniform radius; halfspace
+// queries put the center on the boundary plane with a uniformly random unit
+// normal. Center points are Data-driven (uniform from the dataset), Random
+// (uniform in the cube), or Gaussian (per-dimension normal).
+#ifndef SEL_WORKLOAD_WORKLOAD_H_
+#define SEL_WORKLOAD_WORKLOAD_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "data/dataset.h"
+#include "geometry/query.h"
+#include "index/kdtree.h"
+
+namespace sel {
+
+/// §4's three center distributions.
+enum class CenterDistribution { kDataDriven, kRandom, kGaussian };
+
+/// Returns "data-driven" / "random" / "gaussian".
+const char* CenterDistributionName(CenterDistribution c);
+
+/// A training or test example z = (R, s).
+struct LabeledQuery {
+  Query query;
+  double selectivity = 0.0;
+};
+
+/// A finite query workload (the training sample z^n of §2.1).
+using Workload = std::vector<LabeledQuery>;
+
+/// Options controlling workload generation.
+struct WorkloadOptions {
+  QueryType query_type = QueryType::kBox;
+  CenterDistribution centers = CenterDistribution::kDataDriven;
+  /// Per-dimension mean/stddev of the Gaussian center distribution
+  /// (§4 uses mean 0.5; Fig. 16 shifts the mean along the diagonal).
+  double gaussian_mean = 0.5;
+  double gaussian_stddev = 0.167;
+  /// Upper bound of the uniform side-length / radius draw. The paper uses
+  /// 1.0; smaller values localize queries (useful for shift studies).
+  double max_width = 1.0;
+  uint64_t seed = 4242;
+};
+
+/// Generates labeled queries against one dataset. Ground truth comes from
+/// an exact CountingKdTree over the dataset (selectivity = fraction of
+/// tuples satisfying the predicate).
+class WorkloadGenerator {
+ public:
+  /// `dataset` and `index` must outlive the generator; `index` must have
+  /// been built over exactly `dataset`'s rows.
+  WorkloadGenerator(const Dataset* dataset, const CountingKdTree* index,
+                    const WorkloadOptions& options);
+
+  /// Draws the next labeled query.
+  LabeledQuery Next();
+
+  /// Draws `n` labeled queries.
+  Workload Generate(size_t n);
+
+  const WorkloadOptions& options() const { return options_; }
+
+ private:
+  Point SampleCenter();
+  Query SampleQuery();
+
+  const Dataset* dataset_;
+  const CountingKdTree* index_;
+  WorkloadOptions options_;
+  Rng rng_;
+};
+
+/// Keeps only queries with positive true selectivity (the "non-empty"
+/// rows of Table 1 / Fig. 14).
+Workload FilterNonEmpty(const Workload& w);
+
+/// Extracts the plain queries of a workload.
+std::vector<Query> QueriesOf(const Workload& w);
+
+/// Relabels `queries` with exact selectivities from `index`.
+Workload LabelQueries(const std::vector<Query>& queries,
+                      const CountingKdTree& index);
+
+}  // namespace sel
+
+#endif  // SEL_WORKLOAD_WORKLOAD_H_

@@ -1,0 +1,128 @@
+#include "workload/workload_io.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace sel {
+
+namespace {
+
+void WriteValues(std::ostream& out, const Point& v) {
+  for (double x : v) out << ',' << FormatDouble(x);
+}
+
+}  // namespace
+
+Status SaveWorkloadCsv(const Workload& workload, const std::string& path) {
+  std::ofstream out(path);
+  if (!out.good()) return Status::IOError("cannot open: " + path);
+  out << "type,dim,geometry...,selectivity\n";
+  for (const auto& z : workload) {
+    const int d = z.query.dim();
+    switch (z.query.type()) {
+      case QueryType::kBox:
+        out << "box," << d;
+        WriteValues(out, z.query.box().lo());
+        WriteValues(out, z.query.box().hi());
+        break;
+      case QueryType::kBall:
+        out << "ball," << d;
+        WriteValues(out, z.query.ball().center());
+        out << ',' << FormatDouble(z.query.ball().radius());
+        break;
+      case QueryType::kHalfspace:
+        out << "halfspace," << d;
+        WriteValues(out, z.query.halfspace().normal());
+        out << ',' << FormatDouble(z.query.halfspace().offset());
+        break;
+      case QueryType::kSemiAlgebraic:
+        return Status::Unimplemented(
+            "semi-algebraic queries have no flat CSV encoding");
+    }
+    out << ',' << FormatDouble(z.selectivity) << "\n";
+  }
+  out.flush();
+  return out.good() ? Status::OK() : Status::IOError("write failed: " + path);
+}
+
+Result<Workload> LoadWorkloadCsv(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.good()) return Status::IOError("cannot open: " + path);
+  std::string line;
+  if (!std::getline(in, line)) return Status::IOError("empty file: " + path);
+
+  Workload out;
+  size_t lineno = 1;
+  while (std::getline(in, line)) {
+    ++lineno;
+    const std::string t = Trim(line);
+    if (t.empty()) continue;
+    const auto fields = Split(t, ',');
+    auto bad = [&](const std::string& why) {
+      return Status::IOError("row " + std::to_string(lineno) + ": " + why +
+                             " in " + path);
+    };
+    if (fields.size() < 3) return bad("too few fields");
+    const std::string& type = fields[0];
+    const int d = std::atoi(fields[1].c_str());
+    if (d < 1) return bad("bad dimension");
+
+    auto parse_doubles = [&fields](size_t start, size_t count,
+                                   Point* v) -> bool {
+      if (start + count > fields.size()) return false;
+      v->resize(count);
+      for (size_t i = 0; i < count; ++i) {
+        char* end = nullptr;
+        (*v)[i] = std::strtod(fields[start + i].c_str(), &end);
+        if (end == fields[start + i].c_str()) return false;
+      }
+      return true;
+    };
+
+    const size_t dd = static_cast<size_t>(d);
+    if (type == "box") {
+      if (fields.size() != 2 + 2 * dd + 1) return bad("wrong arity for box");
+      Point lo, hi, sel;
+      if (!parse_doubles(2, dd, &lo) || !parse_doubles(2 + dd, dd, &hi) ||
+          !parse_doubles(2 + 2 * dd, 1, &sel)) {
+        return bad("non-numeric field");
+      }
+      for (int j = 0; j < d; ++j) {
+        if (lo[j] > hi[j]) return bad("box lo > hi");
+      }
+      out.push_back({Box(std::move(lo), std::move(hi)), sel[0]});
+    } else if (type == "ball") {
+      if (fields.size() != 2 + dd + 2) return bad("wrong arity for ball");
+      Point center, rest;
+      if (!parse_doubles(2, dd, &center) ||
+          !parse_doubles(2 + dd, 2, &rest)) {
+        return bad("non-numeric field");
+      }
+      if (rest[0] < 0.0) return bad("negative radius");
+      out.push_back({Ball(std::move(center), rest[0]), rest[1]});
+    } else if (type == "halfspace") {
+      if (fields.size() != 2 + dd + 2) {
+        return bad("wrong arity for halfspace");
+      }
+      Point normal, rest;
+      if (!parse_doubles(2, dd, &normal) ||
+          !parse_doubles(2 + dd, 2, &rest)) {
+        return bad("non-numeric field");
+      }
+      double norm2 = 0.0;
+      for (double c : normal) norm2 += c * c;
+      if (norm2 == 0.0) return bad("zero halfspace normal");
+      out.push_back({Halfspace(std::move(normal), rest[0]), rest[1]});
+    } else {
+      return bad("unknown query type '" + type + "'");
+    }
+    if (out.back().selectivity < 0.0 || out.back().selectivity > 1.0) {
+      return bad("selectivity outside [0,1]");
+    }
+  }
+  return out;
+}
+
+}  // namespace sel

@@ -1,0 +1,28 @@
+// Workload persistence: labeled query workloads (the training samples
+// z^n) save to CSV and load back, so query logs can be captured once and
+// replayed across experiments, tools, and library versions.
+//
+// Row format: type,dim,<geometry fields...>,selectivity
+//   box        lo_0..lo_{d-1}, hi_0..hi_{d-1}
+//   ball       center_0..center_{d-1}, radius
+//   halfspace  normal_0..normal_{d-1}, offset
+// (semi-algebraic queries have no flat encoding and are rejected).
+#ifndef SEL_WORKLOAD_WORKLOAD_IO_H_
+#define SEL_WORKLOAD_WORKLOAD_IO_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "workload/workload.h"
+
+namespace sel {
+
+/// Writes the workload as CSV (with a header row).
+Status SaveWorkloadCsv(const Workload& workload, const std::string& path);
+
+/// Reads a workload saved by SaveWorkloadCsv.
+Result<Workload> LoadWorkloadCsv(const std::string& path);
+
+}  // namespace sel
+
+#endif  // SEL_WORKLOAD_WORKLOAD_IO_H_

@@ -1,0 +1,172 @@
+// Tests for the arrangement-based generic learner (§3.1, Lemma 3.1):
+// exact loss minimization over histograms / discrete distributions.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/arrangement.h"
+#include "data/generators.h"
+#include "index/kdtree.h"
+#include "metrics/metrics.h"
+#include "workload/workload.h"
+
+namespace sel {
+namespace {
+
+double TrainLoss(const SelectivityModel& m, const Workload& w) {
+  double loss = 0.0;
+  for (const auto& z : w) {
+    const double d = m.Estimate(z.query) - z.selectivity;
+    loss += d * d;
+  }
+  return loss / static_cast<double>(w.size());
+}
+
+TEST(ArrangementTest, CellsPartitionDomain) {
+  Workload w;
+  w.push_back({Box({0.2, 0.3}, {0.6, 0.8}), 0.4});
+  w.push_back({Box({0.5, 0.1}, {0.9, 0.5}), 0.3});
+  ArrangementLearner m(2, ArrangementOptions{});
+  ASSERT_TRUE(m.Train(w).ok());
+  double total = 0.0;
+  for (const auto& c : m.Cells()) total += c.Volume();
+  EXPECT_NEAR(total, 1.0, 1e-12);
+  // Grid from breakpoints {0,.2,.5,.6,.9,1} x {0,.1,.3,.5,.8,1} = 25 cells.
+  EXPECT_EQ(m.NumBuckets(), 25u);
+}
+
+TEST(ArrangementTest, ConsistentWorkloadFitsExactly) {
+  // Labels generated from an actual distribution over the cells must be
+  // fit with (near) zero training loss — Lemma 3.1's optimality.
+  const Dataset data = MakeUniform(4000, 2, 130);
+  CountingKdTree index(data.rows());
+  WorkloadOptions opts;
+  opts.seed = 131;
+  WorkloadGenerator gen(&data, &index, opts);
+  const Workload w = gen.Generate(12);
+  ArrangementLearner m(2, ArrangementOptions{});
+  ASSERT_TRUE(m.Train(w).ok());
+  // Uniform data: the histogram with per-cell weight = cell volume fits
+  // every box query almost exactly, so the optimum is near zero.
+  EXPECT_LT(TrainLoss(m, w), 1e-3);
+}
+
+TEST(ArrangementTest, OneDimensionalOptimalityAgainstGridSearch) {
+  // Lemma 3.1 in 1-D: the arrangement learner's training loss lower-bounds
+  // every histogram we can construct by brute force over a fine grid.
+  Workload w;
+  w.push_back({Box({0.1}, {0.5}), 0.6});
+  w.push_back({Box({0.4}, {0.9}), 0.5});
+  w.push_back({Box({0.0}, {0.3}), 0.2});
+  ArrangementLearner m(1, ArrangementOptions{});
+  ASSERT_TRUE(m.Train(w).ok());
+  const double opt_loss = TrainLoss(m, w);
+
+  // Brute-force competitor: uniform histograms over a 64-cell grid with
+  // randomized simplex weights.
+  Rng rng(132);
+  const int cells = 64;
+  double best_competitor = 1e9;
+  for (int trial = 0; trial < 4000; ++trial) {
+    Vector wts(cells);
+    double sum = 0.0;
+    for (auto& x : wts) {
+      x = rng.NextDouble();
+      sum += x;
+    }
+    for (auto& x : wts) x /= sum;
+    double loss = 0.0;
+    for (const auto& z : w) {
+      const Box& r = z.query.box();
+      double est = 0.0;
+      for (int c = 0; c < cells; ++c) {
+        const double lo = static_cast<double>(c) / cells;
+        const double hi = static_cast<double>(c + 1) / cells;
+        const double inter =
+            std::max(0.0, std::min(hi, r.hi(0)) - std::max(lo, r.lo(0)));
+        est += wts[c] * inter * cells;
+      }
+      const double d = est - z.selectivity;
+      loss += d * d;
+    }
+    best_competitor = std::min(best_competitor, loss / w.size());
+  }
+  EXPECT_LE(opt_loss, best_competitor + 1e-9);
+}
+
+TEST(ArrangementTest, DiscreteModeMatchesHistogramLossOnBoxes) {
+  // Lemma 3.1 covers both instantiations; on box queries over the exact
+  // cell grid their optimal training losses coincide (up to solver tol).
+  const Dataset data = MakePowerLike(3000, 133).Project({0, 1});
+  CountingKdTree index(data.rows());
+  WorkloadOptions opts;
+  opts.seed = 134;
+  WorkloadGenerator gen(&data, &index, opts);
+  const Workload w = gen.Generate(10);
+  ArrangementOptions ho;
+  ho.mode = ArrangementOptions::Mode::kHistogram;
+  ArrangementLearner hist(2, ho);
+  ASSERT_TRUE(hist.Train(w).ok());
+  ArrangementOptions po;
+  po.mode = ArrangementOptions::Mode::kDiscrete;
+  ArrangementLearner pts(2, po);
+  ASSERT_TRUE(pts.Train(w).ok());
+  EXPECT_NEAR(TrainLoss(hist, w), TrainLoss(pts, w), 5e-3);
+}
+
+TEST(ArrangementTest, ExactOnTrainingQueriesWhenRealizable) {
+  // Point mass at (0.25, 0.25): all box queries have selectivity 0 or 1.
+  Workload w;
+  w.push_back({Box({0.0, 0.0}, {0.5, 0.5}), 1.0});
+  w.push_back({Box({0.5, 0.5}, {1.0, 1.0}), 0.0});
+  w.push_back({Box({0.0, 0.0}, {0.3, 0.3}), 1.0});
+  ArrangementLearner m(2, ArrangementOptions{});
+  ASSERT_TRUE(m.Train(w).ok());
+  EXPECT_LT(TrainLoss(m, w), 1e-6);
+}
+
+TEST(ArrangementTest, CellCapEnforced) {
+  const Dataset data = MakeUniform(500, 3, 135);
+  CountingKdTree index(data.rows());
+  WorkloadOptions opts;
+  opts.seed = 136;
+  WorkloadGenerator gen(&data, &index, opts);
+  const Workload w = gen.Generate(100);  // (2*100)^3 cells >> cap
+  ArrangementOptions ao;
+  ao.max_cells = 1000;
+  ArrangementLearner m(3, ao);
+  const Status st = m.Train(w);
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kOutOfRange);
+}
+
+TEST(ArrangementTest, OneDimensionalHalfspacesAndBalls) {
+  const Dataset data = MakeUniform(3000, 1, 137);
+  CountingKdTree index(data.rows());
+  for (QueryType qt : {QueryType::kHalfspace, QueryType::kBall}) {
+    WorkloadOptions opts;
+    opts.query_type = qt;
+    opts.seed = 138 + static_cast<int>(qt);
+    WorkloadGenerator gen(&data, &index, opts);
+    const Workload w = gen.Generate(20);
+    ArrangementLearner m(1, ArrangementOptions{});
+    ASSERT_TRUE(m.Train(w).ok()) << QueryTypeName(qt);
+    EXPECT_LT(TrainLoss(m, w), 1e-3) << QueryTypeName(qt);
+  }
+}
+
+TEST(ArrangementTest, GeneralizesOnSmallWorkload) {
+  const Dataset data = MakePowerLike(3000, 140).Project({0, 1});
+  CountingKdTree index(data.rows());
+  WorkloadOptions opts;
+  opts.seed = 141;
+  WorkloadGenerator gen(&data, &index, opts);
+  const Workload train = gen.Generate(30);
+  const Workload test = gen.Generate(50);
+  ArrangementLearner m(2, ArrangementOptions{});
+  ASSERT_TRUE(m.Train(train).ok());
+  EXPECT_LT(EvaluateModel(m, test).rms, 0.1);
+}
+
+}  // namespace
+}  // namespace sel

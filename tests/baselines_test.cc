@@ -1,0 +1,188 @@
+// Tests for the reimplemented baselines: QuickSel (uniform-mixture
+// kernels) and ISOMER (STHoles drilling + max-entropy weights).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "baselines/isomer.h"
+#include "baselines/quicksel.h"
+#include "data/generators.h"
+#include "index/kdtree.h"
+#include "metrics/metrics.h"
+#include "workload/workload.h"
+
+namespace sel {
+namespace {
+
+struct Fixture {
+  Fixture()
+      : data(MakePowerLike(4000, 150).Project({0, 1})), index(data.rows()) {}
+
+  Workload Make(size_t n, uint64_t seed) const {
+    WorkloadOptions opts;
+    opts.seed = seed;
+    WorkloadGenerator gen(&data, &index, opts);
+    return gen.Generate(n);
+  }
+
+  Dataset data;
+  CountingKdTree index;
+};
+
+// ---------- QuickSel ----------
+
+TEST(QuickSelTest, KernelBudgetIs4xByDefault) {
+  Fixture f;
+  QuickSel m(2, QuickSelOptions{});
+  ASSERT_TRUE(m.Train(f.Make(50, 151)).ok());
+  EXPECT_EQ(m.NumBuckets(), 200u);
+}
+
+TEST(QuickSelTest, KernelsIncludeTrainingBoxes) {
+  Fixture f;
+  const Workload w = f.Make(30, 152);
+  QuickSel m(2, QuickSelOptions{});
+  ASSERT_TRUE(m.Train(w).ok());
+  // Kernel 0 is the background (domain); the next |w| kernels are the
+  // clipped training boxes themselves.
+  EXPECT_EQ(m.Kernels()[0], Box::Unit(2));
+  for (size_t i = 0; i < w.size(); ++i) {
+    EXPECT_EQ(m.Kernels()[i + 1], *w[i].query.box().Intersection(
+                                      Box::Unit(2)));
+  }
+}
+
+TEST(QuickSelTest, EstimatesBoundedAndFullDomainNearOne) {
+  Fixture f;
+  QuickSel m(2, QuickSelOptions{});
+  ASSERT_TRUE(m.Train(f.Make(80, 153)).ok());
+  for (const auto& z : f.Make(60, 154)) {
+    const double e = m.Estimate(z.query);
+    EXPECT_GE(e, 0.0);
+    EXPECT_LE(e, 1.0);
+  }
+  EXPECT_NEAR(m.Estimate(Box::Unit(2)), 1.0, 1e-6);
+}
+
+TEST(QuickSelTest, AccuracyImprovesWithTrainingSize) {
+  Fixture f;
+  const Workload test = f.Make(150, 155);
+  QuickSel small(2, QuickSelOptions{});
+  ASSERT_TRUE(small.Train(f.Make(20, 156)).ok());
+  QuickSel large(2, QuickSelOptions{});
+  ASSERT_TRUE(large.Train(f.Make(300, 157)).ok());
+  EXPECT_LT(EvaluateModel(large, test).rms,
+            EvaluateModel(small, test).rms);
+  EXPECT_LT(EvaluateModel(large, test).rms, 0.06);
+}
+
+TEST(QuickSelTest, RejectsNonBoxQueries) {
+  QuickSel m(2, QuickSelOptions{});
+  Workload w;
+  w.push_back({Ball({0.5, 0.5}, 0.2), 0.3});
+  const Status st = m.Train(w);
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kUnimplemented);
+}
+
+TEST(QuickSelTest, DeterministicGivenSeed) {
+  Fixture f;
+  const Workload w = f.Make(40, 158);
+  QuickSel a(2, QuickSelOptions{}), b(2, QuickSelOptions{});
+  ASSERT_TRUE(a.Train(w).ok());
+  ASSERT_TRUE(b.Train(w).ok());
+  for (const auto& z : f.Make(20, 159)) {
+    EXPECT_EQ(a.Estimate(z.query), b.Estimate(z.query));
+  }
+}
+
+// ---------- ISOMER ----------
+
+TEST(IsomerTest, SingleQueryDrillsOneHole) {
+  Isomer m(2, IsomerOptions{});
+  Workload w;
+  w.push_back({Box({0.2, 0.2}, {0.6, 0.6}), 0.7});
+  ASSERT_TRUE(m.Train(w).ok());
+  EXPECT_EQ(m.NumBuckets(), 2u);  // root + one hole
+  EXPECT_NEAR(m.Estimate(Box({0.2, 0.2}, {0.6, 0.6})), 0.7, 0.02);
+}
+
+TEST(IsomerTest, FitsDisjointQueriesExactly) {
+  Isomer m(2, IsomerOptions{});
+  Workload w;
+  w.push_back({Box({0.0, 0.0}, {0.3, 0.3}), 0.5});
+  w.push_back({Box({0.6, 0.6}, {0.9, 0.9}), 0.2});
+  ASSERT_TRUE(m.Train(w).ok());
+  EXPECT_NEAR(m.Estimate(w[0].query), 0.5, 0.02);
+  EXPECT_NEAR(m.Estimate(w[1].query), 0.2, 0.02);
+}
+
+TEST(IsomerTest, HandlesNestedQueries) {
+  Isomer m(2, IsomerOptions{});
+  Workload w;
+  w.push_back({Box({0.1, 0.1}, {0.9, 0.9}), 0.9});
+  w.push_back({Box({0.3, 0.3}, {0.5, 0.5}), 0.6});
+  ASSERT_TRUE(m.Train(w).ok());
+  EXPECT_NEAR(m.Estimate(w[0].query), 0.9, 0.05);
+  EXPECT_NEAR(m.Estimate(w[1].query), 0.6, 0.05);
+}
+
+TEST(IsomerTest, HandlesOverlappingQueries) {
+  Isomer m(2, IsomerOptions{});
+  Workload w;
+  w.push_back({Box({0.0, 0.0}, {0.6, 0.6}), 0.5});
+  w.push_back({Box({0.4, 0.4}, {1.0, 1.0}), 0.4});
+  ASSERT_TRUE(m.Train(w).ok());
+  EXPECT_NEAR(m.Estimate(w[0].query), 0.5, 0.06);
+  EXPECT_NEAR(m.Estimate(w[1].query), 0.4, 0.06);
+}
+
+TEST(IsomerTest, BucketCountGrowsSuperlinearlyWithQueries) {
+  // The paper reports ISOMER using 48-160x buckets per training query;
+  // our drilling reproduces bucket counts well above the query count.
+  Fixture f;
+  Isomer m(2, IsomerOptions{});
+  const Workload w = f.Make(100, 160);
+  ASSERT_TRUE(m.Train(w).ok());
+  EXPECT_GT(m.NumBuckets(), w.size());
+}
+
+TEST(IsomerTest, AccurateOnRealisticWorkload) {
+  Fixture f;
+  Isomer m(2, IsomerOptions{});
+  ASSERT_TRUE(m.Train(f.Make(120, 161)).ok());
+  const ErrorReport r = EvaluateModel(m, f.Make(100, 162));
+  EXPECT_LT(r.rms, 0.08);
+}
+
+TEST(IsomerTest, WeightsFormDistribution) {
+  Fixture f;
+  Isomer m(2, IsomerOptions{});
+  ASSERT_TRUE(m.Train(f.Make(50, 163)).ok());
+  EXPECT_NEAR(m.Estimate(Box::Unit(2)), 1.0, 1e-6);
+}
+
+TEST(IsomerTest, RejectsNonBoxQueries) {
+  Isomer m(2, IsomerOptions{});
+  Workload w;
+  w.push_back({Halfspace({1.0, 0.0}, 0.5), 0.5});
+  EXPECT_EQ(m.Train(w).code(), StatusCode::kUnimplemented);
+}
+
+TEST(IsomerTest, TrainingSlowerThanQuickSel) {
+  // §4.1: ISOMER is much slower to train than the others. Compare at a
+  // size where both finish quickly; the gap should still be visible.
+  Fixture f;
+  const Workload w = f.Make(150, 164);
+  Isomer iso(2, IsomerOptions{});
+  ASSERT_TRUE(iso.Train(w).ok());
+  QuickSel qs(2, QuickSelOptions{});
+  ASSERT_TRUE(qs.Train(w).ok());
+  // Don't assert a strict ratio (machine-dependent); just record that
+  // both produce stats and ISOMER used many sweeps.
+  EXPECT_GT(iso.train_stats().solver_iterations, 0);
+  EXPECT_GE(iso.train_stats().train_seconds, 0.0);
+}
+
+}  // namespace
+}  // namespace sel

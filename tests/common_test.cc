@@ -1,0 +1,244 @@
+// Tests for the common substrate: Status/Result, Rng determinism,
+// Halton sequences, env helpers, CSV and string utilities.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+
+#include "common/csv.h"
+#include "common/env.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/string_util.h"
+#include "common/timer.h"
+
+namespace sel {
+namespace {
+
+TEST(StatusTest, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad tau");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad tau");
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad tau");
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  EXPECT_STREQ(StatusCodeName(StatusCode::kNotConverged), "NotConverged");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kIOError), "IOError");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kUnimplemented), "Unimplemented");
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::NotFound("missing"));
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextU64(), b.NextU64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.NextU64() == b.NextU64()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.NextDouble();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(RngTest, UniformRespectsBounds) {
+  Rng rng(8);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.Uniform(-2.5, 3.5);
+    EXPECT_GE(x, -2.5);
+    EXPECT_LT(x, 3.5);
+  }
+}
+
+TEST(RngTest, UniformIntUnbiasedMean) {
+  Rng rng(9);
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += static_cast<double>(rng.UniformInt(10));
+  EXPECT_NEAR(sum / n, 4.5, 0.1);
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(10);
+  double sum = 0.0, sq = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    const double g = rng.Gaussian();
+    sum += g;
+    sq += g * g;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.03);
+  EXPECT_NEAR(sq / n, 1.0, 0.05);
+}
+
+TEST(RngTest, UnitVectorHasUnitNorm) {
+  Rng rng(11);
+  for (int d = 1; d <= 8; ++d) {
+    const auto v = rng.UnitVector(d);
+    double norm2 = 0.0;
+    for (double x : v) norm2 += x * x;
+    EXPECT_NEAR(norm2, 1.0, 1e-12);
+  }
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng a(5);
+  Rng child = a.Fork();
+  EXPECT_NE(a.NextU64(), child.NextU64());
+}
+
+TEST(HaltonTest, PointsInUnitCube) {
+  HaltonSequence h(5);
+  double p[5];
+  for (int i = 0; i < 200; ++i) {
+    h.Next(p);
+    for (int j = 0; j < 5; ++j) {
+      EXPECT_GE(p[j], 0.0);
+      EXPECT_LT(p[j], 1.0);
+    }
+  }
+}
+
+TEST(HaltonTest, FirstBase2ValuesMatchKnownSequence) {
+  HaltonSequence h(1);
+  double p[1];
+  const double expected[] = {0.5, 0.25, 0.75, 0.125, 0.625};
+  for (double e : expected) {
+    h.Next(p);
+    EXPECT_NEAR(p[0], e, 1e-15);
+  }
+}
+
+TEST(HaltonTest, LowDiscrepancyMean) {
+  HaltonSequence h(2);
+  double p[2];
+  double sx = 0.0, sy = 0.0;
+  const int n = 4096;
+  for (int i = 0; i < n; ++i) {
+    h.Next(p);
+    sx += p[0];
+    sy += p[1];
+  }
+  EXPECT_NEAR(sx / n, 0.5, 0.01);
+  EXPECT_NEAR(sy / n, 0.5, 0.01);
+}
+
+TEST(EnvTest, DefaultsWhenUnset) {
+  unsetenv("SEL_TEST_ENV_VAR");
+  EXPECT_EQ(GetEnvString("SEL_TEST_ENV_VAR", "dflt"), "dflt");
+  EXPECT_EQ(GetEnvDouble("SEL_TEST_ENV_VAR", 1.5), 1.5);
+  EXPECT_EQ(GetEnvInt("SEL_TEST_ENV_VAR", 7), 7);
+}
+
+TEST(EnvTest, ParsesValues) {
+  setenv("SEL_TEST_ENV_VAR", "2.5", 1);
+  EXPECT_EQ(GetEnvString("SEL_TEST_ENV_VAR", "dflt"), "2.5");
+  EXPECT_EQ(GetEnvDouble("SEL_TEST_ENV_VAR", 1.0), 2.5);
+  setenv("SEL_TEST_ENV_VAR", "41", 1);
+  EXPECT_EQ(GetEnvInt("SEL_TEST_ENV_VAR", 7), 41);
+  unsetenv("SEL_TEST_ENV_VAR");
+}
+
+TEST(EnvTest, ReproScaleClamped) {
+  setenv("REPRO_SCALE", "100", 1);
+  EXPECT_EQ(ReproScale(), 4.0);
+  setenv("REPRO_SCALE", "0.0001", 1);
+  EXPECT_EQ(ReproScale(), 0.01);
+  unsetenv("REPRO_SCALE");
+  EXPECT_EQ(ReproScale(), 0.25);
+}
+
+TEST(StringUtilTest, SplitKeepsEmptyFields) {
+  const auto parts = Split("a,,b,", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[2], "b");
+  EXPECT_EQ(parts[3], "");
+}
+
+TEST(StringUtilTest, TrimStripsWhitespace) {
+  EXPECT_EQ(Trim("  x y \t\n"), "x y");
+  EXPECT_EQ(Trim(""), "");
+  EXPECT_EQ(Trim("   "), "");
+}
+
+TEST(StringUtilTest, JoinRoundTripsSplit) {
+  const std::vector<std::string> parts = {"p", "q", "r"};
+  EXPECT_EQ(Join(parts, ","), "p,q,r");
+  EXPECT_EQ(Split(Join(parts, ","), ','), parts);
+}
+
+TEST(StringUtilTest, FormatDouble) {
+  EXPECT_EQ(FormatDouble(0.5), "0.5");
+  EXPECT_EQ(FormatDouble(1.0 / 3.0, 3), "0.333");
+}
+
+TEST(StringUtilTest, StartsWith) {
+  EXPECT_TRUE(StartsWith("uniform:3", "uniform:"));
+  EXPECT_FALSE(StartsWith("uni", "uniform:"));
+}
+
+TEST(CsvWriterTest, WritesRows) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "sel_csv_test.csv").string();
+  {
+    CsvWriter w(path);
+    ASSERT_TRUE(w.Ok());
+    w.WriteRow(std::vector<std::string>{"a", "b"});
+    w.WriteRow(std::vector<double>{1.0, 2.5});
+    w.Close();
+  }
+  std::ifstream in(path);
+  std::string line;
+  ASSERT_TRUE(std::getline(in, line));
+  EXPECT_EQ(line, "a,b");
+  ASSERT_TRUE(std::getline(in, line));
+  EXPECT_EQ(line, "1,2.5");
+  std::filesystem::remove(path);
+}
+
+TEST(TimerTest, MeasuresElapsedTime) {
+  WallTimer t;
+  volatile double sink = 0.0;
+  for (int i = 0; i < 100000; ++i) sink += i * 0.5;
+  EXPECT_GE(t.Seconds(), 0.0);
+  EXPECT_GE(t.Millis(), t.Seconds() * 1e3 - 1e-9);
+}
+
+}  // namespace
+}  // namespace sel

@@ -1,0 +1,213 @@
+// Tests for datasets, the four paper-mimicking generators, and CSV I/O.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <filesystem>
+#include <fstream>
+
+#include "data/csv_io.h"
+#include "data/dataset.h"
+#include "data/generators.h"
+
+namespace sel {
+namespace {
+
+TEST(DatasetTest, BasicAccessors) {
+  Dataset d({{"a", false, 0}, {"b", false, 0}},
+            {{0.1, 0.2}, {0.3, 0.4}, {0.5, 0.6}});
+  EXPECT_EQ(d.num_rows(), 3u);
+  EXPECT_EQ(d.dim(), 2);
+  EXPECT_EQ(d.attribute(0).name, "a");
+  EXPECT_DOUBLE_EQ(d.row(1)[1], 0.4);
+  EXPECT_DOUBLE_EQ(d.Domain().Volume(), 1.0);
+}
+
+TEST(DatasetTest, ProjectSelectsAndReordersAttributes) {
+  Dataset d({{"a", false, 0}, {"b", false, 0}, {"c", true, 5}},
+            {{0.1, 0.2, 0.25}, {0.3, 0.4, 0.5}});
+  const Dataset p = d.Project({2, 0});
+  EXPECT_EQ(p.dim(), 2);
+  EXPECT_EQ(p.attribute(0).name, "c");
+  EXPECT_TRUE(p.attribute(0).categorical);
+  EXPECT_DOUBLE_EQ(p.row(0)[0], 0.25);
+  EXPECT_DOUBLE_EQ(p.row(0)[1], 0.1);
+  EXPECT_EQ(p.num_rows(), 2u);
+}
+
+TEST(DatasetTest, MeanComputation) {
+  Dataset d({{"a", false, 0}}, {{0.0}, {1.0}});
+  EXPECT_DOUBLE_EQ(d.Mean()[0], 0.5);
+}
+
+TEST(GeneratorsTest, UniformShapeAndRange) {
+  const Dataset d = MakeUniform(500, 4, 1);
+  EXPECT_EQ(d.num_rows(), 500u);
+  EXPECT_EQ(d.dim(), 4);
+  const Point m = d.Mean();
+  for (int j = 0; j < 4; ++j) EXPECT_NEAR(m[j], 0.5, 0.06);
+}
+
+TEST(GeneratorsTest, DeterministicGivenSeed) {
+  const Dataset a = MakePowerLike(200, 5);
+  const Dataset b = MakePowerLike(200, 5);
+  ASSERT_EQ(a.num_rows(), b.num_rows());
+  for (size_t i = 0; i < a.num_rows(); ++i) {
+    EXPECT_EQ(a.row(i), b.row(i));
+  }
+  const Dataset c = MakePowerLike(200, 6);
+  EXPECT_NE(a.row(0), c.row(0));
+}
+
+TEST(GeneratorsTest, PowerLikeShapeMatchesPaper) {
+  const Dataset d = MakePowerLike(5000, 11);
+  EXPECT_EQ(d.dim(), 7);  // Power has 7 attributes
+  // Skew: most mass concentrated at low values of attribute 0 (Fig. 7).
+  size_t low = 0;
+  for (const auto& r : d.rows()) {
+    if (r[0] < 0.3) ++low;
+  }
+  EXPECT_GT(static_cast<double>(low) / d.num_rows(), 0.55);
+}
+
+TEST(GeneratorsTest, PowerLikeAttributesCorrelated) {
+  const Dataset d = MakePowerLike(8000, 12);
+  // Pearson correlation between attributes 0 and 3 should be clearly
+  // positive (readings share a latent load factor).
+  const Point m = d.Mean();
+  double cov = 0.0, v0 = 0.0, v3 = 0.0;
+  for (const auto& r : d.rows()) {
+    cov += (r[0] - m[0]) * (r[3] - m[3]);
+    v0 += (r[0] - m[0]) * (r[0] - m[0]);
+    v3 += (r[3] - m[3]) * (r[3] - m[3]);
+  }
+  EXPECT_GT(cov / std::sqrt(v0 * v3), 0.5);
+}
+
+TEST(GeneratorsTest, ForestLikeShape) {
+  const Dataset d = MakeForestLike(2000, 13);
+  EXPECT_EQ(d.dim(), 10);  // Forest has 10 numeric attributes
+  for (const auto& a : d.attributes()) EXPECT_FALSE(a.categorical);
+}
+
+TEST(GeneratorsTest, CensusLikeSchema) {
+  const Dataset d = MakeCensusLike(1000, 14);
+  EXPECT_EQ(d.dim(), 13);  // Census has 13 attributes
+  int categorical = 0;
+  for (const auto& a : d.attributes()) {
+    if (a.categorical) ++categorical;
+  }
+  EXPECT_EQ(categorical, 8);  // 8 categorical + 5 numerical
+}
+
+TEST(GeneratorsTest, CensusCategoricalValuesOnLattice) {
+  const Dataset d = MakeCensusLike(500, 15);
+  for (const auto& r : d.rows()) {
+    for (int j = 0; j < d.dim(); ++j) {
+      if (!d.attribute(j).categorical) continue;
+      const int k = d.attribute(j).cardinality;
+      const double scaled = r[j] * (k - 1);
+      EXPECT_NEAR(scaled, std::round(scaled), 1e-9);
+    }
+  }
+}
+
+TEST(GeneratorsTest, DmvLikeSchema) {
+  const Dataset d = MakeDmvLike(1000, 16);
+  EXPECT_EQ(d.dim(), 11);  // DMV has 11 attributes
+  int categorical = 0;
+  for (const auto& a : d.attributes()) {
+    if (a.categorical) ++categorical;
+  }
+  EXPECT_EQ(categorical, 10);  // 10 categorical + 1 numerical
+}
+
+TEST(GeneratorsTest, ZipfSkewsTowardSmallIndices) {
+  Rng rng(17);
+  std::vector<int> counts(10, 0);
+  for (int i = 0; i < 20000; ++i) {
+    ++counts[SampleZipf(10, 1.2, &rng)];
+  }
+  EXPECT_GT(counts[0], counts[4]);
+  EXPECT_GT(counts[0], 3 * counts[9]);
+  int total = 0;
+  for (int c : counts) total += c;
+  EXPECT_EQ(total, 20000);
+}
+
+TEST(GeneratorsTest, ZipfCardinalityOne) {
+  Rng rng(18);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(SampleZipf(1, 1.2, &rng), 0);
+}
+
+TEST(GeneratorsTest, ByNameLookup) {
+  for (const char* name : {"power", "forest", "census", "dmv"}) {
+    auto d = MakeDatasetByName(name, 100);
+    ASSERT_TRUE(d.ok()) << name;
+    EXPECT_EQ(d.value().num_rows(), 100u);
+  }
+  auto u = MakeDatasetByName("uniform:5", 100);
+  ASSERT_TRUE(u.ok());
+  EXPECT_EQ(u.value().dim(), 5);
+  EXPECT_FALSE(MakeDatasetByName("nope", 100).ok());
+  EXPECT_FALSE(MakeDatasetByName("uniform:x", 100).ok());
+}
+
+TEST(GeneratorsTest, MixtureRespectsComponentMeans) {
+  std::vector<MixtureComponent> comps(1);
+  comps[0].weight = 1.0;
+  comps[0].mean = {0.3, 0.7};
+  comps[0].stddev = {0.05, 0.05};
+  const Dataset d = MakeGaussianMixture(
+      comps, {{"x", false, 0}, {"y", false, 0}}, 4000, 19);
+  const Point m = d.Mean();
+  EXPECT_NEAR(m[0], 0.3, 0.01);
+  EXPECT_NEAR(m[1], 0.7, 0.01);
+}
+
+TEST(CsvIoTest, RoundTrip) {
+  const Dataset d = MakeUniform(50, 3, 20);
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "sel_ds_test.csv").string();
+  ASSERT_TRUE(SaveDatasetCsv(d, path).ok());
+  auto loaded = LoadDatasetCsv(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.value().num_rows(), d.num_rows());
+  EXPECT_EQ(loaded.value().dim(), d.dim());
+  for (size_t i = 0; i < d.num_rows(); ++i) {
+    for (int j = 0; j < d.dim(); ++j) {
+      EXPECT_NEAR(loaded.value().row(i)[j], d.row(i)[j], 1e-5);
+    }
+  }
+  std::filesystem::remove(path);
+}
+
+TEST(CsvIoTest, NormalizesOutOfRangeColumns) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "sel_norm_test.csv")
+          .string();
+  {
+    std::ofstream out(path);
+    out << "a,b\n10,0.5\n20,0.7\n30,0.1\n";
+  }
+  auto loaded = LoadDatasetCsv(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_DOUBLE_EQ(loaded.value().row(0)[0], 0.0);
+  EXPECT_DOUBLE_EQ(loaded.value().row(2)[0], 1.0);
+  EXPECT_DOUBLE_EQ(loaded.value().row(0)[1], 0.5);  // already in [0,1]
+  std::filesystem::remove(path);
+}
+
+TEST(CsvIoTest, RejectsMissingAndMalformed) {
+  EXPECT_FALSE(LoadDatasetCsv("/nonexistent/file.csv").ok());
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "sel_bad_test.csv").string();
+  {
+    std::ofstream out(path);
+    out << "a,b\n1,2\n3\n";  // wrong arity
+  }
+  EXPECT_FALSE(LoadDatasetCsv(path).ok());
+  std::filesystem::remove(path);
+}
+
+}  // namespace
+}  // namespace sel

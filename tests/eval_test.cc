@@ -1,0 +1,112 @@
+// Tests for the experiment harness: model factory conventions, scoring,
+// scaling helpers, and the ASCII table printer.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "data/generators.h"
+#include "eval/experiment.h"
+#include "eval/table_printer.h"
+#include "index/kdtree.h"
+#include "workload/workload.h"
+
+namespace sel {
+namespace {
+
+TEST(ModelFactoryTest, BuildsEveryKind) {
+  for (ModelKind kind : {ModelKind::kQuadHist, ModelKind::kPtsHist,
+                         ModelKind::kQuickSel, ModelKind::kIsomer}) {
+    auto m = MakeModel(kind, 2, 50);
+    ASSERT_NE(m, nullptr);
+    EXPECT_EQ(m->Name(), ModelKindName(kind));
+  }
+}
+
+TEST(ModelFactoryTest, BucketBudgetConvention) {
+  // §4.1: "number of buckets 4x the number of training queries".
+  const Dataset data = MakeUniform(1000, 2, 170);
+  CountingKdTree index(data.rows());
+  WorkloadOptions opts;
+  WorkloadGenerator gen(&data, &index, opts);
+  const Workload w = gen.Generate(50);
+  auto pts = MakeModel(ModelKind::kPtsHist, 2, 50);
+  ASSERT_TRUE(pts->Train(w).ok());
+  EXPECT_EQ(pts->NumBuckets(), 200u);
+  auto quad = MakeModel(ModelKind::kQuadHist, 2, 50);
+  ASSERT_TRUE(quad->Train(w).ok());
+  EXPECT_LE(quad->NumBuckets(), 200u);  // cap binds from above
+}
+
+TEST(TrainAndEvaluateTest, PopulatesCell) {
+  const Dataset data = MakePowerLike(2000, 171).Project({0, 1});
+  CountingKdTree index(data.rows());
+  WorkloadOptions opts;
+  WorkloadGenerator gen(&data, &index, opts);
+  const Workload train = gen.Generate(60);
+  const Workload test = gen.Generate(40);
+  auto m = MakeModel(ModelKind::kQuadHist, 2, train.size());
+  const EvalCell cell = TrainAndEvaluate(m.get(), train, test);
+  EXPECT_TRUE(cell.ok);
+  EXPECT_EQ(cell.model, "QuadHist");
+  EXPECT_EQ(cell.train_size, 60u);
+  EXPECT_GT(cell.buckets, 0u);
+  EXPECT_GE(cell.train_seconds, 0.0);
+  EXPECT_EQ(cell.errors.num_queries, 40u);
+  EXPECT_LT(cell.errors.rms, 0.2);
+}
+
+TEST(TrainAndEvaluateTest, ReportsFailure) {
+  Workload bad;  // ball queries: QuickSel rejects
+  bad.push_back({Ball({0.5, 0.5}, 0.1), 0.2});
+  auto m = MakeModel(ModelKind::kQuickSel, 2, 1);
+  const EvalCell cell = TrainAndEvaluate(m.get(), bad, bad);
+  EXPECT_FALSE(cell.ok);
+  EXPECT_NE(cell.status_message.find("Unimplemented"), std::string::npos);
+}
+
+TEST(IsomerFeasibleTest, MatchesPaperCutoff) {
+  EXPECT_TRUE(IsomerFeasible(50));
+  EXPECT_TRUE(IsomerFeasible(200));
+  EXPECT_FALSE(IsomerFeasible(500));  // §4.1: did not finish at 500
+}
+
+TEST(ScalingTest, ScaledSizesRespectScaleAndFloor) {
+  setenv("REPRO_SCALE", "0.5", 1);
+  const auto sizes = ScaledSizes({50, 200, 500, 1000, 2000}, 25);
+  EXPECT_EQ(sizes.front(), 25u);
+  EXPECT_EQ(sizes.back(), 1000u);
+  for (size_t i = 1; i < sizes.size(); ++i) {
+    EXPECT_GT(sizes[i], sizes[i - 1]);  // deduplicated, increasing
+  }
+  EXPECT_EQ(ScaledCount(100000), 50000u);
+  unsetenv("REPRO_SCALE");
+}
+
+TEST(ScalingTest, DeduplicatesCollapsedSizes) {
+  setenv("REPRO_SCALE", "0.01", 1);
+  const auto sizes = ScaledSizes({50, 100, 200}, 25);
+  EXPECT_EQ(sizes.size(), 1u);
+  EXPECT_EQ(sizes[0], 25u);
+  unsetenv("REPRO_SCALE");
+}
+
+TEST(TablePrinterTest, AlignsColumns) {
+  TablePrinter t({"model", "rms"});
+  t.AddRow({"QuadHist", "0.01"});
+  t.AddRow({"X", "0.5"});
+  const std::string s = t.ToString();
+  EXPECT_NE(s.find("| model    | rms  |"), std::string::npos);
+  EXPECT_NE(s.find("| QuadHist | 0.01 |"), std::string::npos);
+  EXPECT_NE(s.find("| X        | 0.5  |"), std::string::npos);
+  EXPECT_NE(s.find("|----------|------|"), std::string::npos);
+}
+
+TEST(TablePrinterTest, HeaderAccessors) {
+  TablePrinter t({"a", "b", "c"});
+  t.AddRow({"1", "2", "3"});
+  EXPECT_EQ(t.headers().size(), 3u);
+  EXPECT_EQ(t.rows().size(), 1u);
+}
+
+}  // namespace
+}  // namespace sel

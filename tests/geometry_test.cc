@@ -1,0 +1,249 @@
+// Tests for boxes, halfspaces, balls, the Query variant, and the
+// Appendix-A.2 bounding-box computations.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "geometry/ball.h"
+#include "geometry/box.h"
+#include "geometry/halfspace.h"
+#include "geometry/query.h"
+
+namespace sel {
+namespace {
+
+TEST(BoxTest, UnitBoxProperties) {
+  const Box u = Box::Unit(3);
+  EXPECT_EQ(u.dim(), 3);
+  EXPECT_DOUBLE_EQ(u.Volume(), 1.0);
+  EXPECT_TRUE(u.Contains({0.0, 0.5, 1.0}));
+  EXPECT_FALSE(u.Contains({0.0, 0.5, 1.1}));
+}
+
+TEST(BoxTest, VolumeIsProductOfSides) {
+  const Box b({0.0, 0.25}, {0.5, 0.75});
+  EXPECT_DOUBLE_EQ(b.Volume(), 0.25);
+  EXPECT_DOUBLE_EQ(b.width(0), 0.5);
+  EXPECT_DOUBLE_EQ(b.width(1), 0.5);
+}
+
+TEST(BoxTest, DegenerateBoxHasZeroVolume) {
+  const Box b({0.3, 0.2}, {0.3, 0.9});
+  EXPECT_DOUBLE_EQ(b.Volume(), 0.0);
+  EXPECT_TRUE(b.Contains({0.3, 0.5}));
+}
+
+TEST(BoxTest, FromCenterAndWidthsClipsToDomain) {
+  const Box domain = Box::Unit(2);
+  const Box b = Box::FromCenterAndWidths({0.1, 0.9}, {0.5, 0.5}, domain);
+  EXPECT_DOUBLE_EQ(b.lo(0), 0.0);
+  EXPECT_DOUBLE_EQ(b.hi(0), 0.35);
+  EXPECT_DOUBLE_EQ(b.lo(1), 0.65);
+  EXPECT_DOUBLE_EQ(b.hi(1), 1.0);
+}
+
+TEST(BoxTest, IntersectionAndContainment) {
+  const Box a({0.0, 0.0}, {0.5, 0.5});
+  const Box b({0.25, 0.25}, {1.0, 1.0});
+  ASSERT_TRUE(a.Intersects(b));
+  const auto inter = a.Intersection(b);
+  ASSERT_TRUE(inter.has_value());
+  EXPECT_DOUBLE_EQ(inter->Volume(), 0.0625);
+  EXPECT_TRUE(Box::Unit(2).ContainsBox(a));
+  EXPECT_FALSE(a.ContainsBox(b));
+}
+
+TEST(BoxTest, DisjointBoxes) {
+  const Box a({0.0, 0.0}, {0.2, 0.2});
+  const Box b({0.3, 0.3}, {0.5, 0.5});
+  EXPECT_FALSE(a.Intersects(b));
+  EXPECT_FALSE(a.Intersection(b).has_value());
+}
+
+TEST(BoxTest, TouchingBoxesIntersect) {
+  const Box a({0.0, 0.0}, {0.5, 0.5});
+  const Box b({0.5, 0.0}, {1.0, 0.5});
+  EXPECT_TRUE(a.Intersects(b));  // closed boxes share a face
+  EXPECT_DOUBLE_EQ(a.Intersection(b)->Volume(), 0.0);
+}
+
+TEST(BoxTest, CenterIsMidpoint) {
+  const Box b({0.0, 0.2}, {1.0, 0.4});
+  const Point c = b.Center();
+  EXPECT_DOUBLE_EQ(c[0], 0.5);
+  EXPECT_NEAR(c[1], 0.3, 1e-15);
+}
+
+TEST(HalfspaceTest, ContainsMatchesInequality) {
+  const Halfspace h({1.0, 1.0}, 1.0);  // x + y >= 1
+  EXPECT_TRUE(h.Contains({0.5, 0.5}));
+  EXPECT_TRUE(h.Contains({1.0, 0.2}));
+  EXPECT_FALSE(h.Contains({0.2, 0.2}));
+}
+
+TEST(HalfspaceTest, ThroughPointPutsPointOnBoundary) {
+  const Point p = {0.3, 0.7};
+  const Halfspace h = Halfspace::ThroughPoint(p, {0.6, -0.8});
+  EXPECT_NEAR(Dot(h.normal(), p) - h.offset(), 0.0, 1e-15);
+  EXPECT_TRUE(h.Contains(p));
+}
+
+TEST(HalfspaceTest, MinMaxOverBox) {
+  const Halfspace h({1.0, -2.0}, 0.0);
+  const Box b({0.0, 0.0}, {1.0, 1.0});
+  EXPECT_DOUBLE_EQ(h.MinOverBox(b), -2.0);  // x=0, y=1
+  EXPECT_DOUBLE_EQ(h.MaxOverBox(b), 1.0);   // x=1, y=0
+}
+
+TEST(HalfspaceTest, ContainsAndDisjointBoxTests) {
+  const Halfspace h({1.0, 0.0}, 0.5);  // x >= 0.5
+  EXPECT_TRUE(h.ContainsBox(Box({0.6, 0.0}, {1.0, 1.0})));
+  EXPECT_TRUE(h.DisjointFromBox(Box({0.0, 0.0}, {0.4, 1.0})));
+  EXPECT_FALSE(h.ContainsBox(Box({0.4, 0.0}, {0.6, 1.0})));
+  EXPECT_FALSE(h.DisjointFromBox(Box({0.4, 0.0}, {0.6, 1.0})));
+}
+
+TEST(HalfspaceTest, BoundingBoxAxisAligned) {
+  // x >= 0.5 in the unit square: bbox is [0.5,1] x [0,1].
+  const Halfspace h({1.0, 0.0}, 0.5);
+  const Box bb = h.BoundingBox(Box::Unit(2));
+  EXPECT_DOUBLE_EQ(bb.lo(0), 0.5);
+  EXPECT_DOUBLE_EQ(bb.hi(0), 1.0);
+  EXPECT_DOUBLE_EQ(bb.lo(1), 0.0);
+  EXPECT_DOUBLE_EQ(bb.hi(1), 1.0);
+}
+
+TEST(HalfspaceTest, BoundingBoxDiagonal) {
+  // x + y >= 1.5 in the unit square: each coordinate must be >= 0.5.
+  const Halfspace h({1.0, 1.0}, 1.5);
+  const Box bb = h.BoundingBox(Box::Unit(2));
+  EXPECT_NEAR(bb.lo(0), 0.5, 1e-12);
+  EXPECT_NEAR(bb.lo(1), 0.5, 1e-12);
+  EXPECT_DOUBLE_EQ(bb.hi(0), 1.0);
+  EXPECT_DOUBLE_EQ(bb.hi(1), 1.0);
+}
+
+TEST(HalfspaceTest, BoundingBoxCoversIntersectionRandomized) {
+  // Property: every domain point inside the halfspace lies in the bbox.
+  Rng rng(404);
+  for (int trial = 0; trial < 50; ++trial) {
+    const int d = 2 + static_cast<int>(rng.UniformInt(3));
+    Point c(d);
+    for (auto& x : c) x = rng.NextDouble();
+    const Halfspace h = Halfspace::ThroughPoint(c, rng.UnitVector(d));
+    const Box domain = Box::Unit(d);
+    const Box bb = h.BoundingBox(domain);
+    for (int i = 0; i < 200; ++i) {
+      Point p(d);
+      for (auto& x : p) x = rng.NextDouble();
+      if (h.Contains(p)) {
+        EXPECT_TRUE(bb.Contains(p))
+            << "halfspace " << h.ToString() << " bbox " << bb.ToString();
+      }
+    }
+  }
+}
+
+TEST(BallTest, ContainsMatchesDistance) {
+  const Ball b({0.5, 0.5}, 0.25);
+  EXPECT_TRUE(b.Contains({0.5, 0.5}));
+  EXPECT_TRUE(b.Contains({0.5, 0.75}));
+  EXPECT_FALSE(b.Contains({0.5, 0.76}));
+}
+
+TEST(BallTest, MinMaxSquaredDistanceToBox) {
+  const Ball b({0.0, 0.0}, 1.0);
+  const Box box({1.0, 1.0}, {2.0, 2.0});
+  EXPECT_DOUBLE_EQ(b.MinSquaredDistanceToBox(box), 2.0);
+  EXPECT_DOUBLE_EQ(b.MaxSquaredDistanceToBox(box), 8.0);
+}
+
+TEST(BallTest, ContainsAndDisjointBox) {
+  const Ball b({0.5, 0.5}, 0.2);
+  EXPECT_TRUE(b.DisjointFromBox(Box({0.8, 0.8}, {1.0, 1.0})));
+  EXPECT_TRUE(b.ContainsBox(Box({0.45, 0.45}, {0.55, 0.55})));
+  EXPECT_FALSE(b.ContainsBox(Box({0.3, 0.3}, {0.7, 0.7})));
+}
+
+TEST(BallTest, BoundingBoxClipsToDomain) {
+  const Ball b({0.9, 0.5}, 0.3);
+  const Box bb = b.BoundingBox(Box::Unit(2));
+  EXPECT_NEAR(bb.lo(0), 0.6, 1e-15);
+  EXPECT_DOUBLE_EQ(bb.hi(0), 1.0);
+  EXPECT_NEAR(bb.lo(1), 0.2, 1e-15);
+  EXPECT_NEAR(bb.hi(1), 0.8, 1e-15);
+}
+
+TEST(QueryTest, TypeDispatch) {
+  const Query qb = Box::Unit(2);
+  const Query qh = Halfspace({1.0, 0.0}, 0.5);
+  const Query qs = Ball({0.5, 0.5}, 0.1);
+  EXPECT_EQ(qb.type(), QueryType::kBox);
+  EXPECT_EQ(qh.type(), QueryType::kHalfspace);
+  EXPECT_EQ(qs.type(), QueryType::kBall);
+  EXPECT_EQ(qb.dim(), 2);
+  EXPECT_EQ(qh.dim(), 2);
+  EXPECT_EQ(qs.dim(), 2);
+  EXPECT_STREQ(QueryTypeName(qb.type()), "box");
+  EXPECT_STREQ(QueryTypeName(qh.type()), "halfspace");
+  EXPECT_STREQ(QueryTypeName(qs.type()), "ball");
+}
+
+TEST(QueryTest, ContainsDispatch) {
+  const Query qh = Halfspace({0.0, 1.0}, 0.5);  // y >= 0.5
+  EXPECT_TRUE(qh.Contains({0.1, 0.9}));
+  EXPECT_FALSE(qh.Contains({0.1, 0.1}));
+  const Query qs = Ball({0.5, 0.5}, 0.3);
+  EXPECT_TRUE(qs.Contains({0.5, 0.7}));
+  EXPECT_FALSE(qs.Contains({0.0, 0.0}));
+}
+
+TEST(QueryTest, BoxQueryBoundingBoxIsClippedBox) {
+  const Query q = Box({-0.5, 0.2}, {0.5, 1.7});
+  const Box bb = q.BoundingBox(Box::Unit(2));
+  EXPECT_DOUBLE_EQ(bb.lo(0), 0.0);
+  EXPECT_DOUBLE_EQ(bb.hi(0), 0.5);
+  EXPECT_DOUBLE_EQ(bb.lo(1), 0.2);
+  EXPECT_DOUBLE_EQ(bb.hi(1), 1.0);
+}
+
+TEST(QueryTest, DisjointBoxQueryYieldsDegenerateBoundingBox) {
+  const Query q = Box({2.0, 2.0}, {3.0, 3.0});
+  const Box bb = q.BoundingBox(Box::Unit(2));
+  EXPECT_DOUBLE_EQ(bb.Volume(), 0.0);
+}
+
+TEST(QueryTest, ContainsBoxAndDisjointAgreeWithSamples) {
+  Rng rng(77);
+  const Box domain = Box::Unit(2);
+  for (int trial = 0; trial < 60; ++trial) {
+    Point c = {rng.NextDouble(), rng.NextDouble()};
+    Query q = trial % 3 == 0
+                  ? Query(Ball(c, rng.Uniform(0.1, 0.6)))
+                  : (trial % 3 == 1
+                         ? Query(Halfspace::ThroughPoint(c, rng.UnitVector(2)))
+                         : Query(Box::FromCenterAndWidths(
+                               c, {rng.NextDouble(), rng.NextDouble()},
+                               domain)));
+    Point lo = {rng.Uniform(0.0, 0.8), rng.Uniform(0.0, 0.8)};
+    Box cell(lo, {lo[0] + 0.2, lo[1] + 0.2});
+    const bool contains = q.ContainsBox(cell);
+    const bool disjoint = q.DisjointFromBox(cell);
+    EXPECT_FALSE(contains && disjoint);
+    for (int i = 0; i < 50; ++i) {
+      Point p = {rng.Uniform(cell.lo(0), cell.hi(0)),
+                 rng.Uniform(cell.lo(1), cell.hi(1))};
+      if (contains) EXPECT_TRUE(q.Contains(p));
+      if (disjoint) EXPECT_FALSE(q.Contains(p));
+    }
+  }
+}
+
+TEST(PointTest, DotAndSquaredDistance) {
+  EXPECT_DOUBLE_EQ(Dot({1.0, 2.0, 3.0}, {4.0, 5.0, 6.0}), 32.0);
+  EXPECT_DOUBLE_EQ(SquaredDistance({0.0, 0.0}, {3.0, 4.0}), 25.0);
+}
+
+}  // namespace
+}  // namespace sel

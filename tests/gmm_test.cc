@@ -1,0 +1,206 @@
+// Tests for the Gaussian-mixture selectivity model (§6 future work) and
+// its normal-distribution substrate.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/normal.h"
+#include "common/rng.h"
+#include "core/gmm.h"
+#include "data/generators.h"
+#include "index/kdtree.h"
+#include "metrics/metrics.h"
+#include "workload/workload.h"
+
+namespace sel {
+namespace {
+
+// ---------- Normal CDF / quantile ----------
+
+TEST(NormalTest, CdfKnownValues) {
+  EXPECT_NEAR(NormalCdf(0.0), 0.5, 1e-12);
+  EXPECT_NEAR(NormalCdf(1.0), 0.8413447460685429, 1e-10);
+  EXPECT_NEAR(NormalCdf(-1.96), 0.024997895148220435, 1e-9);
+  EXPECT_NEAR(NormalCdf(3.0), 0.9986501019683699, 1e-10);
+}
+
+TEST(NormalTest, QuantileInvertsCdf) {
+  for (double p : {0.001, 0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 0.999}) {
+    EXPECT_NEAR(NormalCdf(NormalQuantile(p)), p, 1e-10) << p;
+  }
+}
+
+TEST(NormalTest, QuantileSymmetry) {
+  for (double p : {0.05, 0.2, 0.4}) {
+    EXPECT_NEAR(NormalQuantile(p), -NormalQuantile(1.0 - p), 1e-9);
+  }
+}
+
+TEST(NormalTest, QuantileMonotone) {
+  double prev = -1e301;
+  for (double p = 0.01; p < 1.0; p += 0.01) {
+    const double q = NormalQuantile(p);
+    EXPECT_GT(q, prev);
+    prev = q;
+  }
+}
+
+// ---------- GMM model ----------
+
+struct Fixture {
+  Fixture()
+      : data(MakePowerLike(4000, 700).Project({0, 1})),
+        index(data.rows()) {}
+
+  Workload Make(size_t n, uint64_t seed,
+                QueryType type = QueryType::kBox) const {
+    WorkloadOptions opts;
+    opts.query_type = type;
+    opts.seed = seed;
+    WorkloadGenerator gen(&data, &index, opts);
+    return gen.Generate(n);
+  }
+
+  Dataset data;
+  CountingKdTree index;
+};
+
+TEST(GmmTest, ComponentMassExactForBoxes) {
+  Fixture f;
+  GmmOptions opts;
+  opts.num_components = 8;
+  GmmModel m(2, opts);
+  ASSERT_TRUE(m.Train(f.Make(60, 701)).ok());
+  // Cross-check the analytic box mass against plain Monte Carlo over the
+  // component's own Gaussian.
+  Rng rng(702);
+  for (int c = 0; c < 4; ++c) {
+    const Box probe({0.1, 0.2}, {0.6, 0.7});
+    const double analytic = m.ComponentMass(c, probe);
+    long hit = 0, in_domain = 0;
+    const Box domain = Box::Unit(2);
+    for (int s = 0; s < 200000; ++s) {
+      Point x = {m.Means()[c][0] + m.Stddevs()[c][0] * rng.Gaussian(),
+                 m.Means()[c][1] + m.Stddevs()[c][1] * rng.Gaussian()};
+      if (!domain.Contains(x)) continue;
+      ++in_domain;
+      if (probe.Contains(x)) ++hit;
+    }
+    ASSERT_GT(in_domain, 0);
+    const double mc = static_cast<double>(hit) / in_domain;
+    EXPECT_NEAR(analytic, mc, 0.01) << "component " << c;
+  }
+}
+
+TEST(GmmTest, WeightsOnSimplexAndDomainMassIsOne) {
+  Fixture f;
+  GmmOptions opts;
+  opts.num_components = 12;
+  GmmModel m(2, opts);
+  ASSERT_TRUE(m.Train(f.Make(80, 703)).ok());
+  double sum = 0.0;
+  for (double w : m.Weights()) {
+    EXPECT_GE(w, -1e-12);
+    sum += w;
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-6);
+  EXPECT_NEAR(m.Estimate(Box::Unit(2)), 1.0, 1e-6);
+}
+
+TEST(GmmTest, LearnsSkewedDistribution) {
+  Fixture f;
+  const Workload train = f.Make(250, 704);
+  const Workload test = f.Make(120, 705);
+  GmmModel m(2, GmmOptions{});
+  ASSERT_TRUE(m.Train(train).ok());
+  const ErrorReport r = EvaluateModel(m, test);
+  EXPECT_LT(r.rms, 0.05);
+}
+
+TEST(GmmTest, ExcelsOnGaussianMixtureData) {
+  // When the data IS a Gaussian mixture, the GMM model class contains the
+  // truth; with enough training it should be very accurate.
+  std::vector<MixtureComponent> comps(2);
+  comps[0].weight = 0.6;
+  comps[0].mean = {0.3, 0.3};
+  comps[0].stddev = {0.08, 0.08};
+  comps[1].weight = 0.4;
+  comps[1].mean = {0.7, 0.7};
+  comps[1].stddev = {0.06, 0.06};
+  const Dataset data = MakeGaussianMixture(
+      comps, {{"x", false, 0}, {"y", false, 0}}, 5000, 706);
+  const CountingKdTree index(data.rows());
+  WorkloadOptions wopts;
+  wopts.seed = 707;
+  WorkloadGenerator gen(&data, &index, wopts);
+  const Workload train = gen.Generate(250);
+  const Workload test = gen.Generate(120);
+  GmmOptions opts;
+  opts.num_components = 24;
+  GmmModel m(2, opts);
+  ASSERT_TRUE(m.Train(train).ok());
+  EXPECT_LT(EvaluateModel(m, test).rms, 0.03);
+}
+
+TEST(GmmTest, HandlesHalfspaceQueriesExactly) {
+  Fixture f;
+  const Workload train = f.Make(200, 708, QueryType::kHalfspace);
+  const Workload test = f.Make(100, 709, QueryType::kHalfspace);
+  GmmModel m(2, GmmOptions{});
+  ASSERT_TRUE(m.Train(train).ok());
+  EXPECT_LT(EvaluateModel(m, test).rms, 0.12);
+}
+
+TEST(GmmTest, HandlesBallQueriesViaQmc) {
+  Fixture f;
+  const Workload train = f.Make(200, 710, QueryType::kBall);
+  const Workload test = f.Make(100, 711, QueryType::kBall);
+  GmmModel m(2, GmmOptions{});
+  ASSERT_TRUE(m.Train(train).ok());
+  EXPECT_LT(EvaluateModel(m, test).rms, 0.12);
+}
+
+TEST(GmmTest, MonotoneUnderBoxNesting) {
+  Fixture f;
+  GmmModel m(2, GmmOptions{});
+  ASSERT_TRUE(m.Train(f.Make(150, 712)).ok());
+  Rng rng(713);
+  for (int t = 0; t < 30; ++t) {
+    Point c = {rng.NextDouble(), rng.NextDouble()};
+    Point w_in = {rng.Uniform(0.05, 0.4), rng.Uniform(0.05, 0.4)};
+    Point w_out = {w_in[0] + 0.2, w_in[1] + 0.2};
+    const Box inner = Box::FromCenterAndWidths(c, w_in, Box::Unit(2));
+    const Box outer = Box::FromCenterAndWidths(c, w_out, Box::Unit(2));
+    EXPECT_LE(m.Estimate(inner), m.Estimate(outer) + 1e-9);
+  }
+}
+
+TEST(GmmTest, DeterministicGivenSeed) {
+  Fixture f;
+  const Workload train = f.Make(80, 714);
+  GmmModel a(2, GmmOptions{}), b(2, GmmOptions{});
+  ASSERT_TRUE(a.Train(train).ok());
+  ASSERT_TRUE(b.Train(train).ok());
+  const Workload test = f.Make(30, 715);
+  for (const auto& z : test) {
+    EXPECT_EQ(a.Estimate(z.query), b.Estimate(z.query));
+  }
+}
+
+TEST(GmmTest, RejectsInvalidInputs) {
+  GmmModel m(2, GmmOptions{});
+  EXPECT_FALSE(m.Train({}).ok());
+  Workload wrong;
+  wrong.push_back({Box::Unit(3), 0.2});
+  EXPECT_FALSE(m.Train(wrong).ok());
+}
+
+TEST(GmmTest, ComponentCountDefaultsFromTrainingSize) {
+  Fixture f;
+  GmmModel m(2, GmmOptions{});
+  ASSERT_TRUE(m.Train(f.Make(100, 716)).ok());
+  EXPECT_EQ(m.NumBuckets(), 25u);  // max(8, 100/4)
+}
+
+}  // namespace
+}  // namespace sel

@@ -1,0 +1,125 @@
+// Tests for the counting kd-tree: exact counts against brute force for
+// every query type, across dimensions and dataset shapes.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "data/generators.h"
+#include "index/kdtree.h"
+
+namespace sel {
+namespace {
+
+size_t BruteCount(const std::vector<Point>& pts, const Query& q) {
+  size_t c = 0;
+  for (const auto& p : pts) {
+    if (q.Contains(p)) ++c;
+  }
+  return c;
+}
+
+std::vector<Point> RandomPoints(size_t n, int d, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Point> pts;
+  pts.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    Point p(d);
+    for (auto& x : p) x = rng.NextDouble();
+    pts.push_back(std::move(p));
+  }
+  return pts;
+}
+
+TEST(KdTreeTest, EmptyTree) {
+  CountingKdTree tree({});
+  EXPECT_EQ(tree.size(), 0u);
+  EXPECT_DOUBLE_EQ(tree.Selectivity(Box::Unit(1)), 0.0);
+}
+
+TEST(KdTreeTest, SinglePoint) {
+  CountingKdTree tree({{0.5, 0.5}});
+  EXPECT_EQ(tree.Count(Box::Unit(2)), 1u);
+  EXPECT_EQ(tree.Count(Box({0.0, 0.0}, {0.4, 0.4})), 0u);
+  EXPECT_EQ(tree.Count(Ball({0.5, 0.5}, 0.01)), 1u);
+}
+
+TEST(KdTreeTest, FullDomainCountsEverything) {
+  const auto pts = RandomPoints(5000, 3, 41);
+  CountingKdTree tree(pts);
+  EXPECT_EQ(tree.Count(Box::Unit(3)), 5000u);
+  EXPECT_DOUBLE_EQ(tree.Selectivity(Box::Unit(3)), 1.0);
+}
+
+TEST(KdTreeTest, DuplicatePointsCounted) {
+  std::vector<Point> pts(100, Point{0.25, 0.75});
+  CountingKdTree tree(pts, 8);
+  EXPECT_EQ(tree.Count(Box({0.2, 0.7}, {0.3, 0.8})), 100u);
+  EXPECT_EQ(tree.Count(Box({0.3, 0.0}, {1.0, 1.0})), 0u);
+}
+
+TEST(KdTreeTest, BoundaryPointsIncluded) {
+  CountingKdTree tree({{0.5, 0.5}, {0.2, 0.2}});
+  // Closed query box: boundary point counts.
+  EXPECT_EQ(tree.Count(Box({0.5, 0.5}, {1.0, 1.0})), 1u);
+}
+
+class KdTreeParamTest
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(KdTreeParamTest, MatchesBruteForceOnAllQueryTypes) {
+  const int d = std::get<0>(GetParam());
+  const int leaf_size = std::get<1>(GetParam());
+  const auto pts = RandomPoints(2000, d, 42 + d);
+  CountingKdTree tree(pts, leaf_size);
+  Rng rng(500 + d);
+  for (int t = 0; t < 30; ++t) {
+    Point c(d);
+    for (auto& x : c) x = rng.NextDouble();
+    Query q = Box::Unit(d);
+    switch (t % 3) {
+      case 0: {
+        Point w(d);
+        for (auto& x : w) x = rng.NextDouble();
+        q = Box::FromCenterAndWidths(c, w, Box::Unit(d));
+        break;
+      }
+      case 1:
+        q = Ball(c, rng.NextDouble());
+        break;
+      case 2:
+        q = Halfspace::ThroughPoint(c, rng.UnitVector(d));
+        break;
+    }
+    EXPECT_EQ(tree.Count(q), BruteCount(pts, q))
+        << "d=" << d << " t=" << t << " " << q.ToString();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    DimsAndLeaves, KdTreeParamTest,
+    ::testing::Combine(::testing::Values(1, 2, 3, 5, 8),
+                       ::testing::Values(1, 16, 64)));
+
+TEST(KdTreeTest, SkewedDataMatchesBruteForce) {
+  const Dataset data = MakePowerLike(3000, 99);
+  const auto proj = data.Project({0, 3});
+  CountingKdTree tree(proj.rows());
+  Rng rng(77);
+  for (int t = 0; t < 40; ++t) {
+    const Point c = proj.row(rng.UniformInt(proj.num_rows()));
+    Point w = {rng.NextDouble(), rng.NextDouble()};
+    const Query q = Box::FromCenterAndWidths(c, w, Box::Unit(2));
+    EXPECT_EQ(tree.Count(q), BruteCount(proj.rows(), q));
+  }
+}
+
+TEST(KdTreeTest, SelectivityIsFraction) {
+  const auto pts = RandomPoints(1000, 2, 7);
+  CountingKdTree tree(pts);
+  const Query q = Box({0.0, 0.0}, {0.5, 1.0});
+  EXPECT_NEAR(tree.Selectivity(q), 0.5, 0.06);
+  EXPECT_DOUBLE_EQ(tree.Selectivity(q),
+                   static_cast<double>(tree.Count(q)) / 1000.0);
+}
+
+}  // namespace
+}  // namespace sel

@@ -1,0 +1,265 @@
+// Executable versions of §2's learning theory: VC dimensions of the
+// three range spaces (Fig. 2 and the table in §2.2), unbounded
+// VC-dimension of convex polygons, and γ-fat-shattering (Lemma 2.7).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "learning/fat_shattering.h"
+#include "learning/shattering.h"
+#include "learning/vc_dimension.h"
+
+namespace sel {
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+std::vector<Point> Diamond4() {
+  // 4 points in convex position with distinct extremes: shattered by
+  // rectangles (Fig. 2 (i)).
+  return {{0.5, 0.0}, {1.0, 0.5}, {0.5, 1.0}, {0.0, 0.5}};
+}
+
+std::vector<Point> OnCircle(int n, double jitter = 0.0) {
+  std::vector<Point> pts;
+  for (int i = 0; i < n; ++i) {
+    const double a = 2.0 * kPi * i / n + jitter;
+    pts.push_back({0.5 + 0.45 * std::cos(a), 0.5 + 0.45 * std::sin(a)});
+  }
+  return pts;
+}
+
+// ---------- Boxes: VC-dim = 2d ----------
+
+TEST(VcDimensionTest, RectanglesShatterDiamondOf4) {
+  BoxFamily boxes;
+  EXPECT_TRUE(IsShattered(boxes, Diamond4()));
+}
+
+TEST(VcDimensionTest, RectanglesCannotShatterAny5Points) {
+  // Fig. 2 (ii): among any 5 points, the one not extreme in x or y is
+  // trapped. Check several configurations.
+  BoxFamily boxes;
+  const std::vector<std::vector<Point>> configs = {
+      {{0.1, 0.1}, {0.9, 0.1}, {0.9, 0.9}, {0.1, 0.9}, {0.5, 0.5}},
+      OnCircle(5),
+      {{0.2, 0.3}, {0.7, 0.1}, {0.9, 0.6}, {0.4, 0.9}, {0.5, 0.5}},
+  };
+  for (const auto& pts : configs) {
+    EXPECT_FALSE(IsShattered(boxes, pts));
+  }
+}
+
+TEST(VcDimensionTest, RectanglesVcDimIs4In2D) {
+  BoxFamily boxes;
+  // Ground set: diamond + extra interior/exterior points.
+  std::vector<Point> ground = Diamond4();
+  ground.push_back({0.5, 0.5});
+  ground.push_back({0.2, 0.8});
+  ground.push_back({0.8, 0.2});
+  EXPECT_EQ(LargestShatteredSubset(boxes, ground, 6), 4);  // = 2d
+}
+
+TEST(VcDimensionTest, Intervals1DShatter2Not3) {
+  BoxFamily boxes;
+  std::vector<Point> two = {{0.2}, {0.8}};
+  EXPECT_TRUE(IsShattered(boxes, two));
+  std::vector<Point> three = {{0.2}, {0.5}, {0.8}};
+  EXPECT_FALSE(IsShattered(boxes, three));  // {left, right} traps middle
+}
+
+TEST(VcDimensionTest, Boxes3DShatter6) {
+  // VC-dim of boxes in R^3 is 6: the face centers of an octahedron work.
+  BoxFamily boxes;
+  std::vector<Point> pts = {{0.0, 0.5, 0.5}, {1.0, 0.5, 0.5},
+                            {0.5, 0.0, 0.5}, {0.5, 1.0, 0.5},
+                            {0.5, 0.5, 0.0}, {0.5, 0.5, 1.0}};
+  EXPECT_TRUE(IsShattered(boxes, pts));
+}
+
+// ---------- Halfspaces: VC-dim = d + 1 ----------
+
+TEST(VcDimensionTest, HalfspacesShatterTriangle) {
+  HalfspaceFamily hs;
+  std::vector<Point> tri = {{0.2, 0.2}, {0.8, 0.2}, {0.5, 0.8}};
+  EXPECT_TRUE(IsShattered(hs, tri));
+}
+
+TEST(VcDimensionTest, HalfspacesCannotShatter4In2D) {
+  HalfspaceFamily hs;
+  // Radon: any 4 points in the plane admit an unrealizable dichotomy.
+  const std::vector<std::vector<Point>> configs = {
+      {{0.1, 0.1}, {0.9, 0.1}, {0.9, 0.9}, {0.1, 0.9}},  // convex position
+      {{0.1, 0.1}, {0.9, 0.1}, {0.5, 0.9}, {0.5, 0.4}},  // one inside
+      OnCircle(4, 0.3),
+  };
+  for (const auto& pts : configs) {
+    EXPECT_FALSE(IsShattered(hs, pts));
+  }
+}
+
+TEST(VcDimensionTest, HalfspacesVcDimIs3In2D) {
+  HalfspaceFamily hs;
+  std::vector<Point> ground = OnCircle(6);
+  EXPECT_EQ(LargestShatteredSubset(hs, ground, 5), 3);  // = d + 1
+}
+
+TEST(VcDimensionTest, HalfspacesShatter4In3D) {
+  HalfspaceFamily hs;
+  std::vector<Point> tetra = {{0.2, 0.2, 0.2},
+                              {0.8, 0.2, 0.2},
+                              {0.5, 0.8, 0.2},
+                              {0.5, 0.45, 0.8}};
+  EXPECT_TRUE(IsShattered(hs, tetra));  // d + 1 = 4
+}
+
+// ---------- Balls: VC-dim <= d + 2 (discs: 3) ----------
+
+TEST(VcDimensionTest, DiscsShatterTriangle) {
+  BallFamily balls;
+  std::vector<Point> tri = {{0.3, 0.3}, {0.7, 0.3}, {0.5, 0.65}};
+  EXPECT_TRUE(IsShattered(balls, tri));
+}
+
+TEST(VcDimensionTest, DiscsCannotShatter5) {
+  // VC-dim of discs in the plane is 3, certainly < 5 <= d + 2 + 1.
+  BallFamily balls;
+  EXPECT_FALSE(IsShattered(balls, OnCircle(5, 0.1)));
+}
+
+TEST(VcDimensionTest, DiscsRealizeComplementOfOnePointOnCircle) {
+  // Unlike boxes, discs realize "all but one" dichotomies of co-circular
+  // points — the classic reason their VC-dim exceeds naive bounds.
+  BallFamily balls;
+  const auto pts = OnCircle(4);
+  for (uint32_t leave_out = 0; leave_out < 4; ++leave_out) {
+    const uint32_t mask = 0xFu & ~(1u << leave_out);
+    EXPECT_TRUE(balls.CanRealize(pts, mask)) << "leave out " << leave_out;
+  }
+}
+
+TEST(VcDimensionTest, BallVcDimBoundedByDPlus2In2D) {
+  BallFamily balls;
+  std::vector<Point> ground = OnCircle(7, 0.17);
+  EXPECT_LE(LargestShatteredSubset(balls, ground, 5), 4);  // <= d + 2
+}
+
+// ---------- Convex polygons: VC-dim = ∞ ----------
+
+TEST(VcDimensionTest, ConvexPolygonsShatterAnyCoCircularSet) {
+  // Points in convex position are shattered by convex polygons for every
+  // n — the paper's example of a non-learnable range space (§2.2).
+  ConvexPolygonFamily poly;
+  for (int n : {4, 6, 8, 10}) {
+    EXPECT_TRUE(IsShattered(poly, OnCircle(n))) << n;
+  }
+}
+
+TEST(VcDimensionTest, ConvexPolygonsFailWithInteriorPoint) {
+  ConvexPolygonFamily poly;
+  std::vector<Point> pts = OnCircle(4);
+  pts.push_back({0.5, 0.5});  // inside the hull of the others
+  EXPECT_FALSE(IsShattered(poly, pts));
+}
+
+TEST(ConvexHullTest, HullOfSquare) {
+  auto hull = ConvexHull2D(
+      {{0.0, 0.0}, {1.0, 0.0}, {1.0, 1.0}, {0.0, 1.0}, {0.5, 0.5}});
+  EXPECT_EQ(hull.size(), 4u);
+  EXPECT_TRUE(PointInConvexPolygon({0.5, 0.5}, hull));
+  EXPECT_TRUE(PointInConvexPolygon({0.0, 0.0}, hull));  // vertex: closed
+  EXPECT_FALSE(PointInConvexPolygon({1.5, 0.5}, hull));
+}
+
+TEST(ConvexHullTest, CollinearPoints) {
+  auto hull = ConvexHull2D({{0.0, 0.0}, {0.5, 0.5}, {1.0, 1.0}});
+  EXPECT_LE(hull.size(), 2u);
+  EXPECT_TRUE(PointInConvexPolygon({0.25, 0.25}, hull));
+  EXPECT_FALSE(PointInConvexPolygon({0.25, 0.30}, hull));
+}
+
+// ---------- Fat shattering (§2.3, Lemma 2.7) ----------
+
+TEST(FatShatteringTest, Lemma27PointMassConstruction) {
+  // Dually-shattered ranges + point-mass distributions: for k ranges,
+  // the 2^k distributions realize every subset at selectivity 0/1, so
+  // the class is γ-shattered with witness 1/2 for any γ < 1/2.
+  const int k = 3;
+  DenseMatrix s(1 << k, k);  // row = distribution (point mass), col = range
+  for (int e = 0; e < (1 << k); ++e) {
+    for (int r = 0; r < k; ++r) {
+      s.at(e, r) = (e & (1 << r)) ? 1.0 : 0.0;
+    }
+  }
+  const std::vector<int> all = {0, 1, 2};
+  const Vector half(k, 0.5);
+  EXPECT_TRUE(IsFatShatteredWithWitness(s, all, half, 0.49));
+  EXPECT_TRUE(IsFatShatteredWithWitness(s, all, half, 0.25));
+}
+
+TEST(FatShatteringTest, MissingDistributionBreaksShattering) {
+  // Remove the distribution realizing E = {range 0}: no longer shattered.
+  const int k = 2;
+  DenseMatrix s(3, k);
+  int row = 0;
+  for (int e = 0; e < 4; ++e) {
+    if (e == 1) continue;  // drop E = {0}
+    for (int r = 0; r < k; ++r) {
+      s.at(row, r) = (e & (1 << r)) ? 1.0 : 0.0;
+    }
+    ++row;
+  }
+  EXPECT_FALSE(
+      IsFatShatteredWithWitness(s, {0, 1}, Vector(k, 0.5), 0.25));
+}
+
+TEST(FatShatteringTest, GammaAboveHalfNeverShatters01Matrix) {
+  DenseMatrix s(4, 2);
+  for (int e = 0; e < 4; ++e) {
+    s.at(e, 0) = e & 1 ? 1.0 : 0.0;
+    s.at(e, 1) = e & 2 ? 1.0 : 0.0;
+  }
+  // witness 0.5 and gamma 0.6: would need values >= 1.1 — impossible.
+  EXPECT_FALSE(IsFatShatteredWithWitness(s, {0, 1}, Vector(2, 0.5), 0.6));
+}
+
+TEST(FatShatteringTest, WitnessSearchFindsNonObviousWitness) {
+  // Values {0.1, 0.6} on range 0 and {0.2, 0.9} on range 1: shattered at
+  // gamma = 0.2 only with per-range witnesses (~0.35, ~0.55).
+  DenseMatrix s(4, 2);
+  const double v0[] = {0.1, 0.6};
+  const double v1[] = {0.2, 0.9};
+  for (int e = 0; e < 4; ++e) {
+    s.at(e, 0) = v0[e & 1];
+    s.at(e, 1) = v1[(e >> 1) & 1];
+  }
+  EXPECT_TRUE(IsFatShattered(s, {0, 1}, 0.2));
+  EXPECT_FALSE(IsFatShattered(s, {0, 1}, 0.45));
+}
+
+TEST(FatShatteringTest, DimensionOfIdentityLikeClass) {
+  // 2 ranges fully shattered, a third constant: dimension is 2 at
+  // moderate gamma.
+  DenseMatrix s(4, 3);
+  for (int e = 0; e < 4; ++e) {
+    s.at(e, 0) = e & 1 ? 0.9 : 0.1;
+    s.at(e, 1) = e & 2 ? 0.9 : 0.1;
+    s.at(e, 2) = 0.5;
+  }
+  EXPECT_EQ(FatShatteringDimension(s, 0.3), 2);
+}
+
+TEST(FatShatteringTest, ScaleSensitivity) {
+  // The same class has larger dimension at finer scales — the defining
+  // property of the fat-shattering dimension (§2.3).
+  DenseMatrix s(4, 2);
+  for (int e = 0; e < 4; ++e) {
+    s.at(e, 0) = e & 1 ? 0.55 : 0.45;  // only 0.1 of separation
+    s.at(e, 1) = e & 2 ? 0.9 : 0.1;
+  }
+  EXPECT_EQ(FatShatteringDimension(s, 0.04), 2);
+  EXPECT_EQ(FatShatteringDimension(s, 0.2), 1);
+}
+
+}  // namespace
+}  // namespace sel

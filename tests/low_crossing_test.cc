@@ -1,0 +1,161 @@
+// Tests for the Lemma 2.4 machinery: crossing numbers of range orderings
+// and the greedy low-crossing construction.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "learning/low_crossing.h"
+
+namespace sel {
+namespace {
+
+std::vector<Point> UniformProbes(size_t n, int d, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Point> pts;
+  for (size_t i = 0; i < n; ++i) {
+    Point p(d);
+    for (auto& x : p) x = rng.NextDouble();
+    pts.push_back(std::move(p));
+  }
+  return pts;
+}
+
+TEST(LowCrossingTest, CrossingsOfPointCountsSymmetricDifferences) {
+  std::vector<Query> ranges = {
+      Box({0.0, 0.0}, {0.5, 1.0}),   // left half
+      Box({0.25, 0.0}, {0.75, 1.0}), // middle
+      Box({0.5, 0.0}, {1.0, 1.0}),   // right half
+  };
+  const auto order = IdentityOrder(3);
+  // x in left only: membership pattern (1,0,0) -> 1 crossing.
+  EXPECT_EQ(CrossingsOfPoint({0.1, 0.5}, ranges, order), 1);
+  // x in all three overlap region (0.5): (1,1,1) -> 0 crossings.
+  EXPECT_EQ(CrossingsOfPoint({0.5, 0.5}, ranges, order), 0);
+  // x = 0.3 is in left and middle: pattern along (left, right, middle)
+  // is (1,0,1) -> 2 crossings; along identity (1,1,0) -> 1 crossing.
+  EXPECT_EQ(CrossingsOfPoint({0.3, 0.5}, ranges, {0, 2, 1}), 2);
+  EXPECT_EQ(CrossingsOfPoint({0.3, 0.5}, ranges, order), 1);
+  // x = 0.9 is in right only: (0,0,1) -> 1 crossing.
+  EXPECT_EQ(CrossingsOfPoint({0.9, 0.5}, ranges, order), 1);
+}
+
+TEST(LowCrossingTest, MaxAndMeanCrossingsConsistent) {
+  std::vector<Query> ranges;
+  Rng rng(801);
+  for (int i = 0; i < 10; ++i) {
+    Point c = {rng.NextDouble(), rng.NextDouble()};
+    ranges.push_back(Box::FromCenterAndWidths(
+        c, {rng.NextDouble(), rng.NextDouble()}, Box::Unit(2)));
+  }
+  const auto probes = UniformProbes(200, 2, 802);
+  const auto order = IdentityOrder(ranges.size());
+  const int max_c = MaxCrossings(probes, ranges, order);
+  const double mean_c = MeanCrossings(probes, ranges, order);
+  EXPECT_LE(mean_c, max_c);
+  EXPECT_GE(mean_c, 0.0);
+  EXPECT_LE(max_c, static_cast<int>(ranges.size()) - 1);
+}
+
+TEST(LowCrossingTest, GreedyOrderIsPermutation) {
+  std::vector<Query> ranges;
+  Rng rng(803);
+  for (int i = 0; i < 15; ++i) {
+    Point c = {rng.NextDouble(), rng.NextDouble()};
+    ranges.push_back(Box::FromCenterAndWidths(
+        c, {0.3, 0.3}, Box::Unit(2)));
+  }
+  const auto sample = UniformProbes(300, 2, 804);
+  const auto order = GreedyLowCrossingOrder(ranges, sample);
+  ASSERT_EQ(order.size(), ranges.size());
+  std::vector<bool> seen(ranges.size(), false);
+  for (int idx : order) {
+    ASSERT_GE(idx, 0);
+    ASSERT_LT(idx, static_cast<int>(ranges.size()));
+    EXPECT_FALSE(seen[idx]);
+    seen[idx] = true;
+  }
+}
+
+TEST(LowCrossingTest, GreedyBeatsWorstCaseOrderingOnIntervals) {
+  // 1-D nested/sliding intervals: a "shuffled" order makes points cross
+  // many pairs; the greedy symmetric-difference chain restores locality.
+  const int k = 24;
+  std::vector<Query> ranges;
+  for (int i = 0; i < k; ++i) {
+    const double lo = static_cast<double>(i) / (2 * k);
+    ranges.push_back(Box({lo}, {lo + 0.5}));
+  }
+  // Adversarial order: alternate far-apart intervals.
+  std::vector<int> bad;
+  for (int i = 0; i < k / 2; ++i) {
+    bad.push_back(i);
+    bad.push_back(k / 2 + i);
+  }
+  const auto probes = UniformProbes(500, 1, 805);
+  const auto sample = UniformProbes(400, 1, 806);
+  const auto greedy = GreedyLowCrossingOrder(ranges, sample);
+  EXPECT_LT(MaxCrossings(probes, ranges, greedy),
+            MaxCrossings(probes, ranges, bad));
+}
+
+TEST(LowCrossingTest, GreedySublinearOnBoxes) {
+  // Lemma 2.4 for boxes in the plane (lambda = 4): crossings should grow
+  // clearly sublinearly in k. Compare k=16 vs k=64: a linear quantity
+  // would scale 4x; we check the greedy max stays well under that.
+  Rng rng(807);
+  auto make_ranges = [&rng](int k) {
+    std::vector<Query> ranges;
+    for (int i = 0; i < k; ++i) {
+      Point c = {rng.NextDouble(), rng.NextDouble()};
+      ranges.push_back(Box::FromCenterAndWidths(
+          c, {0.4, 0.4}, Box::Unit(2)));
+    }
+    return ranges;
+  };
+  const auto probes = UniformProbes(400, 2, 808);
+  const auto sample = UniformProbes(400, 2, 809);
+  const auto r16 = make_ranges(16);
+  const auto r64 = make_ranges(64);
+  const int c16 = MaxCrossings(probes, r16,
+                               GreedyLowCrossingOrder(r16, sample));
+  const int c64 = MaxCrossings(probes, r64,
+                               GreedyLowCrossingOrder(r64, sample));
+  EXPECT_LT(c64, 3 * std::max(c16, 2));  // sublinear growth (4x ranges)
+}
+
+TEST(LowCrossingTest, EmptyAndSingleton) {
+  EXPECT_TRUE(GreedyLowCrossingOrder({}, {}).empty());
+  std::vector<Query> one = {Box::Unit(2)};
+  const auto order = GreedyLowCrossingOrder(one, UniformProbes(10, 2, 810));
+  ASSERT_EQ(order.size(), 1u);
+  EXPECT_EQ(order[0], 0);
+}
+
+TEST(LowCrossingTest, Lemma23LowerBoundHoldsOnShatteredInstance) {
+  // Lemma 2.3's logic: if a distribution realizes the alternating subset
+  // E = {even-indexed ranges} with gap gamma, the expected crossings
+  // under that distribution exceed gamma*(k-1). Construct it explicitly:
+  // point masses alternating inside/outside consecutive ranges.
+  const int k = 6;
+  std::vector<Query> ranges;
+  for (int i = 0; i < k; ++i) {
+    const double lo = static_cast<double>(i) / k;
+    ranges.push_back(Box({lo}, {lo + 0.5 / k}));  // disjoint intervals
+  }
+  // A "distribution" of one probe point inside every even range: it
+  // crosses both neighbors of each even range it occupies.
+  std::vector<Point> probes;
+  for (int i = 0; i < k; i += 2) {
+    probes.push_back({(i + 0.25) / k});
+  }
+  const double mean =
+      MeanCrossings(probes, ranges, IdentityOrder(ranges.size()));
+  // Each probe is inside exactly one range in the middle of the order:
+  // 2 crossings (1 for the first range). gamma = 1 here in the 0/1 case:
+  // E[I_x] must be >= ~2 > gamma * ... — sanity-check the mechanics.
+  EXPECT_GE(mean, 1.0);
+}
+
+}  // namespace
+}  // namespace sel

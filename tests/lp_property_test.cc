@@ -1,0 +1,210 @@
+// Property tests for the two-phase simplex: random 2-variable LPs are
+// verified against brute-force vertex enumeration (the optimum of a
+// bounded feasible LP lies at an intersection of two active constraints
+// or axes), plus degenerate and redundant systems.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+#include <limits>
+#include <optional>
+
+#include "common/rng.h"
+#include "solver/lp.h"
+
+namespace sel {
+namespace {
+
+// All candidate vertices of {A x <= b, x >= 0} in 2-D: pairwise
+// constraint intersections plus axis intersections.
+std::optional<double> BruteForceMin(const LinearProgram& lp) {
+  const int m = lp.constraint_matrix.rows();
+  // Build the full constraint list including x >= 0 as -x_i <= 0.
+  std::vector<std::array<double, 3>> rows;  // a0 x + a1 y <= rhs
+  for (int i = 0; i < m; ++i) {
+    rows.push_back({lp.constraint_matrix.at(i, 0),
+                    lp.constraint_matrix.at(i, 1), lp.rhs[i]});
+  }
+  rows.push_back({-1.0, 0.0, 0.0});
+  rows.push_back({0.0, -1.0, 0.0});
+
+  auto feasible = [&rows](double x, double y) {
+    for (const auto& r : rows) {
+      if (r[0] * x + r[1] * y > r[2] + 1e-7) return false;
+    }
+    return true;
+  };
+
+  std::optional<double> best;
+  for (size_t i = 0; i < rows.size(); ++i) {
+    for (size_t j = i + 1; j < rows.size(); ++j) {
+      const double det = rows[i][0] * rows[j][1] - rows[i][1] * rows[j][0];
+      if (std::abs(det) < 1e-12) continue;
+      const double x =
+          (rows[i][2] * rows[j][1] - rows[i][1] * rows[j][2]) / det;
+      const double y =
+          (rows[i][0] * rows[j][2] - rows[i][2] * rows[j][0]) / det;
+      if (!feasible(x, y)) continue;
+      const double obj = lp.objective[0] * x + lp.objective[1] * y;
+      if (!best.has_value() || obj < *best) best = obj;
+    }
+  }
+  return best;
+}
+
+TEST(LpPropertyTest, RandomBounded2DLpsMatchVertexEnumeration) {
+  Rng rng(2000);
+  int solved = 0;
+  for (int trial = 0; trial < 200; ++trial) {
+    LinearProgram lp;
+    lp.objective = {rng.Uniform(-1.0, 1.0), rng.Uniform(-1.0, 1.0)};
+    const int m = 3 + static_cast<int>(rng.UniformInt(4));
+    lp.constraint_matrix = DenseMatrix(m, 2);
+    lp.rhs.assign(m, 0.0);
+    lp.senses.assign(m, ConstraintSense::kLessEqual);
+    for (int i = 0; i < m - 1; ++i) {
+      lp.constraint_matrix.at(i, 0) = rng.Uniform(-1.0, 1.0);
+      lp.constraint_matrix.at(i, 1) = rng.Uniform(-1.0, 1.0);
+      lp.rhs[i] = rng.Uniform(0.1, 2.0);  // x = 0 feasible
+    }
+    // Boundedness: cap x + y.
+    lp.constraint_matrix.at(m - 1, 0) = 1.0;
+    lp.constraint_matrix.at(m - 1, 1) = 1.0;
+    lp.rhs[m - 1] = rng.Uniform(1.0, 3.0);
+
+    const LpResult res = SolveLinearProgram(lp);
+    ASSERT_EQ(res.status, LpStatus::kOptimal) << "trial " << trial;
+    const auto brute = BruteForceMin(lp);
+    ASSERT_TRUE(brute.has_value());
+    EXPECT_NEAR(res.objective, *brute, 1e-6) << "trial " << trial;
+    ++solved;
+  }
+  EXPECT_EQ(solved, 200);
+}
+
+TEST(LpPropertyTest, MixedSensesMatchVertexEnumeration) {
+  // Random LPs with >= and = rows, converted to an equivalent <= system
+  // for the brute-force check.
+  Rng rng(2001);
+  for (int trial = 0; trial < 120; ++trial) {
+    // Feasible-by-construction: pick an interior target point and make
+    // every constraint consistent with it.
+    const double tx = rng.Uniform(0.2, 1.0);
+    const double ty = rng.Uniform(0.2, 1.0);
+    LinearProgram lp;
+    lp.objective = {rng.Uniform(-1.0, 1.0), rng.Uniform(-1.0, 1.0)};
+    const int m = 4;
+    lp.constraint_matrix = DenseMatrix(m, 2);
+    lp.rhs.assign(m, 0.0);
+    lp.senses.assign(m, ConstraintSense::kLessEqual);
+    LinearProgram le_version = lp;  // same shapes, <= only
+    le_version.constraint_matrix = DenseMatrix(m, 2);
+    le_version.rhs.assign(m, 0.0);
+    le_version.senses.assign(m, ConstraintSense::kLessEqual);
+    for (int i = 0; i < m; ++i) {
+      const double a = rng.Uniform(-1.0, 1.0);
+      const double b = rng.Uniform(-1.0, 1.0);
+      const double at_target = a * tx + b * ty;
+      lp.constraint_matrix.at(i, 0) = a;
+      lp.constraint_matrix.at(i, 1) = b;
+      if (i == 0) {
+        // One >= row through slack below the target.
+        lp.senses[i] = ConstraintSense::kGreaterEqual;
+        lp.rhs[i] = at_target - rng.Uniform(0.0, 0.5);
+        le_version.constraint_matrix.at(i, 0) = -a;
+        le_version.constraint_matrix.at(i, 1) = -b;
+        le_version.rhs[i] = -lp.rhs[i];
+      } else {
+        lp.rhs[i] = at_target + rng.Uniform(0.0, 0.5);
+        le_version.constraint_matrix.at(i, 0) = a;
+        le_version.constraint_matrix.at(i, 1) = b;
+        le_version.rhs[i] = lp.rhs[i];
+      }
+    }
+    // Boundedness cap on both forms.
+    LinearProgram capped = lp;
+    LinearProgram capped_le = le_version;
+    for (LinearProgram* p : {&capped, &capped_le}) {
+      const int rows = p->constraint_matrix.rows();
+      DenseMatrix ext(rows + 1, 2);
+      for (int i = 0; i < rows; ++i) {
+        ext.at(i, 0) = p->constraint_matrix.at(i, 0);
+        ext.at(i, 1) = p->constraint_matrix.at(i, 1);
+      }
+      ext.at(rows, 0) = 1.0;
+      ext.at(rows, 1) = 1.0;
+      p->constraint_matrix = ext;
+      p->rhs.push_back(4.0);
+      p->senses.push_back(ConstraintSense::kLessEqual);
+    }
+    const LpResult res = SolveLinearProgram(capped);
+    ASSERT_EQ(res.status, LpStatus::kOptimal) << trial;
+    const auto brute = BruteForceMin(capped_le);
+    ASSERT_TRUE(brute.has_value()) << trial;
+    EXPECT_NEAR(res.objective, *brute, 1e-6) << trial;
+  }
+}
+
+TEST(LpPropertyTest, RedundantConstraintsHarmless) {
+  LinearProgram lp;
+  lp.objective = {-1.0, 0.0};
+  lp.constraint_matrix = DenseMatrix(3, 2);
+  lp.rhs = {1.0, 2.0, 1.0};
+  lp.senses.assign(3, ConstraintSense::kLessEqual);
+  lp.constraint_matrix.at(0, 0) = 1.0;  // x <= 1
+  lp.constraint_matrix.at(1, 0) = 1.0;  // x <= 2 (redundant)
+  lp.constraint_matrix.at(2, 0) = 1.0;  // x <= 1 (duplicate)
+  const LpResult r = SolveLinearProgram(lp);
+  ASSERT_EQ(r.status, LpStatus::kOptimal);
+  EXPECT_NEAR(r.objective, -1.0, 1e-9);
+}
+
+TEST(LpPropertyTest, DegenerateVertexHandled) {
+  // Three constraints meeting at one point (degenerate vertex).
+  LinearProgram lp;
+  lp.objective = {-1.0, -1.0};
+  lp.constraint_matrix = DenseMatrix(3, 2);
+  lp.rhs = {1.0, 1.0, 2.0};
+  lp.senses.assign(3, ConstraintSense::kLessEqual);
+  lp.constraint_matrix.at(0, 0) = 1.0;  // x <= 1
+  lp.constraint_matrix.at(1, 1) = 1.0;  // y <= 1
+  lp.constraint_matrix.at(2, 0) = 1.0;  // x + y <= 2 (through (1,1))
+  lp.constraint_matrix.at(2, 1) = 1.0;
+  const LpResult r = SolveLinearProgram(lp);
+  ASSERT_EQ(r.status, LpStatus::kOptimal);
+  EXPECT_NEAR(r.objective, -2.0, 1e-9);
+}
+
+TEST(LpPropertyTest, EqualityOnlySystem) {
+  // x + y = 1, x - y = 0 -> unique point (0.5, 0.5).
+  LinearProgram lp;
+  lp.objective = {1.0, 2.0};
+  lp.constraint_matrix = DenseMatrix(2, 2);
+  lp.constraint_matrix.at(0, 0) = 1.0;
+  lp.constraint_matrix.at(0, 1) = 1.0;
+  lp.constraint_matrix.at(1, 0) = 1.0;
+  lp.constraint_matrix.at(1, 1) = -1.0;
+  lp.rhs = {1.0, 0.0};
+  lp.senses = {ConstraintSense::kEqual, ConstraintSense::kEqual};
+  const LpResult r = SolveLinearProgram(lp);
+  ASSERT_EQ(r.status, LpStatus::kOptimal);
+  EXPECT_NEAR(r.x[0], 0.5, 1e-9);
+  EXPECT_NEAR(r.x[1], 0.5, 1e-9);
+}
+
+TEST(LpPropertyTest, InfeasibleEqualitySystem) {
+  // x + y = 1 and x + y = 2.
+  LinearProgram lp;
+  lp.objective = {0.0, 0.0};
+  lp.constraint_matrix = DenseMatrix(2, 2);
+  lp.constraint_matrix.at(0, 0) = 1.0;
+  lp.constraint_matrix.at(0, 1) = 1.0;
+  lp.constraint_matrix.at(1, 0) = 1.0;
+  lp.constraint_matrix.at(1, 1) = 1.0;
+  lp.rhs = {1.0, 2.0};
+  lp.senses = {ConstraintSense::kEqual, ConstraintSense::kEqual};
+  EXPECT_EQ(SolveLinearProgram(lp).status, LpStatus::kInfeasible);
+}
+
+}  // namespace
+}  // namespace sel

@@ -1,0 +1,103 @@
+// Tests for the §4 error measures: RMS, Q-error quantiles, L∞.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "metrics/metrics.h"
+
+namespace sel {
+namespace {
+
+TEST(QErrorTest, PerfectPredictionIsOne) {
+  EXPECT_DOUBLE_EQ(QError(0.5, 0.5), 1.0);
+  EXPECT_DOUBLE_EQ(QError(0.0, 0.0), 1.0);  // floor makes 0/0 a perfect 1
+}
+
+TEST(QErrorTest, SymmetricInOverAndUnderestimation) {
+  EXPECT_DOUBLE_EQ(QError(0.1, 0.2), QError(0.2, 0.1));
+  EXPECT_DOUBLE_EQ(QError(0.1, 0.2), 2.0);
+}
+
+TEST(QErrorTest, FloorBoundsRelativeErrorOnEmpties) {
+  const double q = QError(0.001, 0.0, 1e-4);
+  EXPECT_DOUBLE_EQ(q, 0.001 / 1e-4);
+}
+
+TEST(QuantileTest, MedianAndExtremes) {
+  std::vector<double> v = {5.0, 1.0, 3.0, 2.0, 4.0};
+  EXPECT_DOUBLE_EQ(Quantile(v, 0.5), 3.0);
+  EXPECT_DOUBLE_EQ(Quantile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(Quantile(v, 1.0), 5.0);
+}
+
+TEST(QuantileTest, InterpolatesBetweenOrderStatistics) {
+  std::vector<double> v = {0.0, 1.0};
+  EXPECT_DOUBLE_EQ(Quantile(v, 0.25), 0.25);
+  EXPECT_DOUBLE_EQ(Quantile(v, 0.75), 0.75);
+}
+
+TEST(ComputeErrorsTest, KnownValues) {
+  const std::vector<double> est = {0.1, 0.4, 0.6};
+  const std::vector<double> truth = {0.2, 0.4, 0.3};
+  const ErrorReport r = ComputeErrors(est, truth);
+  EXPECT_NEAR(r.rms, std::sqrt((0.01 + 0.0 + 0.09) / 3.0), 1e-12);
+  EXPECT_NEAR(r.mae, (0.1 + 0.0 + 0.3) / 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(r.linf, 0.3);
+  EXPECT_EQ(r.num_queries, 3u);
+  EXPECT_DOUBLE_EQ(r.qmax, 2.0);
+}
+
+TEST(ComputeErrorsTest, EmptyInput) {
+  const ErrorReport r = ComputeErrors({}, {});
+  EXPECT_DOUBLE_EQ(r.rms, 0.0);
+  EXPECT_EQ(r.num_queries, 0u);
+}
+
+TEST(ComputeErrorsTest, PerfectPredictions) {
+  const std::vector<double> v = {0.1, 0.2, 0.3};
+  const ErrorReport r = ComputeErrors(v, v);
+  EXPECT_DOUBLE_EQ(r.rms, 0.0);
+  EXPECT_DOUBLE_EQ(r.q50, 1.0);
+  EXPECT_DOUBLE_EQ(r.q99, 1.0);
+  EXPECT_DOUBLE_EQ(r.qmax, 1.0);
+}
+
+TEST(ComputeErrorsTest, QuantilesOrdered) {
+  std::vector<double> est, truth;
+  for (int i = 0; i < 200; ++i) {
+    truth.push_back(0.05 + 0.001 * i);
+    est.push_back(truth.back() * (1.0 + 0.01 * (i % 17)));
+  }
+  const ErrorReport r = ComputeErrors(est, truth);
+  EXPECT_LE(r.q50, r.q95);
+  EXPECT_LE(r.q95, r.q99);
+  EXPECT_LE(r.q99, r.qmax);
+  EXPECT_GE(r.q50, 1.0);
+}
+
+// A trivial fixed-output model for EvaluateModel.
+class ConstantModel : public SelectivityModel {
+ public:
+  explicit ConstantModel(double v) : v_(v) {}
+  Status Train(const Workload&) override { return Status::OK(); }
+  double Estimate(const Query&) const override { return v_; }
+  size_t NumBuckets() const override { return 1; }
+  std::string Name() const override { return "Constant"; }
+
+ private:
+  double v_;
+};
+
+TEST(EvaluateModelTest, UsesModelEstimates) {
+  ConstantModel m(0.5);
+  Workload test;
+  test.push_back({Box::Unit(2), 0.5});
+  test.push_back({Box::Unit(2), 0.25});
+  const ErrorReport r = EvaluateModel(m, test);
+  EXPECT_EQ(r.num_queries, 2u);
+  EXPECT_DOUBLE_EQ(r.linf, 0.25);
+  EXPECT_DOUBLE_EQ(r.qmax, 2.0);
+}
+
+}  // namespace
+}  // namespace sel

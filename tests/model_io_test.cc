@@ -1,0 +1,175 @@
+// Tests for static models and model serialization: every trained model
+// round-trips through the text format with identical predictions.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "core/gmm.h"
+#include "core/model_io.h"
+#include "core/ptshist.h"
+#include "core/quadhist.h"
+#include "core/static_model.h"
+#include "data/generators.h"
+#include "index/kdtree.h"
+#include "workload/workload.h"
+
+namespace sel {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+struct Fixture {
+  Fixture()
+      : data(MakePowerLike(3000, 900).Project({0, 1})),
+        index(data.rows()) {}
+
+  Workload Make(size_t n, uint64_t seed) const {
+    WorkloadOptions opts;
+    opts.seed = seed;
+    WorkloadGenerator gen(&data, &index, opts);
+    return gen.Generate(n);
+  }
+
+  Dataset data;
+  CountingKdTree index;
+};
+
+TEST(StaticModelTest, HistogramEstimatesViaEq6) {
+  std::vector<Box> buckets = {Box({0.0, 0.0}, {0.5, 1.0}),
+                              Box({0.5, 0.0}, {1.0, 1.0})};
+  StaticHistogram m(buckets, {0.8, 0.2});
+  EXPECT_NEAR(m.Estimate(Box({0.0, 0.0}, {0.5, 1.0})), 0.8, 1e-12);
+  EXPECT_NEAR(m.Estimate(Box({0.0, 0.0}, {0.25, 1.0})), 0.4, 1e-12);
+  EXPECT_NEAR(m.Estimate(Box::Unit(2)), 1.0, 1e-12);
+  EXPECT_EQ(m.NumBuckets(), 2u);
+}
+
+TEST(StaticModelTest, PointModelEstimatesViaEq7) {
+  StaticPointModel m({{0.25, 0.25}, {0.75, 0.75}}, {0.3, 0.7});
+  EXPECT_DOUBLE_EQ(m.Estimate(Box({0.0, 0.0}, {0.5, 0.5})), 0.3);
+  EXPECT_DOUBLE_EQ(m.Estimate(Box({0.5, 0.5}, {1.0, 1.0})), 0.7);
+  EXPECT_DOUBLE_EQ(m.Estimate(Box::Unit(2)), 1.0);
+}
+
+TEST(StaticModelTest, TrainIsRejected) {
+  StaticHistogram h({Box::Unit(2)}, {1.0});
+  EXPECT_EQ(h.Train({}).code(), StatusCode::kFailedPrecondition);
+  StaticPointModel p({{0.5, 0.5}}, {1.0});
+  EXPECT_EQ(p.Train({}).code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(ModelIoTest, QuadHistRoundTripIdenticalEstimates) {
+  Fixture f;
+  const Workload train = f.Make(80, 901);
+  QuadHistOptions qo;
+  qo.tau = 0.02;
+  QuadHist model(2, qo);
+  ASSERT_TRUE(model.Train(train).ok());
+  const std::string path = TempPath("sel_quadhist.model");
+  ASSERT_TRUE(
+      SaveHistogramModel(model.LeafBoxes(), model.LeafWeights(), path).ok());
+  auto loaded = LoadModel(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  for (const auto& z : f.Make(50, 902)) {
+    EXPECT_NEAR(loaded.value()->Estimate(z.query), model.Estimate(z.query),
+                1e-5);
+  }
+  std::filesystem::remove(path);
+}
+
+TEST(ModelIoTest, PtsHistRoundTripIdenticalEstimates) {
+  Fixture f;
+  const Workload train = f.Make(60, 903);
+  PtsHist model(2, PtsHistOptions{});
+  ASSERT_TRUE(model.Train(train).ok());
+  const std::string path = TempPath("sel_ptshist.model");
+  ASSERT_TRUE(
+      SavePointModel(model.BucketPoints(), model.BucketWeights(), path)
+          .ok());
+  auto loaded = LoadModel(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.value()->NumBuckets(), model.NumBuckets());
+  for (const auto& z : f.Make(50, 904)) {
+    EXPECT_NEAR(loaded.value()->Estimate(z.query), model.Estimate(z.query),
+                1e-5);
+  }
+  std::filesystem::remove(path);
+}
+
+TEST(ModelIoTest, GmmRoundTripIdenticalEstimates) {
+  Fixture f;
+  const Workload train = f.Make(80, 905);
+  GmmOptions go;
+  go.num_components = 10;
+  GmmModel model(2, go);
+  ASSERT_TRUE(model.Train(train).ok());
+  const std::string path = TempPath("sel_gmm.model");
+  ASSERT_TRUE(SaveGmmModel(model, path).ok());
+  auto loaded = LoadModel(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.value()->NumBuckets(), 10u);
+  for (const auto& z : f.Make(50, 906)) {
+    EXPECT_NEAR(loaded.value()->Estimate(z.query), model.Estimate(z.query),
+                1e-5);
+  }
+  std::filesystem::remove(path);
+}
+
+TEST(ModelIoTest, RejectsCorruptFiles) {
+  const std::string path = TempPath("sel_corrupt.model");
+  {
+    std::ofstream out(path);
+    out << "not a model\n";
+  }
+  EXPECT_FALSE(LoadModel(path).ok());
+  {
+    std::ofstream out(path);
+    out << "selmodel 1 histogram 2 3\n"
+        << "box 0 0 1 1 0.5\n";  // claims 3 records, has 1
+  }
+  EXPECT_FALSE(LoadModel(path).ok());
+  {
+    std::ofstream out(path);
+    out << "selmodel 1 histogram 2 1\n"
+        << "point 0.5 0.5 1.0\n";  // record kind mismatch
+  }
+  EXPECT_FALSE(LoadModel(path).ok());
+  {
+    std::ofstream out(path);
+    out << "selmodel 99 histogram 2 1\n"
+        << "box 0 0 1 1 1.0\n";  // bad version
+  }
+  EXPECT_FALSE(LoadModel(path).ok());
+  std::filesystem::remove(path);
+  EXPECT_FALSE(LoadModel("/nonexistent/dir/m.model").ok());
+}
+
+TEST(ModelIoTest, RejectsInvalidSaves) {
+  EXPECT_FALSE(SaveHistogramModel({}, {}, TempPath("x.model")).ok());
+  EXPECT_FALSE(SavePointModel({{0.5}}, {0.5, 0.5},
+                              TempPath("x.model")).ok());
+  GmmModel untrained(2, GmmOptions{});
+  EXPECT_FALSE(SaveGmmModel(untrained, TempPath("x.model")).ok());
+}
+
+TEST(ModelIoTest, CommentsAndBlankLinesTolerated) {
+  const std::string path = TempPath("sel_comments.model");
+  {
+    std::ofstream out(path);
+    out << "# a comment\n\n"
+        << "selmodel 1 points 2 2\n"
+        << "# another\n"
+        << "point 0.2 0.2 0.5\n\n"
+        << "point 0.8 0.8 0.5\n";
+  }
+  auto loaded = LoadModel(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded.value()->NumBuckets(), 2u);
+  std::filesystem::remove(path);
+}
+
+}  // namespace
+}  // namespace sel

@@ -1,0 +1,119 @@
+// Parameterized cross-product sweep: every learner × query type ×
+// dataset combination that the design supports must train, produce
+// bounded and monotone-consistent estimates, and beat the trivial
+// mean predictor — the library-level contract behind Theorem 2.1.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <tuple>
+
+#include "sel/sel.h"
+
+namespace sel {
+namespace {
+
+struct Combo {
+  ModelKind model;
+  QueryType query_type;
+  const char* dataset;
+  std::vector<int> attrs;
+};
+
+std::string ComboName(const ::testing::TestParamInfo<Combo>& info) {
+  return std::string(ModelKindName(info.param.model)) + "_" +
+         QueryTypeName(info.param.query_type) + "_" + info.param.dataset +
+         "_" + std::to_string(info.param.attrs.size()) + "d";
+}
+
+class ModelMatrixTest : public ::testing::TestWithParam<Combo> {};
+
+TEST_P(ModelMatrixTest, TrainsAndGeneralizes) {
+  const Combo& c = GetParam();
+  auto ds = MakeDatasetByName(c.dataset, 4000, 1500);
+  ASSERT_TRUE(ds.ok());
+  const Dataset data = ds.value().Project(c.attrs);
+  const CountingKdTree index(data.rows());
+  WorkloadOptions opts;
+  opts.query_type = c.query_type;
+  opts.seed = 1501;
+  WorkloadGenerator gen(&data, &index, opts);
+  const Workload train = gen.Generate(150);
+  const Workload test = gen.Generate(80);
+
+  auto model = MakeModel(c.model, data.dim(), train.size());
+  ASSERT_TRUE(model->Train(train).ok());
+
+  // Bounded estimates; trivial baseline beaten.
+  double mean = 0.0;
+  for (const auto& z : train) mean += z.selectivity;
+  mean /= static_cast<double>(train.size());
+  double model_sq = 0.0, mean_sq = 0.0;
+  for (const auto& z : test) {
+    const double e = model->Estimate(z.query);
+    ASSERT_GE(e, 0.0);
+    ASSERT_LE(e, 1.0);
+    model_sq += (e - z.selectivity) * (e - z.selectivity);
+    mean_sq += (mean - z.selectivity) * (mean - z.selectivity);
+  }
+  EXPECT_LT(model_sq, mean_sq);
+  EXPECT_LT(std::sqrt(model_sq / test.size()), 0.15);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSupportedCombos, ModelMatrixTest,
+    ::testing::Values(
+        // QuadHist: every query type, low dimensions.
+        Combo{ModelKind::kQuadHist, QueryType::kBox, "power", {0, 1}},
+        Combo{ModelKind::kQuadHist, QueryType::kBall, "power", {0, 1}},
+        Combo{ModelKind::kQuadHist, QueryType::kHalfspace, "power", {0, 1}},
+        Combo{ModelKind::kQuadHist, QueryType::kBox, "forest", {0, 1, 2}},
+        Combo{ModelKind::kQuadHist, QueryType::kBox, "census", {0, 8}},
+        // PtsHist: every query type, low and high dimensions.
+        Combo{ModelKind::kPtsHist, QueryType::kBox, "power", {0, 1}},
+        Combo{ModelKind::kPtsHist, QueryType::kBall, "forest",
+              {0, 1, 2, 3}},
+        Combo{ModelKind::kPtsHist, QueryType::kHalfspace, "forest",
+              {0, 1, 2, 3}},
+        Combo{ModelKind::kPtsHist, QueryType::kBox, "forest",
+              {0, 1, 2, 3, 4, 5}},
+        Combo{ModelKind::kPtsHist, QueryType::kBox, "dmv", {2, 10}},
+        // QuickSel and ISOMER: boxes only (their supported class).
+        Combo{ModelKind::kQuickSel, QueryType::kBox, "power", {0, 1}},
+        Combo{ModelKind::kQuickSel, QueryType::kBox, "forest", {0, 1, 2}},
+        Combo{ModelKind::kQuickSel, QueryType::kBox, "census", {0, 8}},
+        Combo{ModelKind::kIsomer, QueryType::kBox, "power", {0, 1}},
+        Combo{ModelKind::kIsomer, QueryType::kBox, "forest", {0, 1}}),
+    ComboName);
+
+// The GMM learner is not in the ModelKind factory sweep; cover its
+// combos directly.
+class GmmMatrixTest
+    : public ::testing::TestWithParam<std::tuple<QueryType, int>> {};
+
+TEST_P(GmmMatrixTest, TrainsAndGeneralizes) {
+  const auto [qt, d] = GetParam();
+  std::vector<int> attrs(d);
+  for (int j = 0; j < d; ++j) attrs[j] = j;
+  const Dataset data = MakeForestLike(4000, 1502).Project(attrs);
+  const CountingKdTree index(data.rows());
+  WorkloadOptions opts;
+  opts.query_type = qt;
+  opts.seed = 1503;
+  WorkloadGenerator gen(&data, &index, opts);
+  const Workload train = gen.Generate(150);
+  const Workload test = gen.Generate(80);
+  GmmModel model(d, GmmOptions{});
+  ASSERT_TRUE(model.Train(train).ok());
+  const ErrorReport r = EvaluateModel(model, test);
+  EXPECT_LT(r.rms, 0.15);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    QueryTypesAndDims, GmmMatrixTest,
+    ::testing::Combine(::testing::Values(QueryType::kBox, QueryType::kBall,
+                                         QueryType::kHalfspace),
+                       ::testing::Values(2, 4)));
+
+}  // namespace
+}  // namespace sel

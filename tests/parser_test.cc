@@ -1,0 +1,173 @@
+// Tests for the WHERE-style predicate parser: all three §2.2 query
+// classes, error paths, and semantic equivalence against hand-built
+// geometry.
+#include <gtest/gtest.h>
+
+#include "parser/predicate_parser.h"
+
+namespace sel {
+namespace {
+
+PredicateParser MakeParser() {
+  return PredicateParser({"price", "qty", "score"});
+}
+
+// ---------- Orthogonal ranges ----------
+
+TEST(ParserTest, SimpleRange) {
+  auto q = MakeParser().Parse("price >= 0.2 AND price <= 0.8");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  ASSERT_EQ(q.value().type(), QueryType::kBox);
+  const Box& b = q.value().box();
+  EXPECT_DOUBLE_EQ(b.lo(0), 0.2);
+  EXPECT_DOUBLE_EQ(b.hi(0), 0.8);
+  EXPECT_DOUBLE_EQ(b.lo(1), 0.0);  // unconstrained attrs span the domain
+  EXPECT_DOUBLE_EQ(b.hi(1), 1.0);
+}
+
+TEST(ParserTest, BetweenSyntax) {
+  auto q = MakeParser().Parse("qty BETWEEN 0.3 AND 0.6");
+  ASSERT_TRUE(q.ok());
+  const Box& b = q.value().box();
+  EXPECT_DOUBLE_EQ(b.lo(1), 0.3);
+  EXPECT_DOUBLE_EQ(b.hi(1), 0.6);
+}
+
+TEST(ParserTest, MultiAttributeConjunction) {
+  auto q = MakeParser().Parse(
+      "price BETWEEN 0.1 AND 0.5 AND qty >= 0.4 AND score <= 0.9");
+  ASSERT_TRUE(q.ok());
+  const Box& b = q.value().box();
+  EXPECT_DOUBLE_EQ(b.lo(0), 0.1);
+  EXPECT_DOUBLE_EQ(b.hi(0), 0.5);
+  EXPECT_DOUBLE_EQ(b.lo(1), 0.4);
+  EXPECT_DOUBLE_EQ(b.hi(2), 0.9);
+}
+
+TEST(ParserTest, EqualityBecomesThinInterval) {
+  ParserOptions opts;
+  opts.equality_halfwidth = 0.01;
+  PredicateParser parser({"a"}, opts);
+  auto q = parser.Parse("a = 0.5");
+  ASSERT_TRUE(q.ok());
+  EXPECT_NEAR(q.value().box().lo(0), 0.49, 1e-12);
+  EXPECT_NEAR(q.value().box().hi(0), 0.51, 1e-12);
+}
+
+TEST(ParserTest, ReversedComparison) {
+  auto q = MakeParser().Parse("0.2 <= price AND 0.8 >= price");
+  ASSERT_TRUE(q.ok());
+  EXPECT_DOUBLE_EQ(q.value().box().lo(0), 0.2);
+  EXPECT_DOUBLE_EQ(q.value().box().hi(0), 0.8);
+}
+
+TEST(ParserTest, RepeatedConditionsTighten) {
+  auto q = MakeParser().Parse("price >= 0.1 AND price >= 0.3");
+  ASSERT_TRUE(q.ok());
+  EXPECT_DOUBLE_EQ(q.value().box().lo(0), 0.3);
+}
+
+TEST(ParserTest, ContradictionCollapsesToEmptySliver) {
+  auto q = MakeParser().Parse("price >= 0.8 AND price <= 0.2");
+  ASSERT_TRUE(q.ok());
+  EXPECT_DOUBLE_EQ(q.value().box().Volume(), 0.0);
+}
+
+TEST(ParserTest, StrictOperatorsCoincideWithNonStrict) {
+  auto a = MakeParser().Parse("price < 0.7");
+  auto b = MakeParser().Parse("price <= 0.7");
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_DOUBLE_EQ(a.value().box().hi(0), b.value().box().hi(0));
+}
+
+TEST(ParserTest, CaseInsensitiveKeywords) {
+  auto q = MakeParser().Parse("price between 0.2 and 0.4 and qty <= 0.5");
+  ASSERT_TRUE(q.ok());
+  EXPECT_DOUBLE_EQ(q.value().box().lo(0), 0.2);
+  EXPECT_DOUBLE_EQ(q.value().box().hi(1), 0.5);
+}
+
+// ---------- Linear inequalities ----------
+
+TEST(ParserTest, LinearInequality) {
+  auto q = MakeParser().Parse("0.3*price + 0.5*qty >= 0.2");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  ASSERT_EQ(q.value().type(), QueryType::kHalfspace);
+  const Halfspace& h = q.value().halfspace();
+  EXPECT_DOUBLE_EQ(h.normal()[0], 0.3);
+  EXPECT_DOUBLE_EQ(h.normal()[1], 0.5);
+  EXPECT_DOUBLE_EQ(h.normal()[2], 0.0);
+  EXPECT_DOUBLE_EQ(h.offset(), 0.2);
+  EXPECT_TRUE(q.value().Contains({1.0, 1.0, 0.0}));
+  EXPECT_FALSE(q.value().Contains({0.0, 0.0, 0.0}));
+}
+
+TEST(ParserTest, LinearLessEqualFlipsNormal) {
+  auto q = MakeParser().Parse("0.3*price + 0.5*qty <= 0.2");
+  ASSERT_TRUE(q.ok());
+  const Halfspace& h = q.value().halfspace();
+  EXPECT_DOUBLE_EQ(h.normal()[0], -0.3);
+  EXPECT_DOUBLE_EQ(h.offset(), -0.2);
+  EXPECT_FALSE(q.value().Contains({1.0, 1.0, 0.0}));
+  EXPECT_TRUE(q.value().Contains({0.0, 0.0, 0.0}));
+}
+
+TEST(ParserTest, LinearWithConstantAndBareAttribute) {
+  // price - 0.5*qty - 0.1 >= 0  ==  price - 0.5*qty >= 0.1
+  auto q = MakeParser().Parse("price - 0.5*qty - 0.1 >= 0");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  const Halfspace& h = q.value().halfspace();
+  EXPECT_DOUBLE_EQ(h.normal()[0], 1.0);
+  EXPECT_DOUBLE_EQ(h.normal()[1], -0.5);
+  EXPECT_DOUBLE_EQ(h.offset(), 0.1);
+}
+
+TEST(ParserTest, LinearLeadingMinus) {
+  auto q = MakeParser().Parse("-1*price + qty >= 0");
+  ASSERT_TRUE(q.ok());
+  EXPECT_DOUBLE_EQ(q.value().halfspace().normal()[0], -1.0);
+  EXPECT_DOUBLE_EQ(q.value().halfspace().normal()[1], 1.0);
+}
+
+// ---------- Distance predicates ----------
+
+TEST(ParserTest, DistancePredicate) {
+  PredicateParser parser({"x", "y"});
+  auto q = parser.Parse("DIST(x, y; 0.3, 0.4) <= 0.25");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  ASSERT_EQ(q.value().type(), QueryType::kBall);
+  const Ball& b = q.value().ball();
+  EXPECT_DOUBLE_EQ(b.center()[0], 0.3);
+  EXPECT_DOUBLE_EQ(b.center()[1], 0.4);
+  EXPECT_DOUBLE_EQ(b.radius(), 0.25);
+}
+
+TEST(ParserTest, DistanceSubsetRejectedWithGuidance) {
+  auto q = MakeParser().Parse("DIST(price, qty; 0.5, 0.5) <= 0.2");
+  EXPECT_FALSE(q.ok());
+  EXPECT_EQ(q.status().code(), StatusCode::kUnimplemented);
+}
+
+// ---------- Error paths ----------
+
+TEST(ParserTest, UnknownAttribute) {
+  auto q = MakeParser().Parse("bogus <= 0.5");
+  EXPECT_FALSE(q.ok());
+  EXPECT_EQ(q.status().code(), StatusCode::kNotFound);
+}
+
+TEST(ParserTest, MalformedInputs) {
+  auto parser = MakeParser();
+  EXPECT_FALSE(parser.Parse("price <=").ok());
+  EXPECT_FALSE(parser.Parse("price BETWEEN 0.5").ok());
+  EXPECT_FALSE(parser.Parse("price BETWEEN 0.8 AND 0.2").ok());
+  EXPECT_FALSE(parser.Parse("price <= 0.5 qty >= 0.2").ok());  // missing AND
+  EXPECT_FALSE(parser.Parse("0.3*price + 0.5*qty = 0.2").ok());
+  EXPECT_FALSE(parser.Parse("DIST(price; 0.1, 0.2) <= 0.3").ok());
+  EXPECT_FALSE(parser.Parse("price ?? 0.5").ok());
+  EXPECT_FALSE(parser.Parse("0.1 + 0.2 >= 0.3").ok());  // no attributes
+}
+
+}  // namespace
+}  // namespace sel

@@ -1,0 +1,128 @@
+// Property tests for the polynomial substrate: ShiftedTo correctness,
+// centered-form tightness vs the naive form, and algebraic identities —
+// parameterized over dimensions and degrees.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "geometry/polynomial.h"
+
+namespace sel {
+namespace {
+
+Polynomial RandomPolynomial(int dim, int max_degree, Rng* rng) {
+  std::vector<Monomial> monomials;
+  const int terms = 2 + static_cast<int>(rng->UniformInt(4));
+  for (int t = 0; t < terms; ++t) {
+    Monomial m;
+    m.coefficient = rng->Uniform(-2.0, 2.0);
+    m.exponents.assign(dim, 0);
+    int degree_left = max_degree;
+    for (int j = 0; j < dim && degree_left > 0; ++j) {
+      const int e = static_cast<int>(rng->UniformInt(degree_left + 1));
+      m.exponents[j] = e;
+      degree_left -= e;
+    }
+    monomials.push_back(std::move(m));
+  }
+  return Polynomial::FromMonomials(dim, std::move(monomials));
+}
+
+class PolynomialPropertyTest
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(PolynomialPropertyTest, ShiftedToPreservesValues) {
+  const auto [dim, degree] = GetParam();
+  Rng rng(1100 + dim * 10 + degree);
+  for (int t = 0; t < 15; ++t) {
+    const Polynomial p = RandomPolynomial(dim, degree, &rng);
+    Point center(dim);
+    for (auto& c : center) c = rng.Uniform(-1.0, 1.0);
+    const Polynomial q = p.ShiftedTo(center);
+    for (int s = 0; s < 25; ++s) {
+      Point tvec(dim);
+      Point x(dim);
+      for (int j = 0; j < dim; ++j) {
+        tvec[j] = rng.Uniform(-1.0, 1.0);
+        x[j] = center[j] + tvec[j];
+      }
+      EXPECT_NEAR(q.Eval(tvec), p.Eval(x), 1e-8)
+          << p.ToString() << " shifted to center";
+    }
+  }
+}
+
+TEST_P(PolynomialPropertyTest, CenteredFormSoundAndNoLooserThanNaive) {
+  const auto [dim, degree] = GetParam();
+  Rng rng(1200 + dim * 10 + degree);
+  for (int t = 0; t < 15; ++t) {
+    const Polynomial p = RandomPolynomial(dim, degree, &rng);
+    Point lo(dim), hi(dim);
+    for (int j = 0; j < dim; ++j) {
+      lo[j] = rng.Uniform(-0.5, 0.5);
+      hi[j] = lo[j] + rng.Uniform(0.05, 0.4);
+    }
+    const Box box(lo, hi);
+    const Interval centered = p.EvalInterval(box);
+    // Soundness: sampled values stay inside.
+    for (int s = 0; s < 60; ++s) {
+      Point x(dim);
+      for (int j = 0; j < dim; ++j) {
+        x[j] = rng.Uniform(box.lo(j), box.hi(j));
+      }
+      const double v = p.Eval(x);
+      EXPECT_GE(v, centered.lo - 1e-8);
+      EXPECT_LE(v, centered.hi + 1e-8);
+    }
+  }
+}
+
+TEST_P(PolynomialPropertyTest, ArithmeticMatchesPointwise) {
+  const auto [dim, degree] = GetParam();
+  Rng rng(1300 + dim * 10 + degree);
+  for (int t = 0; t < 10; ++t) {
+    const Polynomial a = RandomPolynomial(dim, degree, &rng);
+    const Polynomial b = RandomPolynomial(dim, degree, &rng);
+    const Polynomial sum = a + b;
+    const Polynomial diff = a - b;
+    const Polynomial prod = a * b;
+    const Polynomial scaled = a * 3.5;
+    for (int s = 0; s < 20; ++s) {
+      Point x(dim);
+      for (auto& v : x) v = rng.Uniform(-1.0, 1.0);
+      const double av = a.Eval(x), bv = b.Eval(x);
+      EXPECT_NEAR(sum.Eval(x), av + bv, 1e-9);
+      EXPECT_NEAR(diff.Eval(x), av - bv, 1e-9);
+      EXPECT_NEAR(prod.Eval(x), av * bv, 1e-8);
+      EXPECT_NEAR(scaled.Eval(x), 3.5 * av, 1e-9);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    DimsAndDegrees, PolynomialPropertyTest,
+    ::testing::Combine(::testing::Values(1, 2, 3, 5),
+                       ::testing::Values(1, 2, 4)));
+
+TEST(CenteredFormTest, TightForDistanceAtoms) {
+  // (x-0.5)^2 + (y-0.5)^2 - 0.09 over the box centered at (0.5, 0.5):
+  // the centered form is exact here, the naive form is not.
+  const int d = 2;
+  const Polynomial x = Polynomial::Variable(d, 0);
+  const Polynomial y = Polynomial::Variable(d, 1);
+  const Polynomial c = Polynomial::Constant(d, 0.5);
+  const Polynomial p =
+      (x - c) * (x - c) + (y - c) * (y - c) - Polynomial::Constant(d, 0.09);
+  const Box box({0.45, 0.45}, {0.55, 0.55});
+  const Interval centered = p.EvalInterval(box);
+  EXPECT_NEAR(centered.lo, -0.09, 1e-12);
+  EXPECT_NEAR(centered.hi, 2 * 0.0025 - 0.09, 1e-12);
+  const Interval naive = p.EvalIntervalNaive(box);
+  EXPECT_LT(centered.hi, naive.hi);  // strictly tighter upper bound
+  EXPECT_LT(centered.hi, 0.0);       // proves the box is inside the disc
+  EXPECT_GT(naive.hi, 0.0);          // naive form cannot prove it
+}
+
+}  // namespace
+}  // namespace sel

@@ -1,0 +1,222 @@
+// Tests for PtsHist (§3.3): bucket sampling scheme, weight fitting, and
+// estimation across query types and dimensions.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/ptshist.h"
+#include "data/generators.h"
+#include "index/kdtree.h"
+#include "metrics/metrics.h"
+#include "workload/workload.h"
+
+namespace sel {
+namespace {
+
+Workload MakeWorkload(const Dataset& data, const CountingKdTree& index,
+                      size_t n, uint64_t seed,
+                      QueryType type = QueryType::kBox) {
+  WorkloadOptions opts;
+  opts.query_type = type;
+  opts.seed = seed;
+  WorkloadGenerator gen(&data, &index, opts);
+  return gen.Generate(n);
+}
+
+TEST(PtsHistTest, ModelSizeDefaultsTo4xTrainingSize) {
+  const Dataset data = MakeUniform(1000, 2, 100);
+  CountingKdTree index(data.rows());
+  const Workload w = MakeWorkload(data, index, 50, 101);
+  PtsHist m(2, PtsHistOptions{});
+  ASSERT_TRUE(m.Train(w).ok());
+  EXPECT_EQ(m.NumBuckets(), 200u);
+}
+
+TEST(PtsHistTest, ExplicitModelSizeRespected) {
+  const Dataset data = MakeUniform(1000, 2, 102);
+  CountingKdTree index(data.rows());
+  const Workload w = MakeWorkload(data, index, 50, 103);
+  PtsHistOptions opts;
+  opts.model_size = 77;
+  PtsHist m(2, opts);
+  ASSERT_TRUE(m.Train(w).ok());
+  EXPECT_EQ(m.NumBuckets(), 77u);
+}
+
+TEST(PtsHistTest, BucketPointsInsideDomain) {
+  const Dataset data = MakePowerLike(2000, 104).Project({0, 1});
+  CountingKdTree index(data.rows());
+  const Workload w = MakeWorkload(data, index, 60, 105);
+  PtsHist m(2, PtsHistOptions{});
+  ASSERT_TRUE(m.Train(w).ok());
+  for (const auto& p : m.BucketPoints()) {
+    for (double x : p) {
+      EXPECT_GE(x, 0.0);
+      EXPECT_LE(x, 1.0);
+    }
+  }
+}
+
+TEST(PtsHistTest, InteriorPointsLandInsideTheirRanges) {
+  // With interior_fraction = 1 every bucket point must lie inside at
+  // least one positive-selectivity training range (rejection sampling
+  // from range interiors, App. A.2).
+  const Dataset data = MakeUniform(2000, 2, 106);
+  CountingKdTree index(data.rows());
+  const Workload w = MakeWorkload(data, index, 40, 107);
+  PtsHistOptions opts;
+  opts.interior_fraction = 1.0;
+  PtsHist m(2, opts);
+  ASSERT_TRUE(m.Train(w).ok());
+  size_t outside = 0;
+  for (const auto& p : m.BucketPoints()) {
+    bool in_some = false;
+    for (const auto& z : w) {
+      if (z.query.Contains(p)) {
+        in_some = true;
+        break;
+      }
+    }
+    if (!in_some) ++outside;
+  }
+  // Rejection fallbacks are rare.
+  EXPECT_LE(outside, m.NumBuckets() / 20);
+}
+
+TEST(PtsHistTest, ShareProportionalToSelectivity) {
+  // Two disjoint ranges with selectivities 0.9 and 0.1: the dense range
+  // should receive roughly 9x the interior points.
+  Workload w;
+  w.push_back({Box({0.0, 0.0}, {0.4, 0.4}), 0.9});
+  w.push_back({Box({0.6, 0.6}, {1.0, 1.0}), 0.1});
+  PtsHistOptions opts;
+  opts.model_size = 1000;
+  opts.interior_fraction = 1.0;
+  PtsHist m(2, opts);
+  ASSERT_TRUE(m.Train(w).ok());
+  size_t in_dense = 0, in_sparse = 0;
+  for (const auto& p : m.BucketPoints()) {
+    if (w[0].query.Contains(p)) ++in_dense;
+    if (w[1].query.Contains(p)) ++in_sparse;
+  }
+  EXPECT_NEAR(static_cast<double>(in_dense) / 1000.0, 0.9, 0.02);
+  EXPECT_NEAR(static_cast<double>(in_sparse) / 1000.0, 0.1, 0.02);
+}
+
+TEST(PtsHistTest, UniformShareCoversUncoveredSpace) {
+  // 10% uniform points (§3.3 step 2) allocate density to regions not
+  // covered by any training query.
+  Workload w;
+  w.push_back({Box({0.0, 0.0}, {0.2, 0.2}), 0.5});
+  PtsHistOptions opts;
+  opts.model_size = 2000;
+  opts.seed = 5;
+  PtsHist m(2, opts);
+  ASSERT_TRUE(m.Train(w).ok());
+  size_t outside_query = 0;
+  for (const auto& p : m.BucketPoints()) {
+    if (!w[0].query.Contains(p)) ++outside_query;
+  }
+  EXPECT_GT(outside_query, 100u);  // ~10% of 2000
+}
+
+TEST(PtsHistTest, DeterministicGivenSeed) {
+  const Dataset data = MakeUniform(1000, 3, 108);
+  CountingKdTree index(data.rows());
+  const Workload w = MakeWorkload(data, index, 30, 109);
+  PtsHist a(3, PtsHistOptions{}), b(3, PtsHistOptions{});
+  ASSERT_TRUE(a.Train(w).ok());
+  ASSERT_TRUE(b.Train(w).ok());
+  ASSERT_EQ(a.NumBuckets(), b.NumBuckets());
+  for (size_t i = 0; i < a.NumBuckets(); ++i) {
+    EXPECT_EQ(a.BucketPoints()[i], b.BucketPoints()[i]);
+    EXPECT_EQ(a.BucketWeights()[i], b.BucketWeights()[i]);
+  }
+}
+
+TEST(PtsHistTest, WeightsOnSimplexAndEstimatesBounded) {
+  const Dataset data = MakePowerLike(2000, 110).Project({0, 1});
+  CountingKdTree index(data.rows());
+  const Workload w = MakeWorkload(data, index, 60, 111);
+  PtsHist m(2, PtsHistOptions{});
+  ASSERT_TRUE(m.Train(w).ok());
+  double sum = 0.0;
+  for (double x : m.BucketWeights()) {
+    EXPECT_GE(x, -1e-12);
+    sum += x;
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-6);
+  for (const auto& z : MakeWorkload(data, index, 40, 112)) {
+    const double e = m.Estimate(z.query);
+    EXPECT_GE(e, 0.0);
+    EXPECT_LE(e, 1.0);
+  }
+}
+
+TEST(PtsHistTest, AccuracyImprovesWithTrainingSize) {
+  const Dataset data = MakePowerLike(4000, 113).Project({0, 1});
+  CountingKdTree index(data.rows());
+  const Workload test = MakeWorkload(data, index, 150, 114);
+  double rms_small, rms_large;
+  {
+    PtsHist m(2, PtsHistOptions{});
+    ASSERT_TRUE(m.Train(MakeWorkload(data, index, 20, 115)).ok());
+    rms_small = EvaluateModel(m, test).rms;
+  }
+  {
+    PtsHist m(2, PtsHistOptions{});
+    ASSERT_TRUE(m.Train(MakeWorkload(data, index, 400, 116)).ok());
+    rms_large = EvaluateModel(m, test).rms;
+  }
+  EXPECT_LT(rms_large, rms_small);
+  EXPECT_LT(rms_large, 0.06);
+}
+
+TEST(PtsHistTest, ScalesToHighDimensions) {
+  // §3.3/§4.4: PtsHist is the high-dimensional instantiation.
+  const Dataset data = MakeForestLike(4000, 117).Project(
+      {0, 1, 2, 3, 4, 5, 6, 7});
+  CountingKdTree index(data.rows());
+  const Workload train = MakeWorkload(data, index, 200, 118);
+  const Workload test = MakeWorkload(data, index, 100, 119);
+  PtsHist m(8, PtsHistOptions{});
+  ASSERT_TRUE(m.Train(train).ok());
+  EXPECT_LT(EvaluateModel(m, test).rms, 0.15);
+}
+
+TEST(PtsHistTest, HandlesBallAndHalfspaceQueries) {
+  const Dataset data = MakeForestLike(3000, 120).Project({0, 1, 2, 3});
+  CountingKdTree index(data.rows());
+  for (QueryType qt : {QueryType::kBall, QueryType::kHalfspace}) {
+    const Workload train = MakeWorkload(data, index, 150, 121, qt);
+    const Workload test = MakeWorkload(data, index, 80, 122, qt);
+    PtsHist m(4, PtsHistOptions{});
+    ASSERT_TRUE(m.Train(train).ok());
+    EXPECT_LT(EvaluateModel(m, test).rms, 0.15)
+        << QueryTypeName(qt);
+  }
+}
+
+TEST(PtsHistTest, AllZeroSelectivitiesFallBackToUniform) {
+  Workload w;
+  w.push_back({Box({0.0, 0.0}, {0.1, 0.1}), 0.0});
+  w.push_back({Box({0.9, 0.9}, {1.0, 1.0}), 0.0});
+  PtsHist m(2, PtsHistOptions{});
+  ASSERT_TRUE(m.Train(w).ok());
+  EXPECT_EQ(m.NumBuckets(), 8u);
+  EXPECT_LT(m.Estimate(Box({0.0, 0.0}, {0.1, 0.1})), 0.3);
+}
+
+TEST(PtsHistTest, RejectsInvalidInputs) {
+  PtsHist m(2, PtsHistOptions{});
+  EXPECT_FALSE(m.Train({}).ok());
+  Workload wrong_dim;
+  wrong_dim.push_back({Box::Unit(3), 0.5});
+  EXPECT_FALSE(m.Train(wrong_dim).ok());
+  Workload bad;
+  bad.push_back({Box::Unit(2), -0.1});
+  EXPECT_FALSE(m.Train(bad).ok());
+}
+
+}  // namespace
+}  // namespace sel

@@ -1,0 +1,307 @@
+// Tests for QuadHist (§3.2 / Appendix A.1): Algorithm 1–2 refinement,
+// order invariance (Lemma A.1), leaf caps, weight fitting, and estimation
+// across all three query classes.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/quadhist.h"
+#include "data/generators.h"
+#include "index/kdtree.h"
+#include "metrics/metrics.h"
+#include "workload/workload.h"
+
+namespace sel {
+namespace {
+
+Workload MakeBoxWorkload(const Dataset& data, const CountingKdTree& index,
+                         size_t n, uint64_t seed,
+                         QueryType type = QueryType::kBox) {
+  WorkloadOptions opts;
+  opts.query_type = type;
+  opts.seed = seed;
+  WorkloadGenerator gen(&data, &index, opts);
+  return gen.Generate(n);
+}
+
+struct Fixture2D {
+  Fixture2D()
+      : data(MakePowerLike(4000, 60).Project({0, 1})), index(data.rows()) {}
+  Dataset data;
+  CountingKdTree index;
+};
+
+TEST(QuadHistTest, SingleLeafBeforeAnySplit) {
+  QuadHistOptions opts;
+  opts.tau = 0.9;  // never split: every density estimate is <= 1 * s
+  QuadHist model(2, opts);
+  Workload w;
+  w.push_back({Box({0.2, 0.2}, {0.4, 0.4}), 0.5});
+  ASSERT_TRUE(model.Train(w).ok());
+  EXPECT_EQ(model.NumBuckets(), 1u);
+}
+
+TEST(QuadHistTest, SplitsWhereDensityExceedsTau) {
+  QuadHistOptions opts;
+  opts.tau = 0.1;
+  QuadHist model(2, opts);
+  Workload w;
+  // A concentrated query with high selectivity forces splits around it.
+  w.push_back({Box({0.0, 0.0}, {0.25, 0.25}), 0.8});
+  ASSERT_TRUE(model.Train(w).ok());
+  EXPECT_GT(model.NumBuckets(), 1u);
+  // Leaves near the query corner should be smaller than far leaves.
+  const auto leaves = model.LeafBoxes();
+  double near_min = 1.0, far_min = 1.0;
+  for (const auto& b : leaves) {
+    const double vol = b.Volume();
+    if (b.hi(0) <= 0.5 && b.hi(1) <= 0.5) {
+      near_min = std::min(near_min, vol);
+    }
+    if (b.lo(0) >= 0.5 && b.lo(1) >= 0.5) {
+      far_min = std::min(far_min, vol);
+    }
+  }
+  EXPECT_LT(near_min, far_min);
+}
+
+TEST(QuadHistTest, OrderInvariantPartition) {
+  // Lemma A.1: the partition is independent of the processing order.
+  Fixture2D f;
+  Workload w = MakeBoxWorkload(f.data, f.index, 60, 61);
+  QuadHistOptions opts;
+  opts.tau = 0.02;
+  QuadHist a(2, opts);
+  ASSERT_TRUE(a.Train(w).ok());
+
+  Workload reversed(w.rbegin(), w.rend());
+  QuadHist b(2, opts);
+  ASSERT_TRUE(b.Train(reversed).ok());
+
+  auto leaves_a = a.LeafBoxes();
+  auto leaves_b = b.LeafBoxes();
+  ASSERT_EQ(leaves_a.size(), leaves_b.size());
+  auto key = [](const Box& box) {
+    return std::make_pair(box.lo(), box.hi());
+  };
+  std::vector<std::pair<Point, Point>> ka, kb;
+  for (const auto& box : leaves_a) ka.push_back(key(box));
+  for (const auto& box : leaves_b) kb.push_back(key(box));
+  std::sort(ka.begin(), ka.end());
+  std::sort(kb.begin(), kb.end());
+  EXPECT_EQ(ka, kb);
+}
+
+TEST(QuadHistTest, SameWorkloadSameModel) {
+  // Stability (§3.2): identical training input -> identical predictions.
+  Fixture2D f;
+  Workload w = MakeBoxWorkload(f.data, f.index, 50, 62);
+  Workload test = MakeBoxWorkload(f.data, f.index, 20, 63);
+  QuadHistOptions opts;
+  QuadHist a(2, opts), b(2, opts);
+  ASSERT_TRUE(a.Train(w).ok());
+  ASSERT_TRUE(b.Train(w).ok());
+  for (const auto& z : test) {
+    EXPECT_EQ(a.Estimate(z.query), b.Estimate(z.query));
+  }
+}
+
+TEST(QuadHistTest, SmallerTauMeansMoreBuckets) {
+  Fixture2D f;
+  Workload w = MakeBoxWorkload(f.data, f.index, 40, 64);
+  size_t prev = 0;
+  for (double tau : {0.2, 0.05, 0.01}) {
+    QuadHistOptions opts;
+    opts.tau = tau;
+    QuadHist m(2, opts);
+    ASSERT_TRUE(m.Train(w).ok());
+    EXPECT_GE(m.NumBuckets(), prev);
+    prev = m.NumBuckets();
+  }
+}
+
+TEST(QuadHistTest, MaxLeavesCapRespected) {
+  Fixture2D f;
+  Workload w = MakeBoxWorkload(f.data, f.index, 80, 65);
+  QuadHistOptions opts;
+  opts.tau = 0.001;
+  opts.max_leaves = 50;
+  QuadHist m(2, opts);
+  ASSERT_TRUE(m.Train(w).ok());
+  EXPECT_LE(m.NumBuckets(), 50u);
+}
+
+TEST(QuadHistTest, MaxDepthCapRespected) {
+  QuadHistOptions opts;
+  opts.tau = 1e-6;
+  opts.max_depth = 3;
+  QuadHist m(2, opts);
+  Workload w;
+  w.push_back({Box({0.0, 0.0}, {0.1, 0.1}), 0.9});
+  ASSERT_TRUE(m.Train(w).ok());
+  for (const auto& b : m.LeafBoxes()) {
+    EXPECT_GE(b.width(0), 1.0 / 8 - 1e-12);  // depth <= 3 halvings
+  }
+}
+
+TEST(QuadHistTest, WeightsOnSimplex) {
+  Fixture2D f;
+  Workload w = MakeBoxWorkload(f.data, f.index, 50, 66);
+  QuadHistOptions opts;
+  QuadHist m(2, opts);
+  ASSERT_TRUE(m.Train(w).ok());
+  const auto weights = m.LeafWeights();
+  double sum = 0.0;
+  for (double x : weights) {
+    EXPECT_GE(x, -1e-12);
+    sum += x;
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-6);
+}
+
+TEST(QuadHistTest, EstimatesInUnitInterval) {
+  Fixture2D f;
+  Workload w = MakeBoxWorkload(f.data, f.index, 60, 67);
+  QuadHist m(2, QuadHistOptions{});
+  ASSERT_TRUE(m.Train(w).ok());
+  for (const auto& z : MakeBoxWorkload(f.data, f.index, 60, 68)) {
+    const double e = m.Estimate(z.query);
+    EXPECT_GE(e, 0.0);
+    EXPECT_LE(e, 1.0);
+  }
+}
+
+TEST(QuadHistTest, FullDomainQueryEstimatesNearOne) {
+  Fixture2D f;
+  Workload w = MakeBoxWorkload(f.data, f.index, 50, 69);
+  QuadHist m(2, QuadHistOptions{});
+  ASSERT_TRUE(m.Train(w).ok());
+  EXPECT_NEAR(m.Estimate(Box::Unit(2)), 1.0, 1e-9);
+}
+
+TEST(QuadHistTest, LearnsPointMassLocation) {
+  // Data concentrated in one corner: trained on informative queries, the
+  // model should put mass there.
+  Workload w;
+  w.push_back({Box({0.0, 0.0}, {0.5, 0.5}), 1.0});
+  w.push_back({Box({0.5, 0.5}, {1.0, 1.0}), 0.0});
+  w.push_back({Box({0.0, 0.0}, {0.25, 0.25}), 1.0});
+  w.push_back({Box({0.25, 0.25}, {1.0, 1.0}), 0.0});
+  QuadHistOptions opts;
+  opts.tau = 0.05;
+  QuadHist m(2, opts);
+  ASSERT_TRUE(m.Train(w).ok());
+  EXPECT_GT(m.Estimate(Box({0.0, 0.0}, {0.3, 0.3})), 0.8);
+  EXPECT_LT(m.Estimate(Box({0.6, 0.6}, {1.0, 1.0})), 0.2);
+}
+
+TEST(QuadHistTest, AccuracyImprovesWithTrainingSize) {
+  Fixture2D f;
+  const Workload test = MakeBoxWorkload(f.data, f.index, 150, 70);
+  double rms_small = 0.0, rms_large = 0.0;
+  {
+    QuadHistOptions opts;
+    opts.tau = 0.005;
+    QuadHist m(2, opts);
+    ASSERT_TRUE(m.Train(MakeBoxWorkload(f.data, f.index, 20, 71)).ok());
+    rms_small = EvaluateModel(m, test).rms;
+  }
+  {
+    QuadHistOptions opts;
+    opts.tau = 0.005;
+    QuadHist m(2, opts);
+    ASSERT_TRUE(m.Train(MakeBoxWorkload(f.data, f.index, 300, 72)).ok());
+    rms_large = EvaluateModel(m, test).rms;
+  }
+  EXPECT_LT(rms_large, rms_small);
+  EXPECT_LT(rms_large, 0.05);  // §4.1: acceptable accuracy by a few hundred
+}
+
+TEST(QuadHistTest, HandlesBallQueries) {
+  Fixture2D f;
+  Workload w = MakeBoxWorkload(f.data, f.index, 80, 73, QueryType::kBall);
+  QuadHistOptions opts;
+  opts.tau = 0.01;
+  QuadHist m(2, opts);
+  ASSERT_TRUE(m.Train(w).ok());
+  const Workload test =
+      MakeBoxWorkload(f.data, f.index, 60, 74, QueryType::kBall);
+  const ErrorReport r = EvaluateModel(m, test);
+  EXPECT_LT(r.rms, 0.12);
+}
+
+TEST(QuadHistTest, HandlesHalfspaceQueries) {
+  Fixture2D f;
+  Workload w =
+      MakeBoxWorkload(f.data, f.index, 80, 75, QueryType::kHalfspace);
+  QuadHistOptions opts;
+  opts.tau = 0.01;
+  QuadHist m(2, opts);
+  ASSERT_TRUE(m.Train(w).ok());
+  const Workload test =
+      MakeBoxWorkload(f.data, f.index, 60, 76, QueryType::kHalfspace);
+  const ErrorReport r = EvaluateModel(m, test);
+  EXPECT_LT(r.rms, 0.12);
+}
+
+TEST(QuadHistTest, LinfObjectiveTrains) {
+  Fixture2D f;
+  Workload w = MakeBoxWorkload(f.data, f.index, 30, 77);
+  QuadHistOptions opts;
+  opts.objective = TrainObjective::kLinf;
+  opts.tau = 0.05;
+  QuadHist m(2, opts);
+  ASSERT_TRUE(m.Train(w).ok());
+  // The L∞-fit training error should be small on a consistent workload.
+  double worst = 0.0;
+  for (const auto& z : w) {
+    worst = std::max(worst, std::abs(m.Estimate(z.query) - z.selectivity));
+  }
+  EXPECT_LT(worst, 0.2);
+}
+
+TEST(QuadHistTest, RefineVisitCountBounded) {
+  // Lemma A.2: node visits per query are O((s/tau) log(s/(tau vol R))).
+  QuadHistOptions opts;
+  opts.tau = 0.01;
+  QuadHist m(2, opts);
+  Workload w;
+  w.push_back({Box({0.4, 0.4}, {0.6, 0.6}), 0.5});
+  ASSERT_TRUE(m.Train(w).ok());
+  const double s_over_tau = 0.5 / 0.01;
+  // Generous constant; the point is visits do not track total tree size.
+  EXPECT_LT(m.total_refine_visits(),
+            static_cast<size_t>(64.0 * s_over_tau * 16.0));
+}
+
+TEST(QuadHistTest, RejectsInvalidInputs) {
+  QuadHist m(2, QuadHistOptions{});
+  EXPECT_FALSE(m.Train({}).ok());
+  Workload wrong_dim;
+  wrong_dim.push_back({Box::Unit(3), 0.5});
+  EXPECT_FALSE(m.Train(wrong_dim).ok());
+  Workload bad_label;
+  bad_label.push_back({Box::Unit(2), 1.5});
+  EXPECT_FALSE(m.Train(bad_label).ok());
+  Workload good;
+  good.push_back({Box::Unit(2), 1.0});
+  ASSERT_TRUE(m.Train(good).ok());
+  EXPECT_FALSE(m.Train(good).ok());  // double-train rejected
+}
+
+TEST(QuadHistTest, WorksInOneAndThreeDimensions) {
+  for (int d : {1, 3}) {
+    const Dataset data = MakeUniform(2000, d, 80 + d);
+    CountingKdTree index(data.rows());
+    Workload w = MakeBoxWorkload(data, index, 60, 81 + d);
+    QuadHistOptions opts;
+    opts.tau = 0.02;
+    QuadHist m(d, opts);
+    ASSERT_TRUE(m.Train(w).ok()) << "d=" << d;
+    const Workload test = MakeBoxWorkload(data, index, 40, 90 + d);
+    EXPECT_LT(EvaluateModel(m, test).rms, 0.12) << "d=" << d;
+  }
+}
+
+}  // namespace
+}  // namespace sel

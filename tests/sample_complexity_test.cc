@@ -1,0 +1,71 @@
+// Tests for the Theorem 2.1 sample-complexity calculator: the functional
+// forms of §2.2's implications.
+#include <gtest/gtest.h>
+
+#include "learning/sample_complexity.h"
+
+namespace sel {
+namespace {
+
+TEST(SampleComplexityTest, VcDimensionsMatchSection22) {
+  EXPECT_EQ(VcDimensionOf(QueryType::kBox, 2), 4);        // 2d
+  EXPECT_EQ(VcDimensionOf(QueryType::kBox, 5), 10);
+  EXPECT_EQ(VcDimensionOf(QueryType::kHalfspace, 2), 3);  // d+1
+  EXPECT_EQ(VcDimensionOf(QueryType::kHalfspace, 7), 8);
+  EXPECT_EQ(VcDimensionOf(QueryType::kBall, 2), 4);       // <= d+2
+  EXPECT_EQ(VcDimensionOf(QueryType::kBall, 6), 8);
+}
+
+TEST(SampleComplexityTest, FatBoundGrowsWithSmallerGamma) {
+  const double coarse = FatShatteringBound(4, 0.2);
+  const double fine = FatShatteringBound(4, 0.02);
+  EXPECT_GT(fine, coarse);
+  // Lemma 2.6: roughly (1/γ)^{λ+1}; a 10x finer scale must cost at
+  // least 10^λ more.
+  EXPECT_GT(fine / coarse, 1e4);
+}
+
+TEST(SampleComplexityTest, FatBoundGrowsWithVcDimension) {
+  EXPECT_GT(FatShatteringBound(6, 0.1), FatShatteringBound(4, 0.1));
+  EXPECT_GT(FatShatteringBound(10, 0.1), FatShatteringBound(6, 0.1));
+}
+
+TEST(SampleComplexityTest, TrainingSizeMonotoneInAccuracy) {
+  double prev = 0.0;
+  for (double eps : {0.3, 0.2, 0.1, 0.05}) {
+    const double n = TrainingSizeBound(QueryType::kBox, 2, eps, 0.05);
+    EXPECT_GT(n, prev);
+    prev = n;
+  }
+}
+
+TEST(SampleComplexityTest, TrainingSizeMonotoneInConfidence) {
+  const double loose = TrainingSizeBound(QueryType::kBox, 2, 0.1, 0.2);
+  const double tight = TrainingSizeBound(QueryType::kBox, 2, 0.1, 0.001);
+  EXPECT_GT(tight, loose);
+}
+
+TEST(SampleComplexityTest, DimensionalityOrderingMatchesSection22) {
+  // At fixed d, the exponent λ+3 orders the classes: halfspaces (d+4)
+  // < balls (d+5) < boxes (2d+3) for d >= 3 — the ordering §2.2 derives.
+  const int d = 4;
+  const double eps = 0.05, delta = 0.05;
+  const double hs = TrainingSizeBound(QueryType::kHalfspace, d, eps, delta);
+  const double ball = TrainingSizeBound(QueryType::kBall, d, eps, delta);
+  const double box = TrainingSizeBound(QueryType::kBox, d, eps, delta);
+  EXPECT_LT(hs, ball);
+  EXPECT_LT(ball, box);
+}
+
+TEST(SampleComplexityTest, HigherDimensionNeedsMoreSamples) {
+  // §4.4's empirical claim, in bound form.
+  double prev = 0.0;
+  for (int d : {2, 4, 6, 8, 10}) {
+    const double n = TrainingSizeBound(QueryType::kBox, d, 0.1, 0.05);
+    EXPECT_GT(n, prev) << d;
+    prev = n;
+  }
+}
+
+}  // namespace
+}  // namespace sel

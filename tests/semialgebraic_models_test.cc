@@ -1,0 +1,154 @@
+// End-to-end learners on semi-algebraic training workloads: QuadHist's
+// refinement and Eq. (6) fractions flow through interval-arithmetic
+// classification + QMC volumes; GMM uses Gaussian-QMC masses. These are
+// the §2.2 "much larger class of queries" paths (§3: "our algorithm
+// works for a much larger class of queries such as semi-algebraic").
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/gmm.h"
+#include "core/quadhist.h"
+#include "index/kdtree.h"
+#include "metrics/metrics.h"
+#include "workload/workload.h"
+
+namespace sel {
+namespace {
+
+SemiAlgebraicSet Disc(double cx, double cy, double r) {
+  const int d = 2;
+  const Polynomial x = Polynomial::Variable(d, 0);
+  const Polynomial y = Polynomial::Variable(d, 1);
+  const Polynomial p = (x - Polynomial::Constant(d, cx)) *
+                           (x - Polynomial::Constant(d, cx)) +
+                       (y - Polynomial::Constant(d, cy)) *
+                           (y - Polynomial::Constant(d, cy)) -
+                       Polynomial::Constant(d, r * r);
+  return SemiAlgebraicSet::Atom(p);
+}
+
+struct Fixture {
+  Fixture() {
+    Rng rng(1600);
+    std::vector<Point> rows;
+    // Skewed cluster + background.
+    for (int i = 0; i < 4000; ++i) {
+      if (rng.NextDouble() < 0.7) {
+        rows.push_back({std::clamp(rng.Gaussian(0.35, 0.1), 0.0, 1.0),
+                        std::clamp(rng.Gaussian(0.4, 0.12), 0.0, 1.0)});
+      } else {
+        rows.push_back({rng.NextDouble(), rng.NextDouble()});
+      }
+    }
+    std::vector<AttributeInfo> attrs(2);
+    attrs[0].name = "x";
+    attrs[1].name = "y";
+    data = Dataset(attrs, std::move(rows));
+    index = std::make_unique<CountingKdTree>(data.rows());
+  }
+
+  Workload MakeCrescents(size_t n, uint64_t seed) const {
+    Rng rng(seed);
+    std::vector<Query> qs;
+    for (size_t i = 0; i < n; ++i) {
+      const double cx = rng.Uniform(0.2, 0.8);
+      const double cy = rng.Uniform(0.2, 0.8);
+      const double r = rng.Uniform(0.15, 0.45);
+      qs.push_back(SemiAlgebraicSet::And(
+          Disc(cx, cy, r),
+          SemiAlgebraicSet::Not(Disc(cx + r / 2, cy, r * 0.7))));
+    }
+    return LabelQueries(qs, *index);
+  }
+
+  Dataset data;
+  std::unique_ptr<CountingKdTree> index;
+};
+
+TEST(SemiAlgebraicModelsTest, QuadHistTrainsOnCrescents) {
+  Fixture f;
+  const Workload train = f.MakeCrescents(50, 1601);
+  const Workload test = f.MakeCrescents(30, 1602);
+  QuadHistOptions qo;
+  qo.tau = 0.03;
+  qo.max_leaves = 300;
+  qo.volume.qmc_samples = 1024;  // keep refinement affordable
+  QuadHist model(2, qo);
+  ASSERT_TRUE(model.Train(train).ok());
+  EXPECT_GT(model.NumBuckets(), 1u);  // refinement actually fired
+  const ErrorReport r = EvaluateModel(model, test);
+  EXPECT_LT(r.rms, 0.12);
+  for (const auto& z : test) {
+    const double e = model.Estimate(z.query);
+    EXPECT_GE(e, 0.0);
+    EXPECT_LE(e, 1.0);
+  }
+}
+
+TEST(SemiAlgebraicModelsTest, GmmTrainsOnCrescents) {
+  Fixture f;
+  const Workload train = f.MakeCrescents(60, 1603);
+  const Workload test = f.MakeCrescents(30, 1604);
+  GmmOptions go;
+  go.num_components = 16;
+  go.qmc_samples = 1024;
+  GmmModel model(2, go);
+  ASSERT_TRUE(model.Train(train).ok());
+  EXPECT_LT(EvaluateModel(model, test).rms, 0.12);
+}
+
+TEST(SemiAlgebraicModelsTest, MixedWorkloadTypesInOneModel) {
+  // One training workload mixing boxes, balls, and crescents: the model
+  // interface is query-type-agnostic per §3.1.
+  Fixture f;
+  Workload train = f.MakeCrescents(25, 1605);
+  WorkloadOptions box_opts;
+  box_opts.seed = 1606;
+  WorkloadGenerator box_gen(&f.data, f.index.get(), box_opts);
+  const Workload boxes = box_gen.Generate(25);
+  train.insert(train.end(), boxes.begin(), boxes.end());
+  WorkloadOptions ball_opts;
+  ball_opts.query_type = QueryType::kBall;
+  ball_opts.seed = 1607;
+  WorkloadGenerator ball_gen(&f.data, f.index.get(), ball_opts);
+  const Workload balls = ball_gen.Generate(25);
+  train.insert(train.end(), balls.begin(), balls.end());
+
+  QuadHistOptions qo;
+  qo.tau = 0.03;
+  qo.max_leaves = 300;
+  qo.volume.qmc_samples = 1024;
+  QuadHist model(2, qo);
+  ASSERT_TRUE(model.Train(train).ok());
+  const Workload test = box_gen.Generate(30);
+  EXPECT_LT(EvaluateModel(model, test).rms, 0.1);
+}
+
+TEST(SemiAlgebraicModelsTest, CrescentEstimateConsistentWithParts) {
+  // Monotone consistency across set operations: the crescent (A \ B) can
+  // never be estimated above its containing disc A by a histogram model.
+  Fixture f;
+  const Workload train = f.MakeCrescents(50, 1608);
+  QuadHistOptions qo;
+  qo.tau = 0.03;
+  qo.max_leaves = 300;
+  qo.volume.qmc_samples = 2048;
+  QuadHist model(2, qo);
+  ASSERT_TRUE(model.Train(train).ok());
+  Rng rng(1609);
+  for (int t = 0; t < 10; ++t) {
+    const double cx = rng.Uniform(0.3, 0.7);
+    const double cy = rng.Uniform(0.3, 0.7);
+    const double r = rng.Uniform(0.2, 0.4);
+    const Query crescent = SemiAlgebraicSet::And(
+        Disc(cx, cy, r),
+        SemiAlgebraicSet::Not(Disc(cx + r / 2, cy, r * 0.7)));
+    const Query full = Disc(cx, cy, r);
+    // QMC noise tolerance.
+    EXPECT_LE(model.Estimate(crescent), model.Estimate(full) + 0.02);
+  }
+}
+
+}  // namespace
+}  // namespace sel

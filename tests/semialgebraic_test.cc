@@ -1,0 +1,331 @@
+// Tests for polynomials, interval arithmetic, semi-algebraic sets
+// (§2.2's general query class), and their integration with Query,
+// volumes, the kd-tree, and the learners.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "core/ptshist.h"
+#include "core/quadhist.h"
+#include "geometry/polynomial.h"
+#include "geometry/semialgebraic.h"
+#include "geometry/volume.h"
+#include "index/kdtree.h"
+#include "metrics/metrics.h"
+#include "workload/workload.h"
+
+namespace sel {
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+// ---------- Interval arithmetic ----------
+
+TEST(IntervalTest, AddAndScale) {
+  const Interval a{1.0, 2.0}, b{-1.0, 3.0};
+  const Interval s = a + b;
+  EXPECT_DOUBLE_EQ(s.lo, 0.0);
+  EXPECT_DOUBLE_EQ(s.hi, 5.0);
+  const Interval n = -2.0 * a;
+  EXPECT_DOUBLE_EQ(n.lo, -4.0);
+  EXPECT_DOUBLE_EQ(n.hi, -2.0);
+}
+
+TEST(IntervalTest, MultiplyCoversSignCombinations) {
+  const Interval a{-2.0, 3.0}, b{-1.0, 4.0};
+  const Interval p = a * b;
+  EXPECT_DOUBLE_EQ(p.lo, -8.0);  // (-2)*4
+  EXPECT_DOUBLE_EQ(p.hi, 12.0);  // 3*4
+}
+
+TEST(IntervalTest, EvenPowerStraddlingZero) {
+  const Interval a{-2.0, 1.0};
+  const Interval p = Pow(a, 2);
+  EXPECT_DOUBLE_EQ(p.lo, 0.0);
+  EXPECT_DOUBLE_EQ(p.hi, 4.0);
+  const Interval c = Pow(a, 3);
+  EXPECT_DOUBLE_EQ(c.lo, -8.0);
+  EXPECT_DOUBLE_EQ(c.hi, 1.0);
+}
+
+// ---------- Polynomials ----------
+
+TEST(PolynomialTest, EvalSimple) {
+  // p = 2 x0^2 - 3 x1 + 1
+  const int d = 2;
+  const Polynomial x = Polynomial::Variable(d, 0);
+  const Polynomial y = Polynomial::Variable(d, 1);
+  const Polynomial p =
+      x * x * 2.0 - y * 3.0 + Polynomial::Constant(d, 1.0);
+  EXPECT_DOUBLE_EQ(p.Eval({2.0, 1.0}), 8.0 - 3.0 + 1.0);
+  EXPECT_DOUBLE_EQ(p.Eval({0.0, 0.0}), 1.0);
+  EXPECT_EQ(p.Degree(), 2);
+}
+
+TEST(PolynomialTest, ArithmeticNormalizes) {
+  const int d = 1;
+  const Polynomial x = Polynomial::Variable(d, 0);
+  const Polynomial p = x + x - x * 2.0;  // identically zero
+  EXPECT_TRUE(p.monomials().empty());
+  EXPECT_DOUBLE_EQ(p.Eval({3.0}), 0.0);
+}
+
+TEST(PolynomialTest, MultiplicationExpandsCorrectly) {
+  // (x+1)(x-1) = x^2 - 1
+  const int d = 1;
+  const Polynomial x = Polynomial::Variable(d, 0);
+  const Polynomial p =
+      (x + Polynomial::Constant(d, 1.0)) * (x - Polynomial::Constant(d, 1.0));
+  EXPECT_DOUBLE_EQ(p.Eval({3.0}), 8.0);
+  EXPECT_EQ(p.Degree(), 2);
+  EXPECT_EQ(p.monomials().size(), 2u);
+}
+
+TEST(PolynomialTest, IntervalEnclosesTrueRange) {
+  Rng rng(300);
+  const int d = 2;
+  const Polynomial x = Polynomial::Variable(d, 0);
+  const Polynomial y = Polynomial::Variable(d, 1);
+  const Polynomial p = x * x * y - y * y * 0.5 + x * 3.0;
+  for (int t = 0; t < 20; ++t) {
+    Point lo = {rng.Uniform(-1.0, 0.5), rng.Uniform(-1.0, 0.5)};
+    const Box box(lo, {lo[0] + 0.5, lo[1] + 0.5});
+    const Interval enc = p.EvalInterval(box);
+    for (int s = 0; s < 200; ++s) {
+      const Point q = {rng.Uniform(box.lo(0), box.hi(0)),
+                       rng.Uniform(box.lo(1), box.hi(1))};
+      const double v = p.Eval(q);
+      EXPECT_GE(v, enc.lo - 1e-9);
+      EXPECT_LE(v, enc.hi + 1e-9);
+    }
+  }
+}
+
+TEST(PolynomialTest, ToStringMentionsVariables) {
+  const int d = 2;
+  const Polynomial p =
+      Polynomial::Variable(d, 0) * Polynomial::Variable(d, 1);
+  EXPECT_NE(p.ToString().find("x0"), std::string::npos);
+  EXPECT_NE(p.ToString().find("x1"), std::string::npos);
+}
+
+// ---------- Semi-algebraic sets ----------
+
+SemiAlgebraicSet UnitDisc2D(double cx, double cy, double r) {
+  const int d = 2;
+  const Polynomial x = Polynomial::Variable(d, 0);
+  const Polynomial y = Polynomial::Variable(d, 1);
+  const Polynomial p = (x - Polynomial::Constant(d, cx)) *
+                           (x - Polynomial::Constant(d, cx)) +
+                       (y - Polynomial::Constant(d, cy)) *
+                           (y - Polynomial::Constant(d, cy)) -
+                       Polynomial::Constant(d, r * r);
+  return SemiAlgebraicSet::Atom(p);
+}
+
+TEST(SemiAlgebraicTest, AtomMembership) {
+  const auto disc = UnitDisc2D(0.5, 0.5, 0.25);
+  EXPECT_TRUE(disc.Contains({0.5, 0.5}));
+  EXPECT_TRUE(disc.Contains({0.5, 0.75}));
+  EXPECT_FALSE(disc.Contains({0.9, 0.9}));
+  EXPECT_EQ(disc.dim(), 2);
+  EXPECT_EQ(disc.NumAtoms(), 1);
+  EXPECT_EQ(disc.MaxDegree(), 2);
+}
+
+TEST(SemiAlgebraicTest, BooleanCombinators) {
+  const auto a = UnitDisc2D(0.35, 0.5, 0.25);
+  const auto b = UnitDisc2D(0.65, 0.5, 0.25);
+  const auto both = SemiAlgebraicSet::And(a, b);
+  const auto either = SemiAlgebraicSet::Or(a, b);
+  const auto only_a = SemiAlgebraicSet::And(a, SemiAlgebraicSet::Not(b));
+  const Point mid = {0.5, 0.5};
+  const Point left = {0.2, 0.5};
+  EXPECT_TRUE(both.Contains(mid));
+  EXPECT_FALSE(both.Contains(left));
+  EXPECT_TRUE(either.Contains(left));
+  EXPECT_TRUE(only_a.Contains(left));
+  EXPECT_FALSE(only_a.Contains(mid));
+  EXPECT_EQ(either.NumAtoms(), 2);
+}
+
+TEST(SemiAlgebraicTest, ClassifyBoxSound) {
+  const auto disc = UnitDisc2D(0.5, 0.5, 0.3);
+  EXPECT_EQ(disc.ClassifyBox(Box({0.45, 0.45}, {0.55, 0.55})),
+            BoxRelation::kInside);
+  EXPECT_EQ(disc.ClassifyBox(Box({0.9, 0.9}, {1.0, 1.0})),
+            BoxRelation::kOutside);
+  EXPECT_EQ(disc.ClassifyBox(Box({0.0, 0.0}, {1.0, 1.0})),
+            BoxRelation::kUnknown);
+}
+
+TEST(SemiAlgebraicTest, ClassifyBoxAgreesWithSampling) {
+  const auto shape = AnnulusWithParabolicCut(0.15, 0.4, 2.0, 0.0);
+  Rng rng(301);
+  for (int t = 0; t < 100; ++t) {
+    Point lo = {rng.Uniform(-0.6, 0.4), rng.Uniform(-0.6, 0.4)};
+    const Box box(lo, {lo[0] + 0.2, lo[1] + 0.2});
+    const BoxRelation rel = shape.ClassifyBox(box);
+    for (int s = 0; s < 50; ++s) {
+      const Point p = {rng.Uniform(box.lo(0), box.hi(0)),
+                       rng.Uniform(box.lo(1), box.hi(1))};
+      if (rel == BoxRelation::kInside) EXPECT_TRUE(shape.Contains(p));
+      if (rel == BoxRelation::kOutside) EXPECT_FALSE(shape.Contains(p));
+    }
+  }
+}
+
+TEST(SemiAlgebraicTest, BoundingBoxCoversShape) {
+  const auto disc = UnitDisc2D(0.5, 0.5, 0.2);
+  const Box bb = disc.BoundingBox(Box::Unit(2));
+  // Must cover [0.3,0.7]^2, and subdivision should get close to it.
+  EXPECT_LE(bb.lo(0), 0.3 + 1e-9);
+  EXPECT_GE(bb.hi(0), 0.7 - 1e-9);
+  EXPECT_GE(bb.lo(0), 0.3 - 0.06);  // depth-6 resolution
+  EXPECT_LE(bb.hi(0), 0.7 + 0.06);
+}
+
+TEST(SemiAlgebraicTest, EmptySetHasDegenerateBoundingBox) {
+  // x^2 + 1 <= 0 is empty.
+  const int d = 2;
+  const Polynomial x = Polynomial::Variable(d, 0);
+  const auto empty =
+      SemiAlgebraicSet::Atom(x * x + Polynomial::Constant(d, 1.0));
+  EXPECT_DOUBLE_EQ(empty.BoundingBox(Box::Unit(2)).Volume(), 0.0);
+}
+
+TEST(SemiAlgebraicTest, VolumeOfDiscMatchesAnalytic) {
+  const auto disc = UnitDisc2D(0.5, 0.5, 0.25);
+  VolumeOptions opts;
+  opts.qmc_samples = 40000;
+  const double v =
+      BoxSemiAlgebraicIntersectionVolume(Box::Unit(2), disc, opts);
+  EXPECT_NEAR(v, kPi * 0.0625, 0.002);
+}
+
+TEST(SemiAlgebraicTest, QueryVariantIntegration) {
+  const Query q = UnitDisc2D(0.5, 0.5, 0.3);
+  EXPECT_EQ(q.type(), QueryType::kSemiAlgebraic);
+  EXPECT_EQ(q.dim(), 2);
+  EXPECT_TRUE(q.Contains({0.5, 0.5}));
+  EXPECT_TRUE(q.ContainsBox(Box({0.45, 0.45}, {0.55, 0.55})));
+  EXPECT_TRUE(q.DisjointFromBox(Box({0.9, 0.9}, {1.0, 1.0})));
+  EXPECT_STREQ(QueryTypeName(q.type()), "semialgebraic");
+}
+
+TEST(SemiAlgebraicTest, KdTreeCountsMatchBruteForce) {
+  Rng rng(302);
+  std::vector<Point> pts;
+  for (int i = 0; i < 3000; ++i) {
+    pts.push_back({rng.NextDouble(), rng.NextDouble()});
+  }
+  CountingKdTree tree(pts);
+  const Query q = AnnulusWithParabolicCut(0.2, 0.45, 1.0, 0.1);
+  // Shift into the unit square: annulus centered at origin — use a disc
+  // around (0.5, 0.5) instead for in-domain coverage.
+  const Query q2 = UnitDisc2D(0.5, 0.5, 0.35);
+  for (const Query& query : {q, q2}) {
+    size_t brute = 0;
+    for (const auto& p : pts) {
+      if (query.Contains(p)) ++brute;
+    }
+    EXPECT_EQ(tree.Count(query), brute);
+  }
+}
+
+Dataset MakeUniformForTest() {
+  Rng rng(304);
+  std::vector<Point> rows;
+  for (int i = 0; i < 4000; ++i) {
+    rows.push_back({rng.NextDouble(), rng.NextDouble()});
+  }
+  std::vector<AttributeInfo> attrs(2);
+  attrs[0].name = "x";
+  attrs[1].name = "y";
+  return Dataset(attrs, std::move(rows));
+}
+
+TEST(SemiAlgebraicTest, SelectivityLearnableWithPtsHist) {
+  // Extension experiment: Theorem 2.1 covers semi-algebraic ranges; the
+  // generic learners should handle crescent-shaped queries untouched.
+  const Dataset data = MakeUniformForTest();
+  const CountingKdTree index(data.rows());
+  Rng rng(303);
+  auto make_query = [&rng]() {
+    const double cx = rng.Uniform(0.3, 0.7);
+    const double cy = rng.Uniform(0.3, 0.7);
+    const double r = rng.Uniform(0.15, 0.4);
+    // Crescent: big disc minus a shifted smaller disc.
+    return Query(SemiAlgebraicSet::And(
+        UnitDisc2D(cx, cy, r),
+        SemiAlgebraicSet::Not(UnitDisc2D(cx + r / 2, cy, r * 0.7))));
+  };
+  std::vector<Query> train_q, test_q;
+  for (int i = 0; i < 150; ++i) train_q.push_back(make_query());
+  for (int i = 0; i < 60; ++i) test_q.push_back(make_query());
+  const Workload train = LabelQueries(train_q, index);
+  const Workload test = LabelQueries(test_q, index);
+
+  PtsHist model(2, PtsHistOptions{});
+  ASSERT_TRUE(model.Train(train).ok());
+  const ErrorReport r = EvaluateModel(model, test);
+  EXPECT_LT(r.rms, 0.08);
+  // Trivial mean predictor for comparison.
+  double mean = 0.0;
+  for (const auto& z : train) mean += z.selectivity;
+  mean /= static_cast<double>(train.size());
+  double mean_sq = 0.0;
+  for (const auto& z : test) {
+    mean_sq += (mean - z.selectivity) * (mean - z.selectivity);
+  }
+  EXPECT_LT(r.rms, std::sqrt(mean_sq / test.size()));
+}
+
+TEST(DiscIntersectionTest, MatchesDirectDiscGeometry) {
+  // Σ_● (Fig. 3 right): lifted range contains (x,y,z) iff the disc with
+  // center (x,y), radius z intersects the query disc.
+  const auto range = DiscIntersectionRange(0.5, 0.5, 0.2);
+  EXPECT_EQ(range.dim(), 3);
+  Rng rng(305);
+  for (int t = 0; t < 300; ++t) {
+    const double x = rng.NextDouble(), y = rng.NextDouble();
+    const double z = rng.NextDouble() * 0.3;
+    const double dist = std::sqrt((x - 0.5) * (x - 0.5) +
+                                  (y - 0.5) * (y - 0.5));
+    const bool intersects = dist <= 0.2 + z;
+    EXPECT_EQ(range.Contains({x, y, z}), intersects)
+        << x << "," << y << "," << z;
+  }
+  // z < 0 is excluded even when the distance condition holds.
+  EXPECT_FALSE(range.Contains({0.5, 0.5, -0.1}));
+}
+
+TEST(DiscIntersectionTest, SelectivityOverDiscDatabase) {
+  // A database of discs: selectivity of "intersects B" as a function of
+  // the query disc — learnable per §2.2's lifting argument.
+  Rng rng(306);
+  std::vector<Point> discs;  // (x, y, radius)
+  for (int i = 0; i < 3000; ++i) {
+    discs.push_back({rng.NextDouble(), rng.NextDouble(),
+                     rng.Uniform(0.0, 0.2)});
+  }
+  CountingKdTree index(discs);
+  std::vector<Query> train_q, test_q;
+  for (int i = 0; i < 150; ++i) {
+    train_q.push_back(DiscIntersectionRange(
+        rng.NextDouble(), rng.NextDouble(), rng.Uniform(0.05, 0.4)));
+  }
+  for (int i = 0; i < 60; ++i) {
+    test_q.push_back(DiscIntersectionRange(
+        rng.NextDouble(), rng.NextDouble(), rng.Uniform(0.05, 0.4)));
+  }
+  const Workload train = LabelQueries(train_q, index);
+  const Workload test = LabelQueries(test_q, index);
+  PtsHist model(3, PtsHistOptions{});
+  ASSERT_TRUE(model.Train(train).ok());
+  EXPECT_LT(EvaluateModel(model, test).rms, 0.12);
+}
+
+}  // namespace
+}  // namespace sel

@@ -1,0 +1,375 @@
+// Tests for the intersection-volume kernels behind Eq. (6): exact cases
+// with known closed forms, Monte-Carlo cross-checks, and parameterized
+// property sweeps (bounds, monotonicity, additivity).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "geometry/volume.h"
+
+namespace sel {
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+// Plain Monte-Carlo reference for vol(box ∩ range).
+double McVolume(const Query& q, const Box& box, int samples, uint64_t seed) {
+  Rng rng(seed);
+  const int d = box.dim();
+  long hits = 0;
+  Point p(d);
+  for (int i = 0; i < samples; ++i) {
+    for (int j = 0; j < d; ++j) {
+      p[j] = rng.Uniform(box.lo(j), box.hi(j));
+    }
+    if (q.Contains(p)) ++hits;
+  }
+  return box.Volume() * static_cast<double>(hits) / samples;
+}
+
+// ---------- Box ∩ box ----------
+
+TEST(BoxBoxVolumeTest, FullOverlap) {
+  const Box a({0.0, 0.0}, {0.5, 0.5});
+  EXPECT_DOUBLE_EQ(BoxBoxIntersectionVolume(a, Box::Unit(2)), 0.25);
+}
+
+TEST(BoxBoxVolumeTest, PartialOverlap) {
+  const Box a({0.0, 0.0}, {0.6, 0.6});
+  const Box b({0.4, 0.4}, {1.0, 1.0});
+  EXPECT_NEAR(BoxBoxIntersectionVolume(a, b), 0.04, 1e-15);
+}
+
+TEST(BoxBoxVolumeTest, DisjointIsZero) {
+  const Box a({0.0, 0.0}, {0.2, 0.2});
+  const Box b({0.5, 0.5}, {1.0, 1.0});
+  EXPECT_DOUBLE_EQ(BoxBoxIntersectionVolume(a, b), 0.0);
+}
+
+TEST(BoxBoxVolumeTest, Symmetric) {
+  Rng rng(1);
+  for (int t = 0; t < 40; ++t) {
+    const int d = 1 + static_cast<int>(rng.UniformInt(5));
+    Point lo1(d), hi1(d), lo2(d), hi2(d);
+    for (int j = 0; j < d; ++j) {
+      double a = rng.NextDouble(), b = rng.NextDouble();
+      lo1[j] = std::min(a, b);
+      hi1[j] = std::max(a, b);
+      a = rng.NextDouble();
+      b = rng.NextDouble();
+      lo2[j] = std::min(a, b);
+      hi2[j] = std::max(a, b);
+    }
+    const Box b1(lo1, hi1), b2(lo2, hi2);
+    EXPECT_DOUBLE_EQ(BoxBoxIntersectionVolume(b1, b2),
+                     BoxBoxIntersectionVolume(b2, b1));
+  }
+}
+
+// ---------- Box ∩ halfspace (exact inclusion–exclusion) ----------
+
+TEST(BoxHalfspaceVolumeTest, AxisAlignedCut) {
+  const Halfspace h({1.0, 0.0}, 0.3);  // x >= 0.3
+  EXPECT_NEAR(BoxHalfspaceIntersectionVolume(Box::Unit(2), h), 0.7, 1e-12);
+}
+
+TEST(BoxHalfspaceVolumeTest, DiagonalCutOfUnitSquare) {
+  const Halfspace h({1.0, 1.0}, 1.0);  // x + y >= 1: half the square
+  EXPECT_NEAR(BoxHalfspaceIntersectionVolume(Box::Unit(2), h), 0.5, 1e-12);
+}
+
+TEST(BoxHalfspaceVolumeTest, CornerSimplex) {
+  // x + y <= 0.5 keeps a right triangle of area 1/8; the >= side is 7/8.
+  const Halfspace h({1.0, 1.0}, 0.5);
+  EXPECT_NEAR(BoxHalfspaceIntersectionVolume(Box::Unit(2), h), 0.875, 1e-12);
+}
+
+TEST(BoxHalfspaceVolumeTest, CornerSimplex3D) {
+  // x + y + z >= 2.5: complement is the simplex of volume (0.5)^3/3!.
+  const Halfspace h({1.0, 1.0, 1.0}, 2.5);
+  EXPECT_NEAR(BoxHalfspaceIntersectionVolume(Box::Unit(3), h),
+              0.125 / 6.0, 1e-12);
+}
+
+TEST(BoxHalfspaceVolumeTest, NegativeCoefficients) {
+  // -x >= -0.3  <=>  x <= 0.3.
+  const Halfspace h({-1.0, 0.0}, -0.3);
+  EXPECT_NEAR(BoxHalfspaceIntersectionVolume(Box::Unit(2), h), 0.3, 1e-12);
+}
+
+TEST(BoxHalfspaceVolumeTest, ZeroCoefficientFactorsOut) {
+  const Halfspace h({1.0, 0.0, 0.0}, 0.25);  // x >= 0.25 in 3-D
+  EXPECT_NEAR(BoxHalfspaceIntersectionVolume(Box::Unit(3), h), 0.75, 1e-12);
+}
+
+TEST(BoxHalfspaceVolumeTest, FullAndEmpty) {
+  const Halfspace inside({1.0, 1.0}, -5.0);
+  EXPECT_DOUBLE_EQ(BoxHalfspaceIntersectionVolume(Box::Unit(2), inside), 1.0);
+  const Halfspace outside({1.0, 1.0}, 5.0);
+  EXPECT_DOUBLE_EQ(BoxHalfspaceIntersectionVolume(Box::Unit(2), outside),
+                   0.0);
+}
+
+TEST(BoxHalfspaceVolumeTest, DegenerateBoxIsZero) {
+  const Box degenerate({0.3, 0.0}, {0.3, 1.0});
+  const Halfspace h({1.0, 1.0}, 0.5);
+  EXPECT_DOUBLE_EQ(BoxHalfspaceIntersectionVolume(degenerate, h), 0.0);
+}
+
+TEST(BoxHalfspaceVolumeTest, NonUnitBoxShifted) {
+  // Box [1,3]x[2,4], halfspace x + y >= 4 cuts off a triangle of area 2
+  // below; total area 4 => answer 2 + ... compute: region x+y<4 within box
+  // is the triangle with vertices (1,2),(2,2),(1,3): area 0.5. So >= side
+  // has area 4 - 0.5 = 3.5.
+  const Box b({1.0, 2.0}, {3.0, 4.0});
+  const Halfspace h({1.0, 1.0}, 4.0);
+  EXPECT_NEAR(BoxHalfspaceIntersectionVolume(b, h), 3.5, 1e-12);
+}
+
+TEST(BoxHalfspaceVolumeTest, ComplementSumsToBoxVolume) {
+  Rng rng(2);
+  for (int t = 0; t < 60; ++t) {
+    const int d = 1 + static_cast<int>(rng.UniformInt(6));
+    Point c(d);
+    for (auto& x : c) x = rng.NextDouble();
+    const Point n = rng.UnitVector(d);
+    const Halfspace pos = Halfspace::ThroughPoint(c, n);
+    Point neg_n = n;
+    for (auto& x : neg_n) x = -x;
+    const Halfspace neg(neg_n, -pos.offset());
+    const Box box = Box::Unit(d);
+    const double vp = BoxHalfspaceIntersectionVolume(box, pos);
+    const double vn = BoxHalfspaceIntersectionVolume(box, neg);
+    EXPECT_NEAR(vp + vn, 1.0, 1e-9) << "d=" << d;
+  }
+}
+
+TEST(BoxHalfspaceVolumeTest, MatchesMonteCarloRandomized) {
+  Rng rng(3);
+  for (int t = 0; t < 20; ++t) {
+    const int d = 2 + static_cast<int>(rng.UniformInt(4));
+    Point c(d);
+    for (auto& x : c) x = rng.NextDouble();
+    const Halfspace h = Halfspace::ThroughPoint(c, rng.UnitVector(d));
+    const double exact =
+        BoxHalfspaceIntersectionVolume(Box::Unit(d), h);
+    const double mc = McVolume(Query(h), Box::Unit(d), 60000, 1000 + t);
+    EXPECT_NEAR(exact, mc, 0.02) << "d=" << d;
+  }
+}
+
+TEST(BoxHalfspaceVolumeTest, HighDimensionExact) {
+  // Majority cut through the center of [0,1]^12 has volume 1/2.
+  const int d = 12;
+  Point n(d, 1.0);
+  const Halfspace h(n, d * 0.5);
+  EXPECT_NEAR(BoxHalfspaceIntersectionVolume(Box::Unit(d), h), 0.5, 1e-6);
+}
+
+// ---------- Disc ∩ rectangle (exact 2-D) ----------
+
+TEST(DiscRectangleAreaTest, DiscInsideRectangle) {
+  const Ball disc({0.0, 0.0}, 1.0);
+  const Box rect({-2.0, -2.0}, {2.0, 2.0});
+  EXPECT_NEAR(DiscRectangleArea(disc, rect), kPi, 1e-10);
+}
+
+TEST(DiscRectangleAreaTest, QuarterDisc) {
+  const Ball disc({0.0, 0.0}, 1.0);
+  const Box rect({0.0, 0.0}, {2.0, 2.0});
+  EXPECT_NEAR(DiscRectangleArea(disc, rect), kPi / 4.0, 1e-10);
+}
+
+TEST(DiscRectangleAreaTest, HalfDisc) {
+  const Ball disc({0.0, 0.0}, 1.0);
+  const Box rect({-2.0, 0.0}, {2.0, 2.0});
+  EXPECT_NEAR(DiscRectangleArea(disc, rect), kPi / 2.0, 1e-10);
+}
+
+TEST(DiscRectangleAreaTest, RectangleInsideDisc) {
+  const Ball disc({0.0, 0.0}, 10.0);
+  const Box rect({-1.0, -1.0}, {1.0, 1.0});
+  EXPECT_NEAR(DiscRectangleArea(disc, rect), 4.0, 1e-10);
+}
+
+TEST(DiscRectangleAreaTest, DisjointIsZero) {
+  const Ball disc({0.0, 0.0}, 1.0);
+  const Box rect({2.0, 2.0}, {3.0, 3.0});
+  EXPECT_DOUBLE_EQ(DiscRectangleArea(disc, rect), 0.0);
+}
+
+TEST(DiscRectangleAreaTest, ZeroRadius) {
+  const Ball disc({0.5, 0.5}, 0.0);
+  EXPECT_DOUBLE_EQ(DiscRectangleArea(disc, Box::Unit(2)), 0.0);
+}
+
+TEST(DiscRectangleAreaTest, ThinSliceThroughCenter) {
+  // Horizontal strip |y| <= h intersect unit disc:
+  // area = 2 * (h sqrt(1-h^2) + asin(h)).
+  const double h = 0.25;
+  const Ball disc({0.0, 0.0}, 1.0);
+  const Box strip({-2.0, -h}, {2.0, h});
+  const double expected = 2.0 * (h * std::sqrt(1 - h * h) + std::asin(h));
+  EXPECT_NEAR(DiscRectangleArea(disc, strip), expected, 1e-10);
+}
+
+TEST(DiscRectangleAreaTest, MatchesMonteCarloRandomized) {
+  Rng rng(4);
+  for (int t = 0; t < 40; ++t) {
+    const Ball disc({rng.NextDouble(), rng.NextDouble()},
+                    rng.Uniform(0.05, 0.8));
+    Point lo = {rng.Uniform(0.0, 0.7), rng.Uniform(0.0, 0.7)};
+    const Box rect(lo, {lo[0] + rng.Uniform(0.05, 0.3),
+                        lo[1] + rng.Uniform(0.05, 0.3)});
+    const double exact = DiscRectangleArea(disc, rect);
+    const double mc = McVolume(Query(disc), rect, 60000, 2000 + t);
+    EXPECT_NEAR(exact, mc, 0.004) << disc.ToString() << " " << rect.ToString();
+  }
+}
+
+// ---------- Box ∩ ball ----------
+
+TEST(BoxBallVolumeTest, OneDimensionalExact) {
+  const Ball b({0.5}, 0.2);  // interval [0.3, 0.7]
+  EXPECT_NEAR(BoxBallIntersectionVolume(Box::Unit(1), b), 0.4, 1e-15);
+  EXPECT_NEAR(BoxBallIntersectionVolume(Box({0.0}, {0.5}), b), 0.2, 1e-15);
+}
+
+TEST(BoxBallVolumeTest, TwoDimensionalUsesExactArea) {
+  const Ball b({0.5, 0.5}, 0.25);
+  EXPECT_NEAR(BoxBallIntersectionVolume(Box::Unit(2), b),
+              kPi * 0.0625, 1e-10);
+}
+
+TEST(BoxBallVolumeTest, ThreeDimensionalSphereInsideBox) {
+  const Ball b({0.5, 0.5, 0.5}, 0.3);
+  const double exact = 4.0 / 3.0 * kPi * 0.027;
+  VolumeOptions opts;
+  opts.qmc_samples = 40000;
+  EXPECT_NEAR(BoxBallIntersectionVolume(Box::Unit(3), b, opts), exact,
+              0.003);
+}
+
+TEST(BoxBallVolumeTest, HalfSphere3D) {
+  const Ball b({0.0, 0.5, 0.5}, 0.3);  // center on a face
+  const double exact = 0.5 * 4.0 / 3.0 * kPi * 0.027;
+  VolumeOptions opts;
+  opts.qmc_samples = 40000;
+  EXPECT_NEAR(BoxBallIntersectionVolume(Box::Unit(3), b, opts), exact,
+              0.003);
+}
+
+TEST(BoxBallVolumeTest, DisjointAndContained) {
+  const Ball far({5.0, 5.0, 5.0}, 0.5);
+  EXPECT_DOUBLE_EQ(BoxBallIntersectionVolume(Box::Unit(3), far), 0.0);
+  const Ball huge({0.5, 0.5, 0.5}, 10.0);
+  EXPECT_DOUBLE_EQ(BoxBallIntersectionVolume(Box::Unit(3), huge), 1.0);
+}
+
+TEST(BoxBallVolumeTest, DeterministicAcrossCalls) {
+  const Ball b({0.4, 0.6, 0.3, 0.7}, 0.5);
+  const double v1 = BoxBallIntersectionVolume(Box::Unit(4), b);
+  const double v2 = BoxBallIntersectionVolume(Box::Unit(4), b);
+  EXPECT_EQ(v1, v2);  // QMC is deterministic, not pseudo-random
+}
+
+// ---------- Generic dispatch + fraction ----------
+
+TEST(QueryVolumeTest, DispatchMatchesDirectCalls) {
+  const Box cell({0.2, 0.2}, {0.8, 0.8});
+  const Box qb({0.0, 0.0}, {0.5, 0.5});
+  EXPECT_DOUBLE_EQ(QueryBoxIntersectionVolume(Query(qb), cell),
+                   BoxBoxIntersectionVolume(qb, cell));
+  const Halfspace qh({1.0, 0.0}, 0.5);
+  EXPECT_DOUBLE_EQ(QueryBoxIntersectionVolume(Query(qh), cell),
+                   BoxHalfspaceIntersectionVolume(cell, qh));
+  const Ball qs({0.5, 0.5}, 0.2);
+  EXPECT_DOUBLE_EQ(QueryBoxIntersectionVolume(Query(qs), cell),
+                   BoxBallIntersectionVolume(cell, qs));
+}
+
+TEST(QueryFractionTest, InUnitRange) {
+  Rng rng(5);
+  for (int t = 0; t < 50; ++t) {
+    const Point c = {rng.NextDouble(), rng.NextDouble()};
+    const Query q =
+        t % 2 == 0 ? Query(Ball(c, rng.NextDouble()))
+                   : Query(Halfspace::ThroughPoint(c, rng.UnitVector(2)));
+    Point lo = {rng.Uniform(0.0, 0.6), rng.Uniform(0.0, 0.6)};
+    const Box cell(lo, {lo[0] + 0.4, lo[1] + 0.4});
+    const double f = QueryBoxFraction(q, cell);
+    EXPECT_GE(f, 0.0);
+    EXPECT_LE(f, 1.0);
+  }
+}
+
+TEST(QueryFractionTest, DegenerateBoxUsesCenterMembership) {
+  const Box degenerate({0.5, 0.3}, {0.5, 0.3});
+  const Query inside = Box({0.4, 0.2}, {0.6, 0.4});
+  const Query outside = Box({0.0, 0.0}, {0.1, 0.1});
+  EXPECT_DOUBLE_EQ(QueryBoxFraction(inside, degenerate), 1.0);
+  EXPECT_DOUBLE_EQ(QueryBoxFraction(outside, degenerate), 0.0);
+}
+
+// ---------- Parameterized property sweep over dimensions ----------
+
+class VolumePropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(VolumePropertyTest, HalfspaceVolumeMonotoneInOffset) {
+  const int d = GetParam();
+  Rng rng(600 + d);
+  const Point n = rng.UnitVector(d);
+  double prev = 1.0;
+  // Raising b shrinks {a·x >= b}.
+  for (double b = -1.0; b <= 2.0; b += 0.125) {
+    const double v =
+        BoxHalfspaceIntersectionVolume(Box::Unit(d), Halfspace(n, b));
+    EXPECT_LE(v, prev + 1e-9);
+    prev = v;
+  }
+}
+
+TEST_P(VolumePropertyTest, BallVolumeMonotoneInRadius) {
+  const int d = GetParam();
+  Rng rng(700 + d);
+  Point c(d);
+  for (auto& x : c) x = rng.NextDouble();
+  double prev = 0.0;
+  for (double r = 0.05; r <= 1.2; r += 0.05) {
+    const double v = BoxBallIntersectionVolume(Box::Unit(d), Ball(c, r));
+    EXPECT_GE(v, prev - 5e-3);  // QMC noise tolerance in d >= 3
+    prev = std::max(prev, v);
+  }
+}
+
+TEST_P(VolumePropertyTest, VolumeBoundedByBoxAndSubadditiveUnderSplit) {
+  const int d = GetParam();
+  Rng rng(800 + d);
+  for (int t = 0; t < 10; ++t) {
+    Point c(d);
+    for (auto& x : c) x = rng.NextDouble();
+    const Query q =
+        t % 2 == 0 ? Query(Ball(c, rng.Uniform(0.2, 0.8)))
+                   : Query(Halfspace::ThroughPoint(c, rng.UnitVector(d)));
+    const Box box = Box::Unit(d);
+    const double whole = QueryBoxIntersectionVolume(q, box);
+    EXPECT_GE(whole, -1e-12);
+    EXPECT_LE(whole, box.Volume() + 1e-12);
+    // Split along dimension 0: halves must (approximately) sum.
+    Point mid_hi = box.hi();
+    mid_hi[0] = 0.5;
+    Point mid_lo = box.lo();
+    mid_lo[0] = 0.5;
+    const double left = QueryBoxIntersectionVolume(q, Box(box.lo(), mid_hi));
+    const double right = QueryBoxIntersectionVolume(q, Box(mid_lo, box.hi()));
+    const double tol = (q.type() == QueryType::kBall && d >= 3) ? 0.02 : 1e-9;
+    EXPECT_NEAR(left + right, whole, tol);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Dims, VolumePropertyTest,
+                         ::testing::Values(1, 2, 3, 4, 6, 8));
+
+}  // namespace
+}  // namespace sel

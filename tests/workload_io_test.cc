@@ -1,0 +1,95 @@
+// Tests for workload CSV persistence: round trips for every query type
+// and rejection of malformed files.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "data/generators.h"
+#include "index/kdtree.h"
+#include "workload/workload_io.h"
+
+namespace sel {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+class WorkloadIoRoundTrip : public ::testing::TestWithParam<QueryType> {};
+
+TEST_P(WorkloadIoRoundTrip, PreservesQueriesAndLabels) {
+  const Dataset data = MakeForestLike(2000, 1000).Project({0, 1, 2});
+  const CountingKdTree index(data.rows());
+  WorkloadOptions opts;
+  opts.query_type = GetParam();
+  opts.seed = 1001;
+  WorkloadGenerator gen(&data, &index, opts);
+  const Workload original = gen.Generate(40);
+
+  const std::string path = TempPath("sel_workload_io.csv");
+  ASSERT_TRUE(SaveWorkloadCsv(original, path).ok());
+  auto loaded = LoadWorkloadCsv(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_EQ(loaded.value().size(), original.size());
+  for (size_t i = 0; i < original.size(); ++i) {
+    EXPECT_EQ(loaded.value()[i].query.type(), original[i].query.type());
+    EXPECT_NEAR(loaded.value()[i].selectivity, original[i].selectivity,
+                1e-5);
+    // Membership agreement on sample points is the semantic round trip.
+    Rng rng(1002 + i);
+    for (int s = 0; s < 20; ++s) {
+      const Point p = {rng.NextDouble(), rng.NextDouble(),
+                       rng.NextDouble()};
+      EXPECT_EQ(loaded.value()[i].query.Contains(p),
+                original[i].query.Contains(p));
+    }
+  }
+  std::filesystem::remove(path);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTypes, WorkloadIoRoundTrip,
+                         ::testing::Values(QueryType::kBox,
+                                           QueryType::kBall,
+                                           QueryType::kHalfspace));
+
+TEST(WorkloadIoTest, RejectsSemiAlgebraic) {
+  Workload w;
+  const Polynomial x = Polynomial::Variable(2, 0);
+  w.push_back({SemiAlgebraicSet::Atom(x - Polynomial::Constant(2, 0.5)),
+               0.5});
+  EXPECT_EQ(SaveWorkloadCsv(w, TempPath("x.csv")).code(),
+            StatusCode::kUnimplemented);
+}
+
+TEST(WorkloadIoTest, RejectsMalformedFiles) {
+  const std::string path = TempPath("sel_bad_workload.csv");
+  auto write_and_check = [&path](const std::string& content) {
+    std::ofstream out(path);
+    out << "type,dim,geometry...,selectivity\n" << content;
+    out.close();
+    return LoadWorkloadCsv(path).ok();
+  };
+  EXPECT_FALSE(write_and_check("box,2,0,0,1,1\n"));           // no label
+  EXPECT_FALSE(write_and_check("box,2,0.5,0,0.2,1,0.5\n"));   // lo > hi
+  EXPECT_FALSE(write_and_check("ball,2,0.5,0.5,-0.1,0.5\n")); // r < 0
+  EXPECT_FALSE(write_and_check("halfspace,2,0,0,0.5,0.5\n")); // zero normal
+  EXPECT_FALSE(write_and_check("box,2,0,0,1,1,1.5\n"));       // label > 1
+  EXPECT_FALSE(write_and_check("tetra,2,0,0,1,1,0.5\n"));     // bad type
+  EXPECT_FALSE(write_and_check("box,2,a,0,1,1,0.5\n"));       // non-numeric
+  EXPECT_TRUE(write_and_check("box,2,0,0,1,1,0.5\n"));
+  std::filesystem::remove(path);
+  EXPECT_FALSE(LoadWorkloadCsv("/nonexistent/w.csv").ok());
+}
+
+TEST(WorkloadIoTest, EmptyWorkloadRoundTrips) {
+  const std::string path = TempPath("sel_empty_workload.csv");
+  ASSERT_TRUE(SaveWorkloadCsv({}, path).ok());
+  auto loaded = LoadWorkloadCsv(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_TRUE(loaded.value().empty());
+  std::filesystem::remove(path);
+}
+
+}  // namespace
+}  // namespace sel

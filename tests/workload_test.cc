@@ -1,0 +1,234 @@
+// Tests for §4 workload generation: center distributions, query shapes,
+// categorical equality predicates, and exact labeling.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <fstream>
+
+#include "data/generators.h"
+#include "index/kdtree.h"
+#include "workload/workload.h"
+
+namespace sel {
+namespace {
+
+struct Fixture {
+  Fixture() : data(MakePowerLike(2000, 50).Project({0, 1})),
+              index(data.rows()) {}
+  Dataset data;
+  CountingKdTree index;
+};
+
+TEST(WorkloadTest, GeneratesRequestedCount) {
+  Fixture f;
+  WorkloadOptions opts;
+  WorkloadGenerator gen(&f.data, &f.index, opts);
+  const Workload w = gen.Generate(100);
+  EXPECT_EQ(w.size(), 100u);
+}
+
+TEST(WorkloadTest, DeterministicGivenSeed) {
+  Fixture f;
+  WorkloadOptions opts;
+  opts.seed = 9;
+  WorkloadGenerator g1(&f.data, &f.index, opts);
+  WorkloadGenerator g2(&f.data, &f.index, opts);
+  const Workload w1 = g1.Generate(30);
+  const Workload w2 = g2.Generate(30);
+  for (size_t i = 0; i < w1.size(); ++i) {
+    EXPECT_EQ(w1[i].selectivity, w2[i].selectivity);
+    EXPECT_EQ(w1[i].query.ToString(), w2[i].query.ToString());
+  }
+}
+
+TEST(WorkloadTest, LabelsMatchBruteForce) {
+  Fixture f;
+  for (QueryType qt :
+       {QueryType::kBox, QueryType::kBall, QueryType::kHalfspace}) {
+    WorkloadOptions opts;
+    opts.query_type = qt;
+    opts.seed = 10 + static_cast<int>(qt);
+    WorkloadGenerator gen(&f.data, &f.index, opts);
+    const Workload w = gen.Generate(25);
+    for (const auto& z : w) {
+      size_t count = 0;
+      for (const auto& p : f.data.rows()) {
+        if (z.query.Contains(p)) ++count;
+      }
+      EXPECT_DOUBLE_EQ(
+          z.selectivity,
+          static_cast<double>(count) / static_cast<double>(f.data.num_rows()));
+    }
+  }
+}
+
+TEST(WorkloadTest, QueryTypesMatchOption) {
+  Fixture f;
+  WorkloadOptions opts;
+  opts.query_type = QueryType::kBall;
+  WorkloadGenerator gen(&f.data, &f.index, opts);
+  for (const auto& z : gen.Generate(10)) {
+    EXPECT_EQ(z.query.type(), QueryType::kBall);
+  }
+}
+
+TEST(WorkloadTest, BoxQueriesClippedToDomain) {
+  Fixture f;
+  WorkloadOptions opts;
+  WorkloadGenerator gen(&f.data, &f.index, opts);
+  for (const auto& z : gen.Generate(100)) {
+    const Box& b = z.query.box();
+    for (int j = 0; j < 2; ++j) {
+      EXPECT_GE(b.lo(j), 0.0);
+      EXPECT_LE(b.hi(j), 1.0);
+    }
+  }
+}
+
+TEST(WorkloadTest, DataDrivenCentersFollowData) {
+  // Power-like data is concentrated at low attribute-0 values, so
+  // data-driven boxes should have lower centers than random boxes.
+  Fixture f;
+  WorkloadOptions dd;
+  dd.centers = CenterDistribution::kDataDriven;
+  WorkloadOptions rnd;
+  rnd.centers = CenterDistribution::kRandom;
+  WorkloadGenerator g1(&f.data, &f.index, dd);
+  WorkloadGenerator g2(&f.data, &f.index, rnd);
+  auto mean_center0 = [](const Workload& w) {
+    double s = 0.0;
+    for (const auto& z : w) s += z.query.box().Center()[0];
+    return s / static_cast<double>(w.size());
+  };
+  EXPECT_LT(mean_center0(g1.Generate(300)), mean_center0(g2.Generate(300)));
+}
+
+TEST(WorkloadTest, GaussianCentersConcentrated) {
+  Fixture f;
+  WorkloadOptions opts;
+  opts.centers = CenterDistribution::kGaussian;
+  opts.gaussian_mean = 0.5;
+  opts.gaussian_stddev = 0.05;
+  opts.query_type = QueryType::kBall;
+  WorkloadGenerator gen(&f.data, &f.index, opts);
+  double far = 0;
+  const Workload w = gen.Generate(300);
+  for (const auto& z : w) {
+    if (std::abs(z.query.ball().center()[0] - 0.5) > 0.2) ++far;
+  }
+  EXPECT_LT(far / 300.0, 0.02);
+}
+
+TEST(WorkloadTest, ShiftedGaussianMeanRespected) {
+  Fixture f;
+  WorkloadOptions opts;
+  opts.centers = CenterDistribution::kGaussian;
+  opts.gaussian_mean = 0.2;
+  opts.gaussian_stddev = 0.05;
+  opts.query_type = QueryType::kBall;
+  WorkloadGenerator gen(&f.data, &f.index, opts);
+  double mean = 0.0;
+  const Workload w = gen.Generate(400);
+  for (const auto& z : w) mean += z.query.ball().center()[0];
+  EXPECT_NEAR(mean / 400.0, 0.2, 0.02);
+}
+
+TEST(WorkloadTest, HalfspacePassesThroughCenterPoint) {
+  Fixture f;
+  WorkloadOptions opts;
+  opts.query_type = QueryType::kHalfspace;
+  opts.centers = CenterDistribution::kDataDriven;
+  WorkloadGenerator gen(&f.data, &f.index, opts);
+  for (const auto& z : gen.Generate(50)) {
+    // Data-driven halfspaces pass through a data point, so selectivity is
+    // bounded away from 0 and 1 only loosely; just check the boundary
+    // relation holds for SOME dataset point.
+    const Halfspace& h = z.query.halfspace();
+    bool on_boundary = false;
+    for (const auto& p : f.data.rows()) {
+      if (std::abs(Dot(h.normal(), p) - h.offset()) < 1e-12) {
+        on_boundary = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(on_boundary);
+  }
+}
+
+TEST(WorkloadTest, CategoricalAttributesGetEqualityPredicates) {
+  const Dataset census = MakeCensusLike(1000, 51);
+  // Project onto one categorical + one numeric attribute.
+  const Dataset proj = census.Project({0, 8});
+  CountingKdTree index(proj.rows());
+  WorkloadOptions opts;
+  WorkloadGenerator gen(&proj, &index, opts);
+  const int k = proj.attribute(0).cardinality;
+  const double gap = 1.0 / (k - 1);
+  for (const auto& z : gen.Generate(60)) {
+    const Box& b = z.query.box();
+    // The categorical dimension selects exactly one lattice value.
+    EXPECT_LE(b.width(0), gap * 0.5 + 1e-12);
+    const double center = 0.5 * (b.lo(0) + b.hi(0));
+    const double scaled = center * (k - 1);
+    EXPECT_NEAR(scaled, std::round(scaled), 0.26);
+  }
+}
+
+TEST(WorkloadTest, FilterNonEmptyDropsZeros) {
+  Workload w;
+  w.push_back({Box::Unit(2), 0.0});
+  w.push_back({Box::Unit(2), 0.5});
+  w.push_back({Box::Unit(2), 0.0});
+  const Workload f = FilterNonEmpty(w);
+  ASSERT_EQ(f.size(), 1u);
+  EXPECT_DOUBLE_EQ(f[0].selectivity, 0.5);
+}
+
+TEST(WorkloadTest, RandomWorkloadOnSkewedDataMostlyEmpty) {
+  // §4.2: "up to 97% Random queries with selectivity near 0" on Power.
+  // With our Power-like mimic the effect is milder but clearly present:
+  // random-center boxes hit much emptier space than data-driven ones.
+  Fixture f;
+  WorkloadOptions rnd;
+  rnd.centers = CenterDistribution::kRandom;
+  rnd.seed = 52;
+  WorkloadGenerator gr(&f.data, &f.index, rnd);
+  WorkloadOptions dd;
+  dd.centers = CenterDistribution::kDataDriven;
+  dd.seed = 52;
+  WorkloadGenerator gd(&f.data, &f.index, dd);
+  auto near_empty_rate = [](const Workload& w) {
+    double c = 0;
+    for (const auto& z : w) {
+      if (z.selectivity < 0.01) ++c;
+    }
+    return c / static_cast<double>(w.size());
+  };
+  EXPECT_GT(near_empty_rate(gr.Generate(400)),
+            near_empty_rate(gd.Generate(400)));
+}
+
+TEST(WorkloadTest, QueriesOfAndLabelQueriesRoundTrip) {
+  Fixture f;
+  WorkloadOptions opts;
+  WorkloadGenerator gen(&f.data, &f.index, opts);
+  const Workload w = gen.Generate(20);
+  const auto qs = QueriesOf(w);
+  const Workload relabeled = LabelQueries(qs, f.index);
+  ASSERT_EQ(relabeled.size(), w.size());
+  for (size_t i = 0; i < w.size(); ++i) {
+    EXPECT_DOUBLE_EQ(relabeled[i].selectivity, w[i].selectivity);
+  }
+}
+
+TEST(WorkloadTest, CenterDistributionNames) {
+  EXPECT_STREQ(CenterDistributionName(CenterDistribution::kDataDriven),
+               "data-driven");
+  EXPECT_STREQ(CenterDistributionName(CenterDistribution::kRandom),
+               "random");
+  EXPECT_STREQ(CenterDistributionName(CenterDistribution::kGaussian),
+               "gaussian");
+}
+
+}  // namespace
+}  // namespace sel

@@ -1,0 +1,208 @@
+// selcli — command-line front end for the sel library.
+//
+//   selcli gen-data <power|forest|census|dmv|uniform:D> <rows> <out.csv>
+//          [seed]
+//   selcli gen-workload <data.csv> <count> <out.csv>
+//          [box|ball|halfspace] [data|random|gaussian] [seed]
+//   selcli train <workload.csv> <model.out>
+//          [quadhist|ptshist|quicksel|gmm]
+//   selcli evaluate <model.out> <workload.csv>
+//   selcli estimate <model.out> <schema-a,b,c> "<predicate>"
+//
+// The full loop: capture a query log as a workload CSV, train offline,
+// ship the model file, evaluate or answer ad-hoc WHERE predicates.
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "sel/sel.h"
+#include "workload/workload_io.h"
+
+// Maps a Status to process exit inside command handlers (relies on the
+// enclosing scope's Fail()).
+#define SEL_RETURN_STATUS_AS_EXIT(expr)      \
+  do {                                       \
+    ::sel::Status _st = (expr);              \
+    if (!_st.ok()) return Fail(_st);         \
+  } while (0)
+
+namespace sel {
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage:\n"
+      "  selcli gen-data <name> <rows> <out.csv> [seed]\n"
+      "  selcli gen-workload <data.csv> <count> <out.csv> "
+      "[box|ball|halfspace] [data|random|gaussian] [seed]\n"
+      "  selcli train <workload.csv> <model.out> "
+      "[quadhist|ptshist|quicksel|gmm]\n"
+      "  selcli evaluate <model.out> <workload.csv>\n"
+      "  selcli estimate <model.out> <schema-a,b,c> \"<predicate>\"\n");
+  return 2;
+}
+
+int Fail(const Status& st) {
+  std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
+  return 1;
+}
+
+int GenData(int argc, char** argv) {
+  if (argc < 3) return Usage();
+  const std::string name = argv[0];
+  const size_t rows = std::strtoull(argv[1], nullptr, 10);
+  const std::string out = argv[2];
+  const uint64_t seed = argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 7000;
+  if (rows == 0) return Usage();
+  auto data = MakeDatasetByName(name, rows, seed);
+  if (!data.ok()) return Fail(data.status());
+  const Status st = SaveDatasetCsv(data.value(), out);
+  if (!st.ok()) return Fail(st);
+  std::printf("wrote %zu rows x %d attrs to %s\n", data.value().num_rows(),
+              data.value().dim(), out.c_str());
+  return 0;
+}
+
+int GenWorkload(int argc, char** argv) {
+  if (argc < 3) return Usage();
+  auto data = LoadDatasetCsv(argv[0]);
+  if (!data.ok()) return Fail(data.status());
+  const size_t count = std::strtoull(argv[1], nullptr, 10);
+  const std::string out = argv[2];
+  WorkloadOptions opts;
+  if (argc > 3) {
+    const std::string t = argv[3];
+    if (t == "box") {
+      opts.query_type = QueryType::kBox;
+    } else if (t == "ball") {
+      opts.query_type = QueryType::kBall;
+    } else if (t == "halfspace") {
+      opts.query_type = QueryType::kHalfspace;
+    } else {
+      return Usage();
+    }
+  }
+  if (argc > 4) {
+    const std::string c = argv[4];
+    if (c == "data") {
+      opts.centers = CenterDistribution::kDataDriven;
+    } else if (c == "random") {
+      opts.centers = CenterDistribution::kRandom;
+    } else if (c == "gaussian") {
+      opts.centers = CenterDistribution::kGaussian;
+    } else {
+      return Usage();
+    }
+  }
+  if (argc > 5) opts.seed = std::strtoull(argv[5], nullptr, 10);
+  const CountingKdTree index(data.value().rows());
+  WorkloadGenerator gen(&data.value(), &index, opts);
+  const Workload w = gen.Generate(count);
+  const Status st = SaveWorkloadCsv(w, out);
+  if (!st.ok()) return Fail(st);
+  std::printf("wrote %zu labeled %s queries (%s centers) to %s\n", w.size(),
+              QueryTypeName(opts.query_type),
+              CenterDistributionName(opts.centers), out.c_str());
+  return 0;
+}
+
+int Train(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  auto workload = LoadWorkloadCsv(argv[0]);
+  if (!workload.ok()) return Fail(workload.status());
+  const Workload& w = workload.value();
+  if (w.empty()) {
+    return Fail(Status::InvalidArgument("workload is empty"));
+  }
+  const std::string out = argv[1];
+  const std::string kind = argc > 2 ? argv[2] : "quadhist";
+  const int dim = w[0].query.dim();
+  const size_t n = w.size();
+
+  Status save = Status::OK();
+  if (kind == "quadhist") {
+    QuadHistOptions o;
+    o.tau = 0.002;
+    o.max_leaves = 4 * n;
+    QuadHist model(dim, o);
+    SEL_RETURN_STATUS_AS_EXIT(model.Train(w));
+    save = SaveHistogramModel(model.LeafBoxes(), model.LeafWeights(), out);
+    std::printf("trained QuadHist: %zu buckets, train loss %.3g, %.3fs\n",
+                model.NumBuckets(), model.train_stats().train_loss,
+                model.train_stats().train_seconds);
+  } else if (kind == "ptshist") {
+    PtsHist model(dim, PtsHistOptions{});
+    SEL_RETURN_STATUS_AS_EXIT(model.Train(w));
+    save = SavePointModel(model.BucketPoints(), model.BucketWeights(), out);
+    std::printf("trained PtsHist: %zu buckets, train loss %.3g, %.3fs\n",
+                model.NumBuckets(), model.train_stats().train_loss,
+                model.train_stats().train_seconds);
+  } else if (kind == "quicksel") {
+    QuickSel model(dim, QuickSelOptions{});
+    SEL_RETURN_STATUS_AS_EXIT(model.Train(w));
+    // QuickSel's overlapping kernels estimate via the same Eq. (6) sum,
+    // so they serialize as a (non-partitioning) histogram.
+    Vector weights(model.NumBuckets());
+    // Weights are not exposed individually; re-derive by probing each
+    // kernel alone is not possible — serialize via StaticHistogram is
+    // unsupported; reject for now.
+    (void)weights;
+    return Fail(Status::Unimplemented(
+        "quicksel serialization is not supported; use quadhist/ptshist/gmm"));
+  } else if (kind == "gmm") {
+    GmmModel model(dim, GmmOptions{});
+    SEL_RETURN_STATUS_AS_EXIT(model.Train(w));
+    save = SaveGmmModel(model, out);
+    std::printf("trained GMM: %zu components, train loss %.3g, %.3fs\n",
+                model.NumBuckets(), model.train_stats().train_loss,
+                model.train_stats().train_seconds);
+  } else {
+    return Usage();
+  }
+  if (!save.ok()) return Fail(save);
+  std::printf("model written to %s\n", out.c_str());
+  return 0;
+}
+
+int Evaluate(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  auto model = LoadModel(argv[0]);
+  if (!model.ok()) return Fail(model.status());
+  auto workload = LoadWorkloadCsv(argv[1]);
+  if (!workload.ok()) return Fail(workload.status());
+  // Q-error floor of 1e-6: the workload CSV does not carry the dataset
+  // size, so "one in a million tuples" stands in for one-tuple resolution.
+  const ErrorReport r =
+      EvaluateModel(*model.value(), workload.value(), 1e-6);
+  std::printf("queries: %zu\nrms: %.6f\nmae: %.6f\nlinf: %.6f\n"
+              "q50: %.3f\nq95: %.3f\nq99: %.3f\nqmax: %.3f\n",
+              r.num_queries, r.rms, r.mae, r.linf, r.q50, r.q95, r.q99,
+              r.qmax);
+  return 0;
+}
+
+int Estimate(int argc, char** argv) {
+  if (argc < 3) return Usage();
+  auto model = LoadModel(argv[0]);
+  if (!model.ok()) return Fail(model.status());
+  PredicateParser parser(Split(argv[1], ','));
+  auto query = parser.Parse(argv[2]);
+  if (!query.ok()) return Fail(query.status());
+  std::printf("%.6f\n", model.value()->Estimate(query.value()));
+  return 0;
+}
+
+}  // namespace sel
+
+int main(int argc, char** argv) {
+  if (argc < 2) return sel::Usage();
+  const std::string cmd = argv[1];
+  argc -= 2;
+  argv += 2;
+  if (cmd == "gen-data") return sel::GenData(argc, argv);
+  if (cmd == "gen-workload") return sel::GenWorkload(argc, argv);
+  if (cmd == "train") return sel::Train(argc, argv);
+  if (cmd == "evaluate") return sel::Evaluate(argc, argv);
+  if (cmd == "estimate") return sel::Estimate(argc, argv);
+  return sel::Usage();
+}
