@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_ptshist.dir/bench_ablation_ptshist.cc.o"
+  "CMakeFiles/bench_ablation_ptshist.dir/bench_ablation_ptshist.cc.o.d"
+  "bench_ablation_ptshist"
+  "bench_ablation_ptshist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_ptshist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_volume_qmc.dir/bench_ablation_volume_qmc.cc.o"
+  "CMakeFiles/bench_ablation_volume_qmc.dir/bench_ablation_volume_qmc.cc.o.d"
+  "bench_ablation_volume_qmc"
+  "bench_ablation_volume_qmc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_volume_qmc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

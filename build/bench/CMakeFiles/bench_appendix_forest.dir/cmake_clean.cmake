@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_appendix_forest.dir/bench_appendix_forest.cc.o"
+  "CMakeFiles/bench_appendix_forest.dir/bench_appendix_forest.cc.o.d"
+  "bench_appendix_forest"
+  "bench_appendix_forest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_appendix_forest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

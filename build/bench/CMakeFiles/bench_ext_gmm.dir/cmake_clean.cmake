@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_gmm.dir/bench_ext_gmm.cc.o"
+  "CMakeFiles/bench_ext_gmm.dir/bench_ext_gmm.cc.o.d"
+  "bench_ext_gmm"
+  "bench_ext_gmm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_gmm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

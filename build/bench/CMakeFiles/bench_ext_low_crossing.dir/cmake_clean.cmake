@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_low_crossing.dir/bench_ext_low_crossing.cc.o"
+  "CMakeFiles/bench_ext_low_crossing.dir/bench_ext_low_crossing.cc.o.d"
+  "bench_ext_low_crossing"
+  "bench_ext_low_crossing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_low_crossing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_semialgebraic.dir/bench_ext_semialgebraic.cc.o"
+  "CMakeFiles/bench_ext_semialgebraic.dir/bench_ext_semialgebraic.cc.o.d"
+  "bench_ext_semialgebraic"
+  "bench_ext_semialgebraic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_semialgebraic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig09_rms_vs_complexity.dir/bench_fig09_rms_vs_complexity.cc.o"
+  "CMakeFiles/bench_fig09_rms_vs_complexity.dir/bench_fig09_rms_vs_complexity.cc.o.d"
+  "bench_fig09_rms_vs_complexity"
+  "bench_fig09_rms_vs_complexity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig09_rms_vs_complexity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

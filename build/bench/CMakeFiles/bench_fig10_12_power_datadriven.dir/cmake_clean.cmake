@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_12_power_datadriven.dir/bench_fig10_12_power_datadriven.cc.o"
+  "CMakeFiles/bench_fig10_12_power_datadriven.dir/bench_fig10_12_power_datadriven.cc.o.d"
+  "bench_fig10_12_power_datadriven"
+  "bench_fig10_12_power_datadriven.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_12_power_datadriven.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

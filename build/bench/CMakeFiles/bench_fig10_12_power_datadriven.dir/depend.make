@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig10_12_power_datadriven.
+# This may be replaced when dependencies are built.

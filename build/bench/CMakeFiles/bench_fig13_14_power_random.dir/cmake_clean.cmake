@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_14_power_random.dir/bench_fig13_14_power_random.cc.o"
+  "CMakeFiles/bench_fig13_14_power_random.dir/bench_fig13_14_power_random.cc.o.d"
+  "bench_fig13_14_power_random"
+  "bench_fig13_14_power_random.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_14_power_random.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

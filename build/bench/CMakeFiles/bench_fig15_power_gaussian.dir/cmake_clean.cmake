@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig15_power_gaussian.dir/bench_fig15_power_gaussian.cc.o"
+  "CMakeFiles/bench_fig15_power_gaussian.dir/bench_fig15_power_gaussian.cc.o.d"
+  "bench_fig15_power_gaussian"
+  "bench_fig15_power_gaussian.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig15_power_gaussian.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

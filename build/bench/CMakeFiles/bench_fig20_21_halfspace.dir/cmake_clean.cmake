@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig20_21_halfspace.dir/bench_fig20_21_halfspace.cc.o"
+  "CMakeFiles/bench_fig20_21_halfspace.dir/bench_fig20_21_halfspace.cc.o.d"
+  "bench_fig20_21_halfspace"
+  "bench_fig20_21_halfspace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig20_21_halfspace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig22_23_ball.dir/bench_fig22_23_ball.cc.o"
+  "CMakeFiles/bench_fig22_23_ball.dir/bench_fig22_23_ball.cc.o.d"
+  "bench_fig22_23_ball"
+  "bench_fig22_23_ball.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig22_23_ball.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

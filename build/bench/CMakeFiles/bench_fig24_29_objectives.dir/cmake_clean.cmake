@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig24_29_objectives.dir/bench_fig24_29_objectives.cc.o"
+  "CMakeFiles/bench_fig24_29_objectives.dir/bench_fig24_29_objectives.cc.o.d"
+  "bench_fig24_29_objectives"
+  "bench_fig24_29_objectives.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig24_29_objectives.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_motivation_avi.dir/bench_motivation_avi.cc.o"
+  "CMakeFiles/bench_motivation_avi.dir/bench_motivation_avi.cc.o.d"
+  "bench_motivation_avi"
+  "bench_motivation_avi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_motivation_avi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_prediction_time.dir/bench_prediction_time.cc.o"
+  "CMakeFiles/bench_prediction_time.dir/bench_prediction_time.cc.o.d"
+  "bench_prediction_time"
+  "bench_prediction_time.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_prediction_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

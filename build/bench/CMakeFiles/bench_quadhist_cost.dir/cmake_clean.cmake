@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_quadhist_cost.dir/bench_quadhist_cost.cc.o"
+  "CMakeFiles/bench_quadhist_cost.dir/bench_quadhist_cost.cc.o.d"
+  "bench_quadhist_cost"
+  "bench_quadhist_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_quadhist_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_qerror_forest.dir/bench_table3_qerror_forest.cc.o"
+  "CMakeFiles/bench_table3_qerror_forest.dir/bench_table3_qerror_forest.cc.o.d"
+  "bench_table3_qerror_forest"
+  "bench_table3_qerror_forest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_qerror_forest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_qerror_dmv.dir/bench_table4_qerror_dmv.cc.o"
+  "CMakeFiles/bench_table4_qerror_dmv.dir/bench_table4_qerror_dmv.cc.o.d"
+  "bench_table4_qerror_dmv"
+  "bench_table4_qerror_dmv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_qerror_dmv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

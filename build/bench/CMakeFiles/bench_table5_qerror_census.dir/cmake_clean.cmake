@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_qerror_census.dir/bench_table5_qerror_census.cc.o"
+  "CMakeFiles/bench_table5_qerror_census.dir/bench_table5_qerror_census.cc.o.d"
+  "bench_table5_qerror_census"
+  "bench_table5_qerror_census.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_qerror_census.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

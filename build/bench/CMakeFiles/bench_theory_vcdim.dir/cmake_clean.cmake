@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_theory_vcdim.dir/bench_theory_vcdim.cc.o"
+  "CMakeFiles/bench_theory_vcdim.dir/bench_theory_vcdim.cc.o.d"
+  "bench_theory_vcdim"
+  "bench_theory_vcdim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_theory_vcdim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

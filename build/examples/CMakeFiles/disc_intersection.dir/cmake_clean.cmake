@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/disc_intersection.dir/disc_intersection.cc.o"
+  "CMakeFiles/disc_intersection.dir/disc_intersection.cc.o.d"
+  "disc_intersection"
+  "disc_intersection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/disc_intersection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

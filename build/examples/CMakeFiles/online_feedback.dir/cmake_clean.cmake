@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/online_feedback.dir/online_feedback.cc.o"
+  "CMakeFiles/online_feedback.dir/online_feedback.cc.o.d"
+  "online_feedback"
+  "online_feedback.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/online_feedback.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/similarity_search.dir/similarity_search.cc.o"
+  "CMakeFiles/similarity_search.dir/similarity_search.cc.o.d"
+  "similarity_search"
+  "similarity_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/similarity_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,59 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/avi.cc" "src/CMakeFiles/sel.dir/baselines/avi.cc.o" "gcc" "src/CMakeFiles/sel.dir/baselines/avi.cc.o.d"
+  "/root/repo/src/baselines/isomer.cc" "src/CMakeFiles/sel.dir/baselines/isomer.cc.o" "gcc" "src/CMakeFiles/sel.dir/baselines/isomer.cc.o.d"
+  "/root/repo/src/baselines/quicksel.cc" "src/CMakeFiles/sel.dir/baselines/quicksel.cc.o" "gcc" "src/CMakeFiles/sel.dir/baselines/quicksel.cc.o.d"
+  "/root/repo/src/common/csv.cc" "src/CMakeFiles/sel.dir/common/csv.cc.o" "gcc" "src/CMakeFiles/sel.dir/common/csv.cc.o.d"
+  "/root/repo/src/common/env.cc" "src/CMakeFiles/sel.dir/common/env.cc.o" "gcc" "src/CMakeFiles/sel.dir/common/env.cc.o.d"
+  "/root/repo/src/common/string_util.cc" "src/CMakeFiles/sel.dir/common/string_util.cc.o" "gcc" "src/CMakeFiles/sel.dir/common/string_util.cc.o.d"
+  "/root/repo/src/core/arrangement.cc" "src/CMakeFiles/sel.dir/core/arrangement.cc.o" "gcc" "src/CMakeFiles/sel.dir/core/arrangement.cc.o.d"
+  "/root/repo/src/core/gmm.cc" "src/CMakeFiles/sel.dir/core/gmm.cc.o" "gcc" "src/CMakeFiles/sel.dir/core/gmm.cc.o.d"
+  "/root/repo/src/core/model.cc" "src/CMakeFiles/sel.dir/core/model.cc.o" "gcc" "src/CMakeFiles/sel.dir/core/model.cc.o.d"
+  "/root/repo/src/core/model_io.cc" "src/CMakeFiles/sel.dir/core/model_io.cc.o" "gcc" "src/CMakeFiles/sel.dir/core/model_io.cc.o.d"
+  "/root/repo/src/core/online.cc" "src/CMakeFiles/sel.dir/core/online.cc.o" "gcc" "src/CMakeFiles/sel.dir/core/online.cc.o.d"
+  "/root/repo/src/core/ptshist.cc" "src/CMakeFiles/sel.dir/core/ptshist.cc.o" "gcc" "src/CMakeFiles/sel.dir/core/ptshist.cc.o.d"
+  "/root/repo/src/core/quadhist.cc" "src/CMakeFiles/sel.dir/core/quadhist.cc.o" "gcc" "src/CMakeFiles/sel.dir/core/quadhist.cc.o.d"
+  "/root/repo/src/core/static_model.cc" "src/CMakeFiles/sel.dir/core/static_model.cc.o" "gcc" "src/CMakeFiles/sel.dir/core/static_model.cc.o.d"
+  "/root/repo/src/data/csv_io.cc" "src/CMakeFiles/sel.dir/data/csv_io.cc.o" "gcc" "src/CMakeFiles/sel.dir/data/csv_io.cc.o.d"
+  "/root/repo/src/data/dataset.cc" "src/CMakeFiles/sel.dir/data/dataset.cc.o" "gcc" "src/CMakeFiles/sel.dir/data/dataset.cc.o.d"
+  "/root/repo/src/data/generators.cc" "src/CMakeFiles/sel.dir/data/generators.cc.o" "gcc" "src/CMakeFiles/sel.dir/data/generators.cc.o.d"
+  "/root/repo/src/eval/experiment.cc" "src/CMakeFiles/sel.dir/eval/experiment.cc.o" "gcc" "src/CMakeFiles/sel.dir/eval/experiment.cc.o.d"
+  "/root/repo/src/eval/table_printer.cc" "src/CMakeFiles/sel.dir/eval/table_printer.cc.o" "gcc" "src/CMakeFiles/sel.dir/eval/table_printer.cc.o.d"
+  "/root/repo/src/geometry/ball.cc" "src/CMakeFiles/sel.dir/geometry/ball.cc.o" "gcc" "src/CMakeFiles/sel.dir/geometry/ball.cc.o.d"
+  "/root/repo/src/geometry/box.cc" "src/CMakeFiles/sel.dir/geometry/box.cc.o" "gcc" "src/CMakeFiles/sel.dir/geometry/box.cc.o.d"
+  "/root/repo/src/geometry/halfspace.cc" "src/CMakeFiles/sel.dir/geometry/halfspace.cc.o" "gcc" "src/CMakeFiles/sel.dir/geometry/halfspace.cc.o.d"
+  "/root/repo/src/geometry/polynomial.cc" "src/CMakeFiles/sel.dir/geometry/polynomial.cc.o" "gcc" "src/CMakeFiles/sel.dir/geometry/polynomial.cc.o.d"
+  "/root/repo/src/geometry/query.cc" "src/CMakeFiles/sel.dir/geometry/query.cc.o" "gcc" "src/CMakeFiles/sel.dir/geometry/query.cc.o.d"
+  "/root/repo/src/geometry/sampling.cc" "src/CMakeFiles/sel.dir/geometry/sampling.cc.o" "gcc" "src/CMakeFiles/sel.dir/geometry/sampling.cc.o.d"
+  "/root/repo/src/geometry/semialgebraic.cc" "src/CMakeFiles/sel.dir/geometry/semialgebraic.cc.o" "gcc" "src/CMakeFiles/sel.dir/geometry/semialgebraic.cc.o.d"
+  "/root/repo/src/geometry/volume.cc" "src/CMakeFiles/sel.dir/geometry/volume.cc.o" "gcc" "src/CMakeFiles/sel.dir/geometry/volume.cc.o.d"
+  "/root/repo/src/index/kdtree.cc" "src/CMakeFiles/sel.dir/index/kdtree.cc.o" "gcc" "src/CMakeFiles/sel.dir/index/kdtree.cc.o.d"
+  "/root/repo/src/learning/fat_shattering.cc" "src/CMakeFiles/sel.dir/learning/fat_shattering.cc.o" "gcc" "src/CMakeFiles/sel.dir/learning/fat_shattering.cc.o.d"
+  "/root/repo/src/learning/low_crossing.cc" "src/CMakeFiles/sel.dir/learning/low_crossing.cc.o" "gcc" "src/CMakeFiles/sel.dir/learning/low_crossing.cc.o.d"
+  "/root/repo/src/learning/sample_complexity.cc" "src/CMakeFiles/sel.dir/learning/sample_complexity.cc.o" "gcc" "src/CMakeFiles/sel.dir/learning/sample_complexity.cc.o.d"
+  "/root/repo/src/learning/shattering.cc" "src/CMakeFiles/sel.dir/learning/shattering.cc.o" "gcc" "src/CMakeFiles/sel.dir/learning/shattering.cc.o.d"
+  "/root/repo/src/learning/vc_dimension.cc" "src/CMakeFiles/sel.dir/learning/vc_dimension.cc.o" "gcc" "src/CMakeFiles/sel.dir/learning/vc_dimension.cc.o.d"
+  "/root/repo/src/metrics/metrics.cc" "src/CMakeFiles/sel.dir/metrics/metrics.cc.o" "gcc" "src/CMakeFiles/sel.dir/metrics/metrics.cc.o.d"
+  "/root/repo/src/parser/predicate_parser.cc" "src/CMakeFiles/sel.dir/parser/predicate_parser.cc.o" "gcc" "src/CMakeFiles/sel.dir/parser/predicate_parser.cc.o.d"
+  "/root/repo/src/solver/lp.cc" "src/CMakeFiles/sel.dir/solver/lp.cc.o" "gcc" "src/CMakeFiles/sel.dir/solver/lp.cc.o.d"
+  "/root/repo/src/solver/nnls.cc" "src/CMakeFiles/sel.dir/solver/nnls.cc.o" "gcc" "src/CMakeFiles/sel.dir/solver/nnls.cc.o.d"
+  "/root/repo/src/solver/qp.cc" "src/CMakeFiles/sel.dir/solver/qp.cc.o" "gcc" "src/CMakeFiles/sel.dir/solver/qp.cc.o.d"
+  "/root/repo/src/solver/simplex_projection.cc" "src/CMakeFiles/sel.dir/solver/simplex_projection.cc.o" "gcc" "src/CMakeFiles/sel.dir/solver/simplex_projection.cc.o.d"
+  "/root/repo/src/workload/workload.cc" "src/CMakeFiles/sel.dir/workload/workload.cc.o" "gcc" "src/CMakeFiles/sel.dir/workload/workload.cc.o.d"
+  "/root/repo/src/workload/workload_io.cc" "src/CMakeFiles/sel.dir/workload/workload_io.cc.o" "gcc" "src/CMakeFiles/sel.dir/workload/workload_io.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

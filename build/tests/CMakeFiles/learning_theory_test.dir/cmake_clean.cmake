@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/learning_theory_test.dir/learning_theory_test.cc.o"
+  "CMakeFiles/learning_theory_test.dir/learning_theory_test.cc.o.d"
+  "learning_theory_test"
+  "learning_theory_test.pdb"
+  "learning_theory_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/learning_theory_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

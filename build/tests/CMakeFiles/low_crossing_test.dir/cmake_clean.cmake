@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/low_crossing_test.dir/low_crossing_test.cc.o"
+  "CMakeFiles/low_crossing_test.dir/low_crossing_test.cc.o.d"
+  "low_crossing_test"
+  "low_crossing_test.pdb"
+  "low_crossing_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/low_crossing_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

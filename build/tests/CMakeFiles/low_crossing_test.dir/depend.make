@@ -1,0 +1,2 @@
+# Empty dependencies file for low_crossing_test.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/model_matrix_test.dir/model_matrix_test.cc.o"
+  "CMakeFiles/model_matrix_test.dir/model_matrix_test.cc.o.d"
+  "model_matrix_test"
+  "model_matrix_test.pdb"
+  "model_matrix_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/model_matrix_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

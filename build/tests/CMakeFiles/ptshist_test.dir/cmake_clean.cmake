@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ptshist_test.dir/ptshist_test.cc.o"
+  "CMakeFiles/ptshist_test.dir/ptshist_test.cc.o.d"
+  "ptshist_test"
+  "ptshist_test.pdb"
+  "ptshist_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ptshist_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/quadhist_test.dir/quadhist_test.cc.o"
+  "CMakeFiles/quadhist_test.dir/quadhist_test.cc.o.d"
+  "quadhist_test"
+  "quadhist_test.pdb"
+  "quadhist_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/quadhist_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

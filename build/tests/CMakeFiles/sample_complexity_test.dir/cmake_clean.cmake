@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sample_complexity_test.dir/sample_complexity_test.cc.o"
+  "CMakeFiles/sample_complexity_test.dir/sample_complexity_test.cc.o.d"
+  "sample_complexity_test"
+  "sample_complexity_test.pdb"
+  "sample_complexity_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sample_complexity_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/semialgebraic_models_test.dir/semialgebraic_models_test.cc.o"
+  "CMakeFiles/semialgebraic_models_test.dir/semialgebraic_models_test.cc.o.d"
+  "semialgebraic_models_test"
+  "semialgebraic_models_test.pdb"
+  "semialgebraic_models_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/semialgebraic_models_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

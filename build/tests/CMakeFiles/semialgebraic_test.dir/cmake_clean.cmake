@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/semialgebraic_test.dir/semialgebraic_test.cc.o"
+  "CMakeFiles/semialgebraic_test.dir/semialgebraic_test.cc.o.d"
+  "semialgebraic_test"
+  "semialgebraic_test.pdb"
+  "semialgebraic_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/semialgebraic_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

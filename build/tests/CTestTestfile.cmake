@@ -1,0 +1,34 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/geometry_test[1]_include.cmake")
+include("/root/repo/build/tests/volume_test[1]_include.cmake")
+include("/root/repo/build/tests/solver_test[1]_include.cmake")
+include("/root/repo/build/tests/kdtree_test[1]_include.cmake")
+include("/root/repo/build/tests/data_test[1]_include.cmake")
+include("/root/repo/build/tests/workload_test[1]_include.cmake")
+include("/root/repo/build/tests/quadhist_test[1]_include.cmake")
+include("/root/repo/build/tests/ptshist_test[1]_include.cmake")
+include("/root/repo/build/tests/arrangement_test[1]_include.cmake")
+include("/root/repo/build/tests/baselines_test[1]_include.cmake")
+include("/root/repo/build/tests/learning_theory_test[1]_include.cmake")
+include("/root/repo/build/tests/metrics_test[1]_include.cmake")
+include("/root/repo/build/tests/eval_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/semialgebraic_test[1]_include.cmake")
+include("/root/repo/build/tests/gmm_test[1]_include.cmake")
+include("/root/repo/build/tests/low_crossing_test[1]_include.cmake")
+include("/root/repo/build/tests/model_io_test[1]_include.cmake")
+include("/root/repo/build/tests/online_test[1]_include.cmake")
+include("/root/repo/build/tests/avi_test[1]_include.cmake")
+include("/root/repo/build/tests/parser_test[1]_include.cmake")
+include("/root/repo/build/tests/workload_io_test[1]_include.cmake")
+include("/root/repo/build/tests/polynomial_property_test[1]_include.cmake")
+include("/root/repo/build/tests/sample_complexity_test[1]_include.cmake")
+include("/root/repo/build/tests/model_matrix_test[1]_include.cmake")
+include("/root/repo/build/tests/lp_property_test[1]_include.cmake")
+include("/root/repo/build/tests/semialgebraic_models_test[1]_include.cmake")

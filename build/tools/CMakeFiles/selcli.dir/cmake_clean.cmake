@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/selcli.dir/selcli.cc.o"
+  "CMakeFiles/selcli.dir/selcli.cc.o.d"
+  "selcli"
+  "selcli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/selcli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
