@@ -39,10 +39,11 @@ inline void Banner(const std::string& title, const PreparedData& prep,
                    const WorkloadOptions& wopts) {
   std::printf("== %s ==\n", title.c_str());
   std::printf("dataset: %zu rows, %d dims | workload: %s %s | "
-              "REPRO_SCALE=%.2f\n\n",
+              "REPRO_SCALE=%.2f | threads=%d\n\n",
               prep.data.num_rows(), prep.data.dim(),
               CenterDistributionName(wopts.centers),
-              QueryTypeName(wopts.query_type), ReproScale());
+              QueryTypeName(wopts.query_type), ReproScale(),
+              DefaultPool()->size());
 }
 
 /// Q-error floor at one-tuple resolution for this dataset.
@@ -50,38 +51,64 @@ inline double QFloor(const PreparedData& prep) {
   return 1.0 / static_cast<double>(prep.data.num_rows());
 }
 
+/// Generates the per-size training workloads of a sweep, in parallel:
+/// each size has its own seed (wopts.seed + n) and its own generator, so
+/// the slot-per-size outputs match the serial loop bit for bit.
+inline std::vector<Workload> GenerateTrainWorkloads(
+    const PreparedData& prep, const WorkloadOptions& wopts,
+    const std::vector<size_t>& sizes) {
+  std::vector<Workload> trains(sizes.size());
+  ParallelFor(0, static_cast<int64_t>(sizes.size()), 1, [&](int64_t s) {
+    WorkloadOptions train_opts = wopts;
+    train_opts.seed = wopts.seed + sizes[s];
+    WorkloadGenerator train_gen(&prep.data, prep.index.get(), train_opts);
+    trains[s] = train_gen.Generate(sizes[s]);
+  });
+  return trains;
+}
+
 /// Runs every (train size x model) cell of a sweep: fresh train/test
 /// workloads per size (train seed varies per size; test fixed), skipping
-/// ISOMER past its feasibility cutoff exactly as the paper does.
+/// ISOMER past its feasibility cutoff exactly as the paper does. Cells
+/// fan out across the shared pool and land in preallocated slots, so the
+/// output order (and every cell) is independent of the thread count.
 inline std::vector<EvalCell> RunSweep(
     const PreparedData& prep, const WorkloadOptions& wopts,
     const std::vector<size_t>& sizes, const std::vector<ModelKind>& kinds,
     size_t test_size, const ModelFactoryOptions& factory = {}) {
-  std::vector<EvalCell> cells;
   WorkloadOptions test_opts = wopts;
   test_opts.seed = wopts.seed + 9999;
   WorkloadGenerator test_gen(&prep.data, prep.index.get(), test_opts);
   const Workload test = test_gen.Generate(test_size);
   const double q_floor = QFloor(prep);
-  for (size_t n : sizes) {
-    WorkloadOptions train_opts = wopts;
-    train_opts.seed = wopts.seed + n;
-    WorkloadGenerator train_gen(&prep.data, prep.index.get(), train_opts);
-    const Workload train = train_gen.Generate(n);
-    for (ModelKind kind : kinds) {
-      if (kind == ModelKind::kIsomer && !IsomerFeasible(n)) {
-        EvalCell skipped;
-        skipped.model = ModelKindName(kind);
-        skipped.train_size = n;
-        skipped.ok = false;
-        skipped.status_message = "skipped: beyond ISOMER's feasible size";
-        cells.push_back(std::move(skipped));
-        continue;
-      }
-      auto model = MakeModel(kind, prep.data.dim(), n, factory);
-      cells.push_back(TrainAndEvaluate(model.get(), train, test, q_floor));
-    }
+  const std::vector<Workload> trains =
+      GenerateTrainWorkloads(prep, wopts, sizes);
+
+  struct CellSpec {
+    size_t size_index;
+    ModelKind kind;
+  };
+  std::vector<CellSpec> specs;
+  specs.reserve(sizes.size() * kinds.size());
+  for (size_t s = 0; s < sizes.size(); ++s) {
+    for (ModelKind kind : kinds) specs.push_back(CellSpec{s, kind});
   }
+
+  std::vector<EvalCell> cells(specs.size());
+  ParallelFor(0, static_cast<int64_t>(specs.size()), 1, [&](int64_t c) {
+    const size_t n = sizes[specs[c].size_index];
+    const ModelKind kind = specs[c].kind;
+    if (kind == ModelKind::kIsomer && !IsomerFeasible(n)) {
+      cells[c].model = ModelKindName(kind);
+      cells[c].train_size = n;
+      cells[c].ok = false;
+      cells[c].status_message = "skipped: beyond ISOMER's feasible size";
+      return;
+    }
+    auto model = MakeModel(kind, prep.data.dim(), n, factory);
+    cells[c] = TrainAndEvaluate(model.get(), trains[specs[c].size_index],
+                                test, q_floor);
+  });
   return cells;
 }
 
@@ -144,31 +171,50 @@ inline void RunQErrorGroup(const PreparedData& prep,
   Workload test = test_gen.Generate(nonempty_only ? 2 * test_size
                                                   : test_size);
   if (nonempty_only) test = FilterNonEmpty(test);
-  for (size_t n : sizes) {
-    WorkloadOptions train_opts = wopts;
-    train_opts.seed = wopts.seed + n;
-    WorkloadGenerator train_gen(&prep.data, prep.index.get(), train_opts);
-    const Workload train = train_gen.Generate(n);
+  const std::vector<Workload> trains =
+      GenerateTrainWorkloads(prep, wopts, sizes);
+
+  // Score all cells in parallel into per-cell slots, then emit the table
+  // and CSV rows serially in the fixed sweep order.
+  struct CellSpec {
+    size_t size_index;
+    ModelKind kind;
+    bool skipped;
+  };
+  std::vector<CellSpec> specs;
+  for (size_t s = 0; s < sizes.size(); ++s) {
     for (ModelKind kind : kinds) {
-      if (kind == ModelKind::kIsomer && !IsomerFeasible(n)) {
-        t->AddRow({group, std::to_string(n), ModelKindName(kind), "-", "-",
-                   "-", "-"});
-        continue;
-      }
-      auto model = MakeModel(kind, prep.data.dim(), n);
-      const EvalCell c =
-          TrainAndEvaluate(model.get(), train, test, QFloor(prep));
-      SEL_CHECK_MSG(c.ok, "%s", c.status_message.c_str());
-      t->AddRow({group, std::to_string(n), c.model,
-                 FormatDouble(c.errors.q50, 3),
-                 FormatDouble(c.errors.q95, 3),
-                 FormatDouble(c.errors.q99, 3),
-                 FormatDouble(c.errors.qmax, 3)});
-      csv->WriteRow(std::vector<std::string>{
-          group, std::to_string(n), c.model, FormatDouble(c.errors.q50),
-          FormatDouble(c.errors.q95), FormatDouble(c.errors.q99),
-          FormatDouble(c.errors.qmax)});
+      specs.push_back(CellSpec{
+          s, kind, kind == ModelKind::kIsomer && !IsomerFeasible(sizes[s])});
     }
+  }
+  std::vector<EvalCell> cells(specs.size());
+  ParallelFor(0, static_cast<int64_t>(specs.size()), 1, [&](int64_t c) {
+    if (specs[c].skipped) return;
+    const size_t n = sizes[specs[c].size_index];
+    auto model = MakeModel(specs[c].kind, prep.data.dim(), n);
+    cells[c] = TrainAndEvaluate(model.get(), trains[specs[c].size_index],
+                                test, QFloor(prep));
+  });
+
+  for (size_t i = 0; i < specs.size(); ++i) {
+    const size_t n = sizes[specs[i].size_index];
+    if (specs[i].skipped) {
+      t->AddRow({group, std::to_string(n), ModelKindName(specs[i].kind),
+                 "-", "-", "-", "-"});
+      continue;
+    }
+    const EvalCell& c = cells[i];
+    SEL_CHECK_MSG(c.ok, "%s", c.status_message.c_str());
+    t->AddRow({group, std::to_string(n), c.model,
+               FormatDouble(c.errors.q50, 3),
+               FormatDouble(c.errors.q95, 3),
+               FormatDouble(c.errors.q99, 3),
+               FormatDouble(c.errors.qmax, 3)});
+    csv->WriteRow(std::vector<std::string>{
+        group, std::to_string(n), c.model, FormatDouble(c.errors.q50),
+        FormatDouble(c.errors.q95), FormatDouble(c.errors.q99),
+        FormatDouble(c.errors.qmax)});
   }
 }
 

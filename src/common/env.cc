@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdlib>
+#include <thread>
 
 namespace sel {
 
@@ -31,6 +32,13 @@ long GetEnvInt(const std::string& name, long def) {
 double ReproScale() {
   const double s = GetEnvDouble("REPRO_SCALE", 0.25);
   return std::clamp(s, 0.01, 4.0);
+}
+
+int SelThreads() {
+  const long v = GetEnvInt("SEL_THREADS", 0);
+  if (v >= 1) return static_cast<int>(std::min<long>(v, 256));
+  const unsigned hc = std::thread::hardware_concurrency();
+  return hc == 0 ? 1 : static_cast<int>(std::min(hc, 256u));
 }
 
 }  // namespace sel

@@ -22,6 +22,13 @@ long GetEnvInt(const std::string& name, long def);
 /// the paper's sizes. Clamped to [0.01, 4].
 double ReproScale();
 
+/// Worker count for the shared thread pool, from SEL_THREADS.
+///
+/// Unset or <= 0 means hardware concurrency; 1 forces the exact legacy
+/// serial code path everywhere. Clamped to [1, 256]. Read once at shared-
+/// pool creation (ThreadPool::Shared), so set it before first use.
+int SelThreads();
+
 }  // namespace sel
 
 #endif  // SEL_COMMON_ENV_H_

@@ -139,6 +139,11 @@ class HaltonSequence {
   /// Fills `out` (size dim) with the next point; starts at index 1.
   void Next(double* out);
 
+  /// Repositions so the next Next() yields point number `count` + 1 —
+  /// i.e. skips the first `count` points. Lets parallel QMC workers each
+  /// generate a disjoint, position-exact slice of the one global stream.
+  void SeekTo(uint64_t count) { index_ = count; }
+
   int dim() const { return static_cast<int>(bases_.size()); }
 
  private:

@@ -1,0 +1,162 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+
+#include "common/check.h"
+#include "common/env.h"
+
+namespace sel {
+
+namespace {
+
+// True while the current thread is executing a ParallelFor task, so a
+// nested ParallelFor degrades to inline execution instead of blocking a
+// pool worker on work that may be queued behind it.
+thread_local bool tl_in_parallel_task = false;
+
+// Per-thread DefaultPool() override installed by ScopedPoolOverride.
+thread_local ThreadPool* tl_pool_override = nullptr;
+
+}  // namespace
+
+ThreadPool::ThreadPool(int num_threads) {
+  SEL_CHECK_MSG(num_threads >= 1, "ThreadPool needs >= 1 thread, got %d",
+                num_threads);
+  workers_.reserve(num_threads);
+  for (int i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerMain(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::WorkerMain() {
+  for (;;) {
+    std::packaged_task<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ set and queue drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();  // packaged_task captures exceptions into its future
+  }
+}
+
+std::future<void> ThreadPool::Submit(std::function<void()> fn) {
+  std::packaged_task<void()> task(std::move(fn));
+  std::future<void> future = task.get_future();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    SEL_CHECK_MSG(!stop_, "ThreadPool::Submit after shutdown");
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+  return future;
+}
+
+ThreadPool& ThreadPool::Shared() {
+  static ThreadPool* pool = new ThreadPool(SelThreads());
+  return *pool;
+}
+
+ThreadPool* DefaultPool() {
+  return tl_pool_override != nullptr ? tl_pool_override
+                                     : &ThreadPool::Shared();
+}
+
+ScopedPoolOverride::ScopedPoolOverride(ThreadPool* pool)
+    : prev_(tl_pool_override) {
+  tl_pool_override = pool;
+}
+
+ScopedPoolOverride::~ScopedPoolOverride() { tl_pool_override = prev_; }
+
+namespace internal {
+
+namespace {
+
+// State shared by the caller and the helper tasks of one ParallelFor.
+struct ParallelForState {
+  std::atomic<int64_t> next{0};  // first unclaimed index
+  int64_t end = 0;
+  int64_t grain = 1;
+  const std::function<void(int64_t, int64_t)>* chunk = nullptr;
+  std::atomic<bool> cancel{false};
+
+  std::mutex mu;
+  std::exception_ptr error;  // first exception, rethrown by the caller
+};
+
+// Claims grain-sized chunks until the range (or the run, on error) is
+// exhausted. Never blocks, so pool workers running this always progress.
+void RunChunks(ParallelForState* state) {
+  for (;;) {
+    if (state->cancel.load(std::memory_order_relaxed)) return;
+    const int64_t begin =
+        state->next.fetch_add(state->grain, std::memory_order_relaxed);
+    if (begin >= state->end) return;
+    const int64_t end = std::min(state->end, begin + state->grain);
+    try {
+      (*state->chunk)(begin, end);
+    } catch (...) {
+      state->cancel.store(true, std::memory_order_relaxed);
+      std::lock_guard<std::mutex> lock(state->mu);
+      if (!state->error) state->error = std::current_exception();
+    }
+  }
+}
+
+}  // namespace
+
+void ParallelForChunks(ThreadPool* pool, int64_t begin, int64_t end,
+                       int64_t grain,
+                       const std::function<void(int64_t, int64_t)>& chunk) {
+  if (end <= begin) return;
+  grain = std::max<int64_t>(grain, 1);
+  if (pool == nullptr) pool = DefaultPool();
+  const int64_t num_chunks = (end - begin + grain - 1) / grain;
+  if (pool->size() <= 1 || num_chunks <= 1 || tl_in_parallel_task) {
+    chunk(begin, end);  // exact serial reference path
+    return;
+  }
+
+  ParallelForState state;
+  state.next.store(begin, std::memory_order_relaxed);
+  state.end = end;
+  state.grain = grain;
+  state.chunk = &chunk;
+
+  // The caller participates too, so at most num_chunks - 1 helpers are
+  // ever useful. `state` outlives the helpers: the caller blocks on every
+  // helper's future before returning.
+  const int helpers =
+      static_cast<int>(std::min<int64_t>(pool->size(), num_chunks - 1));
+  std::vector<std::future<void>> done;
+  done.reserve(helpers);
+  for (int h = 0; h < helpers; ++h) {
+    done.push_back(pool->Submit([&state] {
+      tl_in_parallel_task = true;
+      RunChunks(&state);
+      tl_in_parallel_task = false;
+    }));
+  }
+
+  RunChunks(&state);
+  for (auto& f : done) f.wait();
+  if (state.error) std::rethrow_exception(state.error);
+}
+
+}  // namespace internal
+
+}  // namespace sel

@@ -1,0 +1,114 @@
+// Shared concurrency substrate: a fixed-size thread pool and a
+// deterministic ParallelFor.
+//
+// Design rules (see DESIGN.md §7 "Threading model & determinism"):
+//   * Parallelism never changes results. Workers write into preallocated
+//     per-index slots; any randomness must be seeded from the item index,
+//     never from scheduling order.
+//   * ParallelFor called from inside a pool task runs its range inline on
+//     the calling worker, so nesting cannot deadlock and the pool never
+//     blocks on its own queue.
+//   * SEL_THREADS=1 (or a 1-thread pool) takes the exact legacy serial
+//     code path.
+#ifndef SEL_COMMON_THREAD_POOL_H_
+#define SEL_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace sel {
+
+/// Fixed-size pool of worker threads consuming a FIFO task queue.
+/// Destruction drains already-queued tasks, then joins the workers.
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` (>= 1) workers.
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Number of worker threads.
+  int size() const { return static_cast<int>(workers_.size()); }
+
+  /// Enqueues `fn`; the future resolves when it finishes and rethrows
+  /// anything it threw.
+  std::future<void> Submit(std::function<void()> fn);
+
+  /// Process-wide pool sized by SEL_THREADS (see SelThreads()). Created
+  /// on first use and intentionally never destroyed, so tasks running at
+  /// static-destruction time cannot race a pool teardown.
+  static ThreadPool& Shared();
+
+ private:
+  void WorkerMain();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::packaged_task<void()>> queue_;
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+/// The pool ParallelFor uses when none is passed explicitly: the active
+/// ScopedPoolOverride if any, otherwise ThreadPool::Shared().
+ThreadPool* DefaultPool();
+
+/// Rebinds DefaultPool() on this thread for the scope's lifetime. Lets
+/// tests and benchmarks compare thread counts inside one process without
+/// touching the SEL_THREADS environment.
+class ScopedPoolOverride {
+ public:
+  explicit ScopedPoolOverride(ThreadPool* pool);
+  ~ScopedPoolOverride();
+
+  ScopedPoolOverride(const ScopedPoolOverride&) = delete;
+  ScopedPoolOverride& operator=(const ScopedPoolOverride&) = delete;
+
+ private:
+  ThreadPool* prev_;
+};
+
+namespace internal {
+
+/// Core of ParallelFor: splits [begin, end) into grain-sized chunks,
+/// runs them on `pool` (nullptr = DefaultPool()) plus the calling thread,
+/// and rethrows the first exception after all workers stop. Runs the
+/// whole range inline when the pool has one thread, the range fits in a
+/// single chunk, or the caller is itself a pool task.
+void ParallelForChunks(ThreadPool* pool, int64_t begin, int64_t end,
+                       int64_t grain,
+                       const std::function<void(int64_t, int64_t)>& chunk);
+
+}  // namespace internal
+
+/// Runs fn(i) for every i in [begin, end) on `pool`, blocking until done.
+/// `grain` is the number of consecutive indices one worker claims at a
+/// time; chunk boundaries are fixed by `grain` alone, so outputs written
+/// to per-index slots are identical for every pool size.
+template <typename Fn>
+void ParallelFor(ThreadPool* pool, int64_t begin, int64_t end, int64_t grain,
+                 Fn&& fn) {
+  internal::ParallelForChunks(
+      pool, begin, end, grain, [&fn](int64_t chunk_begin, int64_t chunk_end) {
+        for (int64_t i = chunk_begin; i < chunk_end; ++i) fn(i);
+      });
+}
+
+/// ParallelFor on DefaultPool().
+template <typename Fn>
+void ParallelFor(int64_t begin, int64_t end, int64_t grain, Fn&& fn) {
+  ParallelFor(nullptr, begin, end, grain, std::forward<Fn>(fn));
+}
+
+}  // namespace sel
+
+#endif  // SEL_COMMON_THREAD_POOL_H_

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/check.h"
+#include "common/thread_pool.h"
 
 namespace sel {
 
@@ -10,8 +11,11 @@ SparseMatrix BuildBoxFractionMatrix(const Workload& workload,
                                     const std::vector<Box>& buckets,
                                     const VolumeOptions& volume_options,
                                     double drop_tolerance) {
+  // Row-parallel: row i only touches rows[i], and QueryBoxFraction is
+  // deterministic (exact or seeded QMC), so the matrix is identical for
+  // any thread count.
   std::vector<std::vector<std::pair<int, double>>> rows(workload.size());
-  for (size_t i = 0; i < workload.size(); ++i) {
+  ParallelFor(0, static_cast<int64_t>(workload.size()), 1, [&](int64_t i) {
     const Query& q = workload[i].query;
     for (size_t j = 0; j < buckets.size(); ++j) {
       if (q.DisjointFromBox(buckets[j])) continue;
@@ -20,21 +24,23 @@ SparseMatrix BuildBoxFractionMatrix(const Workload& workload,
         rows[i].emplace_back(static_cast<int>(j), f);
       }
     }
-  }
+  });
   return SparseMatrix::FromRows(static_cast<int>(buckets.size()), rows);
 }
 
 SparseMatrix BuildPointIndicatorMatrix(const Workload& workload,
                                        const std::vector<Point>& buckets) {
+  // Indicator rows are cheap; a coarser grain keeps scheduling overhead
+  // below the per-row work without changing the (per-slot) output.
   std::vector<std::vector<std::pair<int, double>>> rows(workload.size());
-  for (size_t i = 0; i < workload.size(); ++i) {
+  ParallelFor(0, static_cast<int64_t>(workload.size()), 16, [&](int64_t i) {
     const Query& q = workload[i].query;
     for (size_t j = 0; j < buckets.size(); ++j) {
       if (q.Contains(buckets[j])) {
         rows[i].emplace_back(static_cast<int>(j), 1.0);
       }
     }
-  }
+  });
   return SparseMatrix::FromRows(static_cast<int>(buckets.size()), rows);
 }
 

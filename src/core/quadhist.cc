@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/check.h"
+#include "common/thread_pool.h"
 #include "common/timer.h"
 
 namespace sel {
@@ -120,10 +121,12 @@ Status QuadHist::Train(const Workload& workload) {
   SEL_CHECK(static_cast<size_t>(next) == num_leaves_);
 
   // ---- Weight estimation (Eq. 8 / §4.6). ----
+  // The tree is frozen after refinement, so row collection is a read-only
+  // traversal and parallelizes row-per-slot like BuildBoxFractionMatrix.
   std::vector<std::vector<std::pair<int, double>>> rows(workload.size());
-  for (size_t i = 0; i < workload.size(); ++i) {
+  ParallelFor(0, static_cast<int64_t>(workload.size()), 1, [&](int64_t i) {
     CollectRow(0, workload[i].query, &rows[i], leaf_index);
-  }
+  });
   const SparseMatrix a =
       SparseMatrix::FromRows(static_cast<int>(num_leaves_), rows);
   const Vector s = SelectivitiesOf(workload);

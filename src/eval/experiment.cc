@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/env.h"
+#include "common/timer.h"
 
 namespace sel {
 
@@ -66,7 +67,9 @@ EvalCell TrainAndEvaluate(SelectivityModel* model, const Workload& train,
   cell.buckets = model->NumBuckets();
   cell.train_seconds = model->train_stats().train_seconds;
   cell.train_loss = model->train_stats().train_loss;
+  WallTimer eval_timer;
   cell.errors = EvaluateModel(*model, test, q_floor);
+  cell.eval_seconds = eval_timer.Seconds();
   return cell;
 }
 

@@ -46,6 +46,7 @@ struct EvalCell {
   size_t train_size = 0;
   size_t buckets = 0;
   double train_seconds = 0.0;
+  double eval_seconds = 0.0;   ///< wall-clock of the batched test scoring
   double train_loss = 0.0;
   ErrorReport errors;
   bool ok = false;             ///< false if training failed

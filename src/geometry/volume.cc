@@ -6,6 +6,7 @@
 
 #include "common/check.h"
 #include "common/rng.h"
+#include "common/thread_pool.h"
 
 namespace sel {
 
@@ -82,23 +83,37 @@ double LowerHalfspaceBoxVolume(const Box& box, const Point& a, double t) {
 }
 
 // Deterministic QMC estimate of vol(box ∩ predicate) using Halton points.
+//
+// The sample range is split into fixed 1024-point slices, each evaluated
+// against the same global Halton stream via SeekTo, so the per-slice hit
+// counts — and their integer sum — are identical for any thread count.
 template <typename ContainsFn>
 double QmcVolume(const Box& box, int samples, ContainsFn&& contains) {
   const double box_vol = box.Volume();
   if (box_vol == 0.0) return 0.0;
   const int d = box.dim();
-  HaltonSequence halton(d);
-  std::vector<double> u(d);
-  Point p(d);
-  long hits = 0;
-  for (int i = 0; i < samples; ++i) {
-    halton.Next(u.data());
-    for (int j = 0; j < d; ++j) {
-      p[j] = box.lo(j) + u[j] * box.width(j);
+  constexpr int64_t kSlice = 1024;
+  const int64_t num_slices = (samples + kSlice - 1) / kSlice;
+  std::vector<long> hits(num_slices, 0);
+  ParallelFor(0, num_slices, 1, [&](int64_t s) {
+    HaltonSequence halton(d);
+    halton.SeekTo(static_cast<uint64_t>(s * kSlice));
+    std::vector<double> u(d);
+    Point p(d);
+    long h = 0;
+    const int64_t end = std::min<int64_t>(samples, (s + 1) * kSlice);
+    for (int64_t i = s * kSlice; i < end; ++i) {
+      halton.Next(u.data());
+      for (int j = 0; j < d; ++j) {
+        p[j] = box.lo(j) + u[j] * box.width(j);
+      }
+      if (contains(p)) ++h;
     }
-    if (contains(p)) ++hits;
-  }
-  return box_vol * static_cast<double>(hits) / samples;
+    hits[s] = h;
+  });
+  long total = 0;
+  for (long h : hits) total += h;
+  return box_vol * static_cast<double>(total) / samples;
 }
 
 // Antiderivative of sqrt(r^2 - x^2):

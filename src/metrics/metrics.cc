@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/check.h"
+#include "common/thread_pool.h"
 
 namespace sel {
 
@@ -51,15 +52,21 @@ ErrorReport ComputeErrors(const std::vector<double>& estimates,
   return r;
 }
 
+std::vector<double> EstimateBatch(const SelectivityModel& model,
+                                  const Workload& queries) {
+  std::vector<double> est(queries.size());
+  ParallelFor(0, static_cast<int64_t>(queries.size()), 4, [&](int64_t i) {
+    est[i] = model.Estimate(queries[i].query);
+  });
+  return est;
+}
+
 ErrorReport EvaluateModel(const SelectivityModel& model,
                           const Workload& test, double q_floor) {
-  std::vector<double> est, truth;
-  est.reserve(test.size());
+  const std::vector<double> est = EstimateBatch(model, test);
+  std::vector<double> truth;
   truth.reserve(test.size());
-  for (const auto& z : test) {
-    est.push_back(model.Estimate(z.query));
-    truth.push_back(z.selectivity);
-  }
+  for (const auto& z : test) truth.push_back(z.selectivity);
   return ComputeErrors(est, truth, q_floor);
 }
 

@@ -32,6 +32,12 @@ ErrorReport ComputeErrors(const std::vector<double>& estimates,
                           const std::vector<double>& truths,
                           double q_floor = 1e-9);
 
+/// Batched prediction: estimates[i] = model.Estimate(queries[i].query),
+/// computed in parallel on the shared pool (Estimate is const and
+/// side-effect free for every model in the library).
+std::vector<double> EstimateBatch(const SelectivityModel& model,
+                                  const Workload& queries);
+
 /// Runs `model` on the test workload and scores it. `q_floor` defaults to
 /// one-tuple resolution when the dataset size is supplied.
 ErrorReport EvaluateModel(const SelectivityModel& model,

@@ -29,6 +29,7 @@
 #include "common/rng.h"
 #include "common/status.h"
 #include "common/string_util.h"
+#include "common/thread_pool.h"
 #include "common/timer.h"
 #include "common/normal.h"
 #include "core/arrangement.h"

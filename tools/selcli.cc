@@ -172,12 +172,15 @@ int Evaluate(int argc, char** argv) {
   if (!workload.ok()) return Fail(workload.status());
   // Q-error floor of 1e-6: the workload CSV does not carry the dataset
   // size, so "one in a million tuples" stands in for one-tuple resolution.
+  WallTimer timer;
   const ErrorReport r =
       EvaluateModel(*model.value(), workload.value(), 1e-6);
-  std::printf("queries: %zu\nrms: %.6f\nmae: %.6f\nlinf: %.6f\n"
+  const double seconds = timer.Seconds();
+  std::printf("queries: %zu\nthreads: %d\neval_seconds: %.4f\n"
+              "rms: %.6f\nmae: %.6f\nlinf: %.6f\n"
               "q50: %.3f\nq95: %.3f\nq99: %.3f\nqmax: %.3f\n",
-              r.num_queries, r.rms, r.mae, r.linf, r.q50, r.q95, r.q99,
-              r.qmax);
+              r.num_queries, DefaultPool()->size(), seconds, r.rms, r.mae,
+              r.linf, r.q50, r.q95, r.q99, r.qmax);
   return 0;
 }
 
