@@ -29,9 +29,10 @@ int main() {
   csv.WriteRow(
       std::vector<std::string>{"interior_fraction", "rms", "q99", "qmax"});
   for (double frac : {0.0, 0.25, 0.5, 0.75, 0.9, 1.0}) {
-    PtsHistOptions po;
-    po.interior_fraction = frac;
-    PtsHist model(prep.data.dim(), po);
+    auto built = EstimatorRegistry::Build(
+        "ptshist:interior=" + FormatDouble(frac), prep.data.dim(), n);
+    SEL_CHECK_MSG(built.ok(), "%s", built.status().ToString().c_str());
+    auto& model = *built.value();
     SEL_CHECK(model.Train(train).ok());
     const ErrorReport r = EvaluateModel(model, test, QFloor(prep));
     t.AddRow({FormatDouble(frac, 2), FormatDouble(r.rms, 5),

@@ -32,18 +32,15 @@ int main() {
     train_opts.seed = wopts.seed + n;
     WorkloadGenerator train_gen(&prep.data, prep.index.get(), train_opts);
     const Workload train = train_gen.Generate(n);
-    for (auto method : {SimplexLsqOptions::Method::kProjectedGradient,
-                        SimplexLsqOptions::Method::kNnls}) {
-      QuadHistOptions qo;
-      qo.tau = 0.002;
-      qo.max_leaves = 4 * n;
-      qo.solver.method = method;
-      QuadHist model(prep.data.dim(), qo);
+    for (const char* solver : {"pg", "nnls"}) {
+      auto built = EstimatorRegistry::Build(
+          std::string("quadhist:tau=0.002,solver=") + solver,
+          prep.data.dim(), n);
+      SEL_CHECK_MSG(built.ok(), "%s", built.status().ToString().c_str());
+      auto& model = *built.value();
       SEL_CHECK(model.Train(train).ok());
       const char* name =
-          method == SimplexLsqOptions::Method::kProjectedGradient
-              ? "proj-gradient"
-              : "nnls";
+          std::string(solver) == "pg" ? "proj-gradient" : "nnls";
       const ErrorReport r = EvaluateModel(model, test, QFloor(prep));
       t.AddRow({name, std::to_string(n), std::to_string(model.NumBuckets()),
                 FormatDouble(model.train_stats().train_loss, 8),

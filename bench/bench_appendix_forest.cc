@@ -12,9 +12,8 @@ int main() {
          prep, banner);
 
   const std::vector<size_t> sizes = ScaledSizes({50, 200, 500, 1000, 2000});
-  const std::vector<ModelKind> kinds = {
-      ModelKind::kIsomer, ModelKind::kQuickSel, ModelKind::kQuadHist,
-      ModelKind::kPtsHist};
+  const std::vector<std::string> kinds = {"isomer", "quicksel", "quadhist",
+                                          "ptshist"};
   const size_t test_size = ScaledCount(1000, 200);
 
   const struct {

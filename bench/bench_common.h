@@ -67,15 +67,41 @@ inline std::vector<Workload> GenerateTrainWorkloads(
   return trains;
 }
 
-/// Runs every (train size x model) cell of a sweep: fresh train/test
+/// Parses estimator spec strings against the registry, aborting loudly
+/// on typos (bench spec tables are compile-time constants, so a bad
+/// spec is a programmer error, not runtime input).
+inline std::vector<EstimatorSpec> ParseEstimatorSpecs(
+    const std::vector<std::string>& estimators) {
+  std::vector<EstimatorSpec> parsed;
+  parsed.reserve(estimators.size());
+  for (const std::string& s : estimators) {
+    auto spec = EstimatorSpec::Parse(s);
+    SEL_CHECK_MSG(spec.ok(), "%s", spec.status().ToString().c_str());
+    SEL_CHECK_MSG(
+        EstimatorRegistry::Global().Find(spec.value().name) != nullptr,
+        "%s", EstimatorRegistry::Global()
+                  .UnknownEstimatorError(spec.value().name)
+                  .ToString()
+                  .c_str());
+    parsed.push_back(std::move(spec).value());
+  }
+  return parsed;
+}
+
+/// Display name ("QuadHist") of a parsed spec, from its registry entry.
+inline std::string SpecDisplayName(const EstimatorSpec& spec) {
+  return EstimatorRegistry::Global().Find(spec.name)->display_name;
+}
+
+/// Runs every (train size x estimator) cell of a sweep: fresh train/test
 /// workloads per size (train seed varies per size; test fixed), skipping
 /// ISOMER past its feasibility cutoff exactly as the paper does. Cells
 /// fan out across the shared pool and land in preallocated slots, so the
 /// output order (and every cell) is independent of the thread count.
 inline std::vector<EvalCell> RunSweep(
     const PreparedData& prep, const WorkloadOptions& wopts,
-    const std::vector<size_t>& sizes, const std::vector<ModelKind>& kinds,
-    size_t test_size, const ModelFactoryOptions& factory = {}) {
+    const std::vector<size_t>& sizes,
+    const std::vector<std::string>& estimators, size_t test_size) {
   WorkloadOptions test_opts = wopts;
   test_opts.seed = wopts.seed + 9999;
   WorkloadGenerator test_gen(&prep.data, prep.index.get(), test_opts);
@@ -83,31 +109,35 @@ inline std::vector<EvalCell> RunSweep(
   const double q_floor = QFloor(prep);
   const std::vector<Workload> trains =
       GenerateTrainWorkloads(prep, wopts, sizes);
+  const std::vector<EstimatorSpec> parsed = ParseEstimatorSpecs(estimators);
 
   struct CellSpec {
     size_t size_index;
-    ModelKind kind;
+    size_t spec_index;
   };
   std::vector<CellSpec> specs;
-  specs.reserve(sizes.size() * kinds.size());
+  specs.reserve(sizes.size() * parsed.size());
   for (size_t s = 0; s < sizes.size(); ++s) {
-    for (ModelKind kind : kinds) specs.push_back(CellSpec{s, kind});
+    for (size_t m = 0; m < parsed.size(); ++m) {
+      specs.push_back(CellSpec{s, m});
+    }
   }
 
   std::vector<EvalCell> cells(specs.size());
   ParallelFor(0, static_cast<int64_t>(specs.size()), 1, [&](int64_t c) {
     const size_t n = sizes[specs[c].size_index];
-    const ModelKind kind = specs[c].kind;
-    if (kind == ModelKind::kIsomer && !IsomerFeasible(n)) {
-      cells[c].model = ModelKindName(kind);
+    const EstimatorSpec& spec = parsed[specs[c].spec_index];
+    if (spec.name == "isomer" && !IsomerFeasible(n)) {
+      cells[c].model = SpecDisplayName(spec);
       cells[c].train_size = n;
       cells[c].ok = false;
       cells[c].status_message = "skipped: beyond ISOMER's feasible size";
       return;
     }
-    auto model = MakeModel(kind, prep.data.dim(), n, factory);
-    cells[c] = TrainAndEvaluate(model.get(), trains[specs[c].size_index],
-                                test, q_floor);
+    auto model = EstimatorRegistry::Build(spec, prep.data.dim(), n);
+    SEL_CHECK_MSG(model.ok(), "%s", model.status().ToString().c_str());
+    cells[c] = TrainAndEvaluate(model.value().get(),
+                                trains[specs[c].size_index], test, q_floor);
   });
   return cells;
 }
@@ -156,15 +186,14 @@ inline void WriteSweepCsv(const std::string& path,
 /// Runs one Q-error table group (one workload distribution, all sizes and
 /// methods) and appends rows "workload | train_n | model | q50..qmax" to
 /// `t` and `csv`. `nonempty_only` reproduces the Random-nonempty rows.
-inline void RunQErrorGroup(const PreparedData& prep,
-                           const WorkloadOptions& wopts,
-                           const std::string& group, bool nonempty_only,
-                           const std::vector<size_t>& sizes,
-                           size_t test_size, TablePrinter* t,
-                           CsvWriter* csv) {
-  const std::vector<ModelKind> kinds = {
-      ModelKind::kIsomer, ModelKind::kQuickSel, ModelKind::kQuadHist,
-      ModelKind::kPtsHist};
+inline void RunQErrorGroup(
+    const PreparedData& prep, const WorkloadOptions& wopts,
+    const std::string& group, bool nonempty_only,
+    const std::vector<size_t>& sizes, size_t test_size, TablePrinter* t,
+    CsvWriter* csv,
+    const std::vector<std::string>& estimators = {"isomer", "quicksel",
+                                                  "quadhist", "ptshist"}) {
+  const std::vector<EstimatorSpec> parsed = ParseEstimatorSpecs(estimators);
   WorkloadOptions test_opts = wopts;
   test_opts.seed = wopts.seed + 9999;
   WorkloadGenerator test_gen(&prep.data, prep.index.get(), test_opts);
@@ -178,30 +207,35 @@ inline void RunQErrorGroup(const PreparedData& prep,
   // and CSV rows serially in the fixed sweep order.
   struct CellSpec {
     size_t size_index;
-    ModelKind kind;
+    size_t spec_index;
     bool skipped;
   };
   std::vector<CellSpec> specs;
   for (size_t s = 0; s < sizes.size(); ++s) {
-    for (ModelKind kind : kinds) {
-      specs.push_back(CellSpec{
-          s, kind, kind == ModelKind::kIsomer && !IsomerFeasible(sizes[s])});
+    for (size_t m = 0; m < parsed.size(); ++m) {
+      specs.push_back(CellSpec{s, m,
+                               parsed[m].name == "isomer" &&
+                                   !IsomerFeasible(sizes[s])});
     }
   }
   std::vector<EvalCell> cells(specs.size());
   ParallelFor(0, static_cast<int64_t>(specs.size()), 1, [&](int64_t c) {
     if (specs[c].skipped) return;
     const size_t n = sizes[specs[c].size_index];
-    auto model = MakeModel(specs[c].kind, prep.data.dim(), n);
-    cells[c] = TrainAndEvaluate(model.get(), trains[specs[c].size_index],
-                                test, QFloor(prep));
+    auto model = EstimatorRegistry::Build(parsed[specs[c].spec_index],
+                                          prep.data.dim(), n);
+    SEL_CHECK_MSG(model.ok(), "%s", model.status().ToString().c_str());
+    cells[c] = TrainAndEvaluate(model.value().get(),
+                                trains[specs[c].size_index], test,
+                                QFloor(prep));
   });
 
   for (size_t i = 0; i < specs.size(); ++i) {
     const size_t n = sizes[specs[i].size_index];
     if (specs[i].skipped) {
-      t->AddRow({group, std::to_string(n), ModelKindName(specs[i].kind),
-                 "-", "-", "-", "-"});
+      t->AddRow({group, std::to_string(n),
+                 SpecDisplayName(parsed[specs[i].spec_index]), "-", "-", "-",
+                 "-"});
       continue;
     }
     const EvalCell& c = cells[i];

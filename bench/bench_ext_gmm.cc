@@ -26,11 +26,10 @@ void RunOn(const char* label, const PreparedData& prep, uint64_t seed,
     const Workload train = train_gen.Generate(n);
 
     std::vector<std::unique_ptr<SelectivityModel>> models;
-    models.push_back(MakeModel(ModelKind::kQuadHist, prep.data.dim(), n));
-    models.push_back(MakeModel(ModelKind::kPtsHist, prep.data.dim(), n));
-    {
-      GmmOptions go;
-      models.push_back(std::make_unique<GmmModel>(prep.data.dim(), go));
+    for (const char* kind : {"quadhist", "ptshist", "gmm"}) {
+      auto built = EstimatorRegistry::Build(kind, prep.data.dim(), n);
+      SEL_CHECK_MSG(built.ok(), "%s", built.status().ToString().c_str());
+      models.push_back(std::move(built).value());
     }
     for (auto& m : models) {
       const EvalCell c = TrainAndEvaluate(m.get(), train, test,

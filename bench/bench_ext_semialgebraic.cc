@@ -55,7 +55,9 @@ int main() {
       std::vector<Query> train_q;
       for (size_t i = 0; i < n; ++i) train_q.push_back(make_crescent());
       const Workload train = LabelQueries(train_q, *prep.index);
-      PtsHist model(2, PtsHistOptions{});
+      auto built = EstimatorRegistry::Build("ptshist", 2, n);
+      SEL_CHECK_MSG(built.ok(), "%s", built.status().ToString().c_str());
+      auto& model = *built.value();
       SEL_CHECK(model.Train(train).ok());
       const ErrorReport r = EvaluateModel(model, test, QFloor(prep));
       t.AddRow({"crescent (b=2,Δ=2)", std::to_string(n), "PtsHist",
@@ -93,7 +95,9 @@ int main() {
       std::vector<Query> train_q;
       for (size_t i = 0; i < n; ++i) train_q.push_back(make_query());
       const Workload train = LabelQueries(train_q, index);
-      PtsHist model(3, PtsHistOptions{});
+      auto built = EstimatorRegistry::Build("ptshist", 3, n);
+      SEL_CHECK_MSG(built.ok(), "%s", built.status().ToString().c_str());
+      auto& model = *built.value();
       SEL_CHECK(model.Train(train).ok());
       const ErrorReport r = EvaluateModel(model, test, q_floor);
       t.AddRow({"disc-intersection Σ●", std::to_string(n), "PtsHist",

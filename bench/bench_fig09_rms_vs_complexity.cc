@@ -31,10 +31,11 @@ int main() {
     WorkloadGenerator train_gen(&prep.data, prep.index.get(), train_opts);
     const Workload train = train_gen.Generate(n);
     for (double tau : taus) {
-      QuadHistOptions qo;
-      qo.tau = tau;
-      qo.max_leaves = 20000;
-      QuadHist model(prep.data.dim(), qo);
+      auto built = EstimatorRegistry::Build(
+          "quadhist:tau=" + FormatDouble(tau) + ",budget=20000",
+          prep.data.dim(), n);
+      SEL_CHECK_MSG(built.ok(), "%s", built.status().ToString().c_str());
+      auto& model = *built.value();
       SEL_CHECK(model.Train(train).ok());
       const ErrorReport r = EvaluateModel(model, test, QFloor(prep));
       t.AddRow({std::to_string(n), FormatDouble(tau),

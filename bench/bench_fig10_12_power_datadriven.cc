@@ -16,8 +16,7 @@ int main() {
 
   const auto cells = RunSweep(
       prep, wopts, ScaledSizes({50, 200, 500, 1000, 2000}),
-      {ModelKind::kIsomer, ModelKind::kQuickSel, ModelKind::kQuadHist,
-       ModelKind::kPtsHist},
+      {"isomer", "quicksel", "quadhist", "ptshist"},
       ScaledCount(1000, 200));
   PrintSweep(cells);
   WriteSweepCsv("bench_fig10_12_power_datadriven.csv", cells);

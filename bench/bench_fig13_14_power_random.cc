@@ -15,9 +15,8 @@ int main() {
          prep, wopts);
 
   const std::vector<size_t> sizes = ScaledSizes({50, 200, 500, 1000, 2000});
-  const std::vector<ModelKind> kinds = {
-      ModelKind::kIsomer, ModelKind::kQuickSel, ModelKind::kQuadHist,
-      ModelKind::kPtsHist};
+  const std::vector<std::string> kinds = {"isomer", "quicksel", "quadhist",
+                                          "ptshist"};
   const size_t test_size = ScaledCount(1000, 200);
 
   std::printf("--- Fig. 13: all test queries ---\n");
@@ -37,11 +36,12 @@ int main() {
     train_opts.seed = wopts.seed + n;
     WorkloadGenerator train_gen(&prep.data, prep.index.get(), train_opts);
     const Workload train = train_gen.Generate(n);
-    for (ModelKind kind : kinds) {
-      if (kind == ModelKind::kIsomer && !IsomerFeasible(n)) continue;
-      auto model = MakeModel(kind, prep.data.dim(), n);
+    for (const std::string& kind : kinds) {
+      if (kind == "isomer" && !IsomerFeasible(n)) continue;
+      auto model = EstimatorRegistry::Build(kind, prep.data.dim(), n);
+      SEL_CHECK_MSG(model.ok(), "%s", model.status().ToString().c_str());
       nonempty_cells.push_back(
-          TrainAndEvaluate(model.get(), train, test, QFloor(prep)));
+          TrainAndEvaluate(model.value().get(), train, test, QFloor(prep)));
     }
   }
   PrintSweep(nonempty_cells);

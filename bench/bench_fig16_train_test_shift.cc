@@ -51,8 +51,10 @@ int main() {
     o.seed = 1700 + j;
     WorkloadGenerator gen(&prep.data, prep.index.get(), o);
     const Workload train = gen.Generate(train_size);
-    auto model = MakeModel(ModelKind::kQuadHist, prep.data.dim(),
-                           train_size);
+    auto built = EstimatorRegistry::Build("quadhist", prep.data.dim(),
+                                          train_size);
+    SEL_CHECK_MSG(built.ok(), "%s", built.status().ToString().c_str());
+    auto& model = built.value();
     SEL_CHECK(model->Train(train).ok());
     for (size_t i = 0; i < means.size(); ++i) {
       grid[i][j] = EvaluateModel(*model, tests[i], QFloor(prep)).rms;

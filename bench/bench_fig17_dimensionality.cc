@@ -25,8 +25,7 @@ int main() {
     std::vector<int> attrs(d);
     for (int j = 0; j < d; ++j) attrs[j] = j;
     const PreparedData prep = Prepare("forest", 581000, attrs);
-    const auto cells = RunSweep(prep, wopts, sizes, {ModelKind::kPtsHist},
-                                test_size);
+    const auto cells = RunSweep(prep, wopts, sizes, {"ptshist"}, test_size);
     for (const auto& c : cells) {
       t.AddRow({std::to_string(d), std::to_string(c.train_size),
                 std::to_string(c.buckets), FormatDouble(c.errors.rms, 5),

@@ -28,8 +28,7 @@ int main() {
     const PreparedData prep = Prepare("forest", 581000, attrs);
     const auto cells =
         RunSweep(prep, wopts, {train_size},
-                 {ModelKind::kQuickSel, ModelKind::kQuadHist,
-                  ModelKind::kPtsHist},
+                 {"quicksel", "quadhist", "ptshist"},
                  test_size);
     for (const auto& c : cells) {
       t.AddRow({std::to_string(d), c.model, std::to_string(c.buckets),

@@ -27,8 +27,8 @@ int main() {
     std::vector<int> attrs(d);
     for (int j = 0; j < d; ++j) attrs[j] = j;
     const PreparedData prep = Prepare("forest", 581000, attrs);
-    std::vector<ModelKind> kinds = {ModelKind::kPtsHist};
-    if (d == 2) kinds.insert(kinds.begin(), ModelKind::kQuadHist);
+    std::vector<std::string> kinds = {"ptshist"};
+    if (d == 2) kinds.insert(kinds.begin(), "quadhist");
     const auto cells = RunSweep(prep, wopts, sizes, kinds, test_size);
     for (const auto& c : cells) {
       t.AddRow({std::to_string(d), c.model, std::to_string(c.train_size),

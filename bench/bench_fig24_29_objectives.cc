@@ -42,11 +42,13 @@ int main() {
   std::vector<Row> rows;
   for (double tau : taus) {
     for (TrainObjective obj : {TrainObjective::kL2, TrainObjective::kLinf}) {
-      QuadHistOptions qo;
-      qo.tau = tau;
-      qo.max_leaves = 1200;  // keep the LP tractable
-      qo.objective = obj;
-      QuadHist model(prep.data.dim(), qo);
+      // budget=1200 keeps the L∞ LP tractable.
+      auto built = EstimatorRegistry::Build(
+          "quadhist:tau=" + FormatDouble(tau) + ",budget=1200,objective=" +
+              (obj == TrainObjective::kLinf ? "linf" : "l2"),
+          prep.data.dim(), train_size);
+      SEL_CHECK_MSG(built.ok(), "%s", built.status().ToString().c_str());
+      auto& model = *built.value();
       SEL_CHECK(model.Train(train).ok());
       const ErrorReport tr = EvaluateModel(model, train, QFloor(prep));
       const ErrorReport te = EvaluateModel(model, test, QFloor(prep));

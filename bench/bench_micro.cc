@@ -121,11 +121,9 @@ void BM_QuadHistTrain(benchmark::State& state) {
   WorkloadGenerator gen(&data, &index, opts);
   const Workload train = gen.Generate(n);
   for (auto _ : state) {
-    QuadHistOptions qo;
-    qo.max_leaves = 4 * n;
-    qo.tau = 0.002;
-    QuadHist model(2, qo);
-    benchmark::DoNotOptimize(model.Train(train));
+    auto model = EstimatorRegistry::Build("quadhist:tau=0.002", 2, n);
+    SEL_CHECK(model.ok());
+    benchmark::DoNotOptimize(model.value()->Train(train));
   }
 }
 BENCHMARK(BM_QuadHistTrain)->Arg(50)->Arg(200);
@@ -137,10 +135,10 @@ void BM_QuadHistEstimate(benchmark::State& state) {
   opts.seed = 10;
   WorkloadGenerator gen(&data, &index, opts);
   const Workload train = gen.Generate(200);
-  QuadHistOptions qo;
-  qo.max_leaves = 800;
-  qo.tau = 0.002;
-  QuadHist model(2, qo);
+  auto built =
+      EstimatorRegistry::Build("quadhist:tau=0.002,budget=800", 2, 200);
+  SEL_CHECK(built.ok());
+  auto& model = *built.value();
   SEL_CHECK(model.Train(train).ok());
   const Workload test = gen.Generate(64);
   size_t i = 0;
@@ -157,7 +155,9 @@ void BM_PtsHistEstimate(benchmark::State& state) {
   opts.seed = 12;
   WorkloadGenerator gen(&data, &index, opts);
   const Workload train = gen.Generate(200);
-  PtsHist model(4, PtsHistOptions{});
+  auto built = EstimatorRegistry::Build("ptshist", 4, 200);
+  SEL_CHECK(built.ok());
+  auto& model = *built.value();
   SEL_CHECK(model.Train(train).ok());
   const Workload test = gen.Generate(64);
   size_t i = 0;

@@ -23,19 +23,24 @@ void RunOn(const char* label, const Dataset& data, uint64_t seed,
   const double q_floor = 1.0 / static_cast<double>(data.num_rows());
 
   {
-    AviHistogram avi(data, AviOptions{});
-    const ErrorReport r = EvaluateModel(avi, test, q_floor);
+    auto built = EstimatorRegistry::Build("avi", data.dim(), n);
+    SEL_CHECK_MSG(built.ok(), "%s", built.status().ToString().c_str());
+    auto* avi = dynamic_cast<AviHistogram*>(built.value().get());
+    SEL_CHECK(avi != nullptr);
+    SEL_CHECK(avi->FitFromData(data).ok());
+    const ErrorReport r = EvaluateModel(*avi, test, q_floor);
     t->AddRow({label, "AVI (data, independence)",
-               std::to_string(avi.NumBuckets()), FormatDouble(r.rms, 5),
+               std::to_string(avi->NumBuckets()), FormatDouble(r.rms, 5),
                FormatDouble(r.q99, 3)});
-    csv->WriteRow(std::vector<std::string>{label, "AVI",
-                                           std::to_string(avi.NumBuckets()),
-                                           FormatDouble(r.rms),
-                                           FormatDouble(r.q99)});
+    csv->WriteRow(std::vector<std::string>{
+        label, "AVI", std::to_string(avi->NumBuckets()),
+        FormatDouble(r.rms), FormatDouble(r.q99)});
   }
-  for (ModelKind kind : {ModelKind::kQuadHist, ModelKind::kPtsHist}) {
-    auto model = MakeModel(kind, data.dim(), n);
-    const EvalCell c = TrainAndEvaluate(model.get(), train, test, q_floor);
+  for (const char* kind : {"quadhist", "ptshist"}) {
+    auto built = EstimatorRegistry::Build(kind, data.dim(), n);
+    SEL_CHECK_MSG(built.ok(), "%s", built.status().ToString().c_str());
+    const EvalCell c =
+        TrainAndEvaluate(built.value().get(), train, test, q_floor);
     SEL_CHECK_MSG(c.ok, "%s", c.status_message.c_str());
     t->AddRow({label, c.model + " (workload)", std::to_string(c.buckets),
                FormatDouble(c.errors.rms, 5),

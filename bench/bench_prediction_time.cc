@@ -28,9 +28,10 @@ int main() {
     train_opts.seed = wopts.seed + n;
     WorkloadGenerator train_gen(&prep.data, prep.index.get(), train_opts);
     const Workload train = train_gen.Generate(n);
-    for (ModelKind kind : {ModelKind::kQuadHist, ModelKind::kPtsHist,
-                           ModelKind::kQuickSel}) {
-      auto model = MakeModel(kind, prep.data.dim(), n);
+    for (const char* kind : {"quadhist", "ptshist", "quicksel"}) {
+      auto built = EstimatorRegistry::Build(kind, prep.data.dim(), n);
+      SEL_CHECK_MSG(built.ok(), "%s", built.status().ToString().c_str());
+      auto& model = built.value();
       SEL_CHECK(model->Train(train).ok());
       WallTimer timer;
       double sink = 0.0;

@@ -19,21 +19,25 @@ int main() {
   for (double tau : {0.04, 0.02, 0.01, 0.005}) {
     for (double side : {0.8, 0.4, 0.2, 0.1}) {
       const double s = 0.5;
-      QuadHistOptions qo;
-      qo.tau = tau;
-      QuadHist model(2, qo);
+      // budget=none: unlimited leaves, so refinement cost is driven by
+      // tau alone (the Lemma A.2 setting).
+      auto built = EstimatorRegistry::Build(
+          "quadhist:tau=" + FormatDouble(tau) + ",budget=none", 2, 1);
+      SEL_CHECK_MSG(built.ok(), "%s", built.status().ToString().c_str());
+      auto* model = dynamic_cast<QuadHist*>(built.value().get());
+      SEL_CHECK(model != nullptr);
       Workload w;
       const double lo = 0.5 - side / 2, hi = 0.5 + side / 2;
       w.push_back({Box({lo, lo}, {hi, hi}), s});
-      SEL_CHECK(model.Train(w).ok());
+      SEL_CHECK(model->Train(w).ok());
       const double vol = side * side;
       const double bound =
           s / tau * std::max(1.0, std::log2(s / (tau * vol)));
       t.AddRow({FormatDouble(tau), FormatDouble(s), FormatDouble(vol, 4),
-                std::to_string(model.total_refine_visits()),
+                std::to_string(model->total_refine_visits()),
                 FormatDouble(bound, 1)});
       csv.WriteRow(std::vector<double>{
-          tau, s, vol, static_cast<double>(model.total_refine_visits()),
+          tau, s, vol, static_cast<double>(model->total_refine_visits()),
           bound});
     }
   }

@@ -5,13 +5,35 @@
 
 #include "common/check.h"
 #include "common/rng.h"
+#include "core/estimator_registry.h"
 
 namespace sel {
 
 AviHistogram::AviHistogram(const Dataset& data, const AviOptions& options)
-    : dim_(data.dim()), options_(options) {
+    : AviHistogram(data.dim(), options) {
+  const Status st = FitFromData(data);
+  SEL_CHECK_MSG(st.ok(), "%s", st.ToString().c_str());
+}
+
+AviHistogram::AviHistogram(int dim, const AviOptions& options)
+    : dim_(dim), options_(options) {
+  SEL_CHECK(dim >= 1);
   SEL_CHECK(options_.bins_per_dim >= 1);
-  SEL_CHECK(data.num_rows() > 0);
+  marginals_.assign(dim_,
+                    std::vector<double>(options_.bins_per_dim,
+                                        1.0 / options_.bins_per_dim));
+}
+
+Status AviHistogram::FitFromData(const Dataset& data) {
+  if (data.dim() != dim_) {
+    return Status::InvalidArgument("AviHistogram: dataset dimension " +
+                                   std::to_string(data.dim()) +
+                                   " != model dimension " +
+                                   std::to_string(dim_));
+  }
+  if (data.num_rows() == 0) {
+    return Status::InvalidArgument("AviHistogram: empty dataset");
+  }
   marginals_.assign(dim_,
                     std::vector<double>(options_.bins_per_dim, 0.0));
   const double inv_n = 1.0 / static_cast<double>(data.num_rows());
@@ -22,6 +44,7 @@ AviHistogram::AviHistogram(const Dataset& data, const AviOptions& options)
       marginals_[j][bin] += inv_n;
     }
   }
+  return Status::OK();
 }
 
 Status AviHistogram::Train(const Workload&) {
@@ -91,5 +114,36 @@ double AviHistogram::Estimate(const Query& query) const {
   }
   return static_cast<double>(hits) / options_.qmc_samples;
 }
+
+namespace {
+
+Result<std::unique_ptr<SelectivityModel>> BuildAvi(
+    int dim, size_t train_size, const EstimatorSpec& spec) {
+  (void)train_size;
+  SpecOptionReader reader(spec);
+  // AVI is data-driven: the registry builds it in the no-statistics
+  // (uniform-marginal) state; callers install statistics through
+  // FitFromData. The workload budget/objective/seed universals do not
+  // apply.
+  AviOptions o;
+  o.bins_per_dim = reader.GetInt("bins", o.bins_per_dim);
+  o.qmc_samples = reader.GetInt("qmc", o.qmc_samples);
+  const Status st = reader.Finish();
+  if (!st.ok()) return st;
+  if (o.bins_per_dim < 1) {
+    return Status::InvalidArgument(
+        "estimator spec 'avi': option 'bins' must be >= 1");
+  }
+  return std::unique_ptr<SelectivityModel>(new AviHistogram(dim, o));
+}
+
+}  // namespace
+
+SEL_REGISTER_ESTIMATOR(
+    "avi",
+    .display_name = "AVI",
+    .paper_section = "§1 motivation",
+    .options_summary = "bins=<k> (64), qmc=<k> (4096)",
+    .build = BuildAvi)
 
 }  // namespace sel

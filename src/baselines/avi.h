@@ -34,6 +34,13 @@ class AviHistogram : public SelectivityModel {
   /// Builds the marginal histograms directly from `data`.
   AviHistogram(const Dataset& data, const AviOptions& options);
 
+  /// Builds with uniform marginals (the optimizer's no-statistics
+  /// state); call FitFromData to install real statistics.
+  AviHistogram(int dim, const AviOptions& options);
+
+  /// Recomputes the marginal histograms from a dataset scan (ANALYZE).
+  Status FitFromData(const Dataset& data);
+
   /// Unsupported: AVI is data-driven, not workload-driven. Returns an
   /// error to keep the two training regimes from being confused.
   Status Train(const Workload& workload) override;

@@ -5,6 +5,7 @@
 
 #include "common/check.h"
 #include "common/timer.h"
+#include "core/estimator_registry.h"
 
 namespace sel {
 
@@ -235,5 +236,30 @@ double Isomer::Estimate(const Query& query) const {
   }
   return std::clamp(s, 0.0, 1.0);
 }
+
+namespace {
+
+Result<std::unique_ptr<SelectivityModel>> BuildIsomer(
+    int dim, size_t train_size, const EstimatorSpec& spec) {
+  (void)train_size;
+  SpecOptionReader reader(spec);
+  // ISOMER's bucket count is emergent (STHoles drilling), so the budget,
+  // objective, and seed universals do not apply; the paper runs it with
+  // its own defaults (§4.1).
+  IsomerOptions o;
+  o.max_sweeps = reader.GetInt("sweeps", o.max_sweeps);
+  const Status st = reader.Finish();
+  if (!st.ok()) return st;
+  return std::unique_ptr<SelectivityModel>(new Isomer(dim, o));
+}
+
+}  // namespace
+
+SEL_REGISTER_ESTIMATOR(
+    "isomer",
+    .display_name = "Isomer",
+    .paper_section = "§4.1 baseline",
+    .options_summary = "sweeps=<k> (400)",
+    .build = BuildIsomer)
 
 }  // namespace sel

@@ -5,6 +5,7 @@
 #include "common/check.h"
 #include "common/rng.h"
 #include "common/timer.h"
+#include "core/estimator_registry.h"
 
 namespace sel {
 
@@ -94,5 +95,30 @@ double QuickSel::Estimate(const Query& query) const {
   SEL_CHECK(query.dim() == dim_);
   return EstimateFromBoxBuckets(query, kernels_, weights_, options_.volume);
 }
+
+namespace {
+
+Result<std::unique_ptr<SelectivityModel>> BuildQuickSel(
+    int dim, size_t train_size, const EstimatorSpec& spec) {
+  SpecOptionReader reader(spec);
+  QuickSelOptions o;
+  o.num_kernels = spec.ResolveBudget(train_size);
+  o.ridge = reader.GetDouble("ridge", o.ridge);
+  // The harness seeds QuickSel's kernel padding with the shared default
+  // (20220612), not the struct default, to match the paper sweeps.
+  o.seed = spec.seed;
+  const Status st = reader.Finish();
+  if (!st.ok()) return st;
+  return std::unique_ptr<SelectivityModel>(new QuickSel(dim, o));
+}
+
+}  // namespace
+
+SEL_REGISTER_ESTIMATOR(
+    "quicksel",
+    .display_name = "QuickSel",
+    .paper_section = "§4.1 baseline",
+    .options_summary = "ridge=<r> (1e-4), budget, objective, seed",
+    .build = BuildQuickSel)
 
 }  // namespace sel

@@ -1,0 +1,310 @@
+#include "core/estimator_registry.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <cmath>
+#include <cstdlib>
+#include <limits>
+
+#include "common/check.h"
+#include "common/string_util.h"
+
+namespace sel {
+
+namespace {
+
+/// Strict full-string parses (strtod/strtoull accept trailing junk and
+/// set errno on range errors; both are rejected here).
+bool ParseDoubleStrict(const std::string& s, double* out) {
+  if (s.empty()) return false;
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(s.c_str(), &end);
+  if (errno != 0 || end != s.c_str() + s.size()) return false;
+  *out = v;
+  return true;
+}
+
+bool ParseUint64Strict(const std::string& s, uint64_t* out) {
+  if (s.empty() || s[0] == '-' || s[0] == '+') return false;
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(s.c_str(), &end, 10);
+  if (errno != 0 || end != s.c_str() + s.size()) return false;
+  *out = v;
+  return true;
+}
+
+Status BadValue(const std::string& name, const std::string& key,
+                const std::string& value, const char* expected) {
+  return Status::InvalidArgument("estimator spec '" + name + "': option '" +
+                                 key + "' has bad value '" + value + "' (" +
+                                 expected + ")");
+}
+
+}  // namespace
+
+Result<EstimatorSpec> EstimatorSpec::Parse(const std::string& spec_string) {
+  EstimatorSpec spec;
+  const std::string trimmed = Trim(spec_string);
+  const size_t colon = trimmed.find(':');
+  spec.name = Trim(trimmed.substr(0, colon));
+  if (spec.name.empty()) {
+    return Status::InvalidArgument("estimator spec '" + spec_string +
+                                   "': empty estimator name");
+  }
+  if (colon == std::string::npos) return spec;
+
+  std::vector<std::string> seen_keys;
+  for (const std::string& token :
+       Split(trimmed.substr(colon + 1), ',')) {
+    const size_t eq = token.find('=');
+    if (eq == std::string::npos) {
+      return Status::InvalidArgument(
+          "estimator spec '" + spec_string + "': expected key=value, got '" +
+          Trim(token) + "'");
+    }
+    const std::string key = Trim(token.substr(0, eq));
+    const std::string value = Trim(token.substr(eq + 1));
+    if (key.empty() || value.empty()) {
+      return Status::InvalidArgument(
+          "estimator spec '" + spec_string + "': expected key=value, got '" +
+          Trim(token) + "'");
+    }
+    if (std::find(seen_keys.begin(), seen_keys.end(), key) !=
+        seen_keys.end()) {
+      return Status::InvalidArgument("estimator spec '" + spec_string +
+                                     "': duplicate option '" + key + "'");
+    }
+    seen_keys.push_back(key);
+
+    if (key == "budget") {
+      spec.budget_set = true;
+      if (value == "none") {
+        spec.budget_mode = BudgetMode::kNone;
+      } else if (value.back() == 'x') {
+        double mult = 0.0;
+        if (!ParseDoubleStrict(value.substr(0, value.size() - 1), &mult) ||
+            !(mult > 0.0)) {
+          return BadValue(spec.name, key, value,
+                          "expected '<k>x', '<count>', or 'none'");
+        }
+        spec.budget_mode = BudgetMode::kMultiplier;
+        spec.budget_multiplier = mult;
+      } else {
+        uint64_t count = 0;
+        if (!ParseUint64Strict(value, &count) || count == 0) {
+          return BadValue(spec.name, key, value,
+                          "expected '<k>x', '<count>', or 'none'");
+        }
+        spec.budget_mode = BudgetMode::kAbsolute;
+        spec.budget_absolute = static_cast<size_t>(count);
+      }
+    } else if (key == "objective") {
+      if (value == "l2") {
+        spec.objective = TrainObjective::kL2;
+      } else if (value == "linf") {
+        spec.objective = TrainObjective::kLinf;
+      } else {
+        return BadValue(spec.name, key, value, "expected 'l2' or 'linf'");
+      }
+    } else if (key == "seed") {
+      uint64_t seed = 0;
+      if (!ParseUint64Strict(value, &seed)) {
+        return BadValue(spec.name, key, value,
+                        "expected an unsigned integer");
+      }
+      spec.seed = seed;
+      spec.seed_set = true;
+    } else {
+      spec.extras.emplace_back(key, value);
+    }
+  }
+  return spec;
+}
+
+size_t EstimatorSpec::ResolveBudget(size_t train_size) const {
+  switch (budget_mode) {
+    case BudgetMode::kMultiplier:
+      return static_cast<size_t>(
+          std::llround(budget_multiplier * static_cast<double>(train_size)));
+    case BudgetMode::kAbsolute:
+      return budget_absolute;
+    case BudgetMode::kNone:
+      return 0;
+  }
+  return 0;
+}
+
+std::string EstimatorSpec::ToString() const {
+  std::vector<std::string> parts;
+  if (budget_set) {
+    switch (budget_mode) {
+      case BudgetMode::kMultiplier:
+        parts.push_back("budget=" + FormatDouble(budget_multiplier) + "x");
+        break;
+      case BudgetMode::kAbsolute:
+        parts.push_back("budget=" + std::to_string(budget_absolute));
+        break;
+      case BudgetMode::kNone:
+        parts.push_back("budget=none");
+        break;
+    }
+  }
+  if (objective == TrainObjective::kLinf) parts.push_back("objective=linf");
+  if (seed_set) parts.push_back("seed=" + std::to_string(seed));
+  for (const auto& [key, value] : extras) {
+    parts.push_back(key + "=" + value);
+  }
+  if (parts.empty()) return name;
+  return name + ":" + Join(parts, ",");
+}
+
+SpecOptionReader::SpecOptionReader(const EstimatorSpec& spec)
+    : spec_(spec), consumed_(spec.extras.size(), false) {}
+
+const std::string* SpecOptionReader::FindValue(const std::string& key) {
+  known_keys_.push_back(key);
+  for (size_t i = 0; i < spec_.extras.size(); ++i) {
+    if (spec_.extras[i].first == key) {
+      consumed_[i] = true;
+      return &spec_.extras[i].second;
+    }
+  }
+  return nullptr;
+}
+
+void SpecOptionReader::RecordError(const std::string& key,
+                                   const std::string& value,
+                                   const char* expected) {
+  if (error_.ok()) error_ = BadValue(spec_.name, key, value, expected);
+}
+
+double SpecOptionReader::GetDouble(const std::string& key,
+                                   double default_value) {
+  const std::string* v = FindValue(key);
+  if (v == nullptr) return default_value;
+  double out = 0.0;
+  if (!ParseDoubleStrict(*v, &out)) {
+    RecordError(key, *v, "expected a number");
+    return default_value;
+  }
+  return out;
+}
+
+size_t SpecOptionReader::GetSize(const std::string& key,
+                                 size_t default_value) {
+  const std::string* v = FindValue(key);
+  if (v == nullptr) return default_value;
+  uint64_t out = 0;
+  if (!ParseUint64Strict(*v, &out)) {
+    RecordError(key, *v, "expected an unsigned integer");
+    return default_value;
+  }
+  return static_cast<size_t>(out);
+}
+
+int SpecOptionReader::GetInt(const std::string& key, int default_value) {
+  const std::string* v = FindValue(key);
+  if (v == nullptr) return default_value;
+  uint64_t out = 0;
+  if (!ParseUint64Strict(*v, &out) ||
+      out > static_cast<uint64_t>(std::numeric_limits<int>::max())) {
+    RecordError(key, *v, "expected a non-negative integer");
+    return default_value;
+  }
+  return static_cast<int>(out);
+}
+
+std::string SpecOptionReader::GetString(const std::string& key,
+                                        std::string default_value) {
+  const std::string* v = FindValue(key);
+  return v == nullptr ? std::move(default_value) : *v;
+}
+
+Status SpecOptionReader::Finish() const {
+  if (!error_.ok()) return error_;
+  for (size_t i = 0; i < spec_.extras.size(); ++i) {
+    if (!consumed_[i]) {
+      std::vector<std::string> supported = known_keys_;
+      supported.insert(supported.end(), {"budget", "objective", "seed"});
+      std::sort(supported.begin(), supported.end());
+      return Status::InvalidArgument(
+          "estimator spec '" + spec_.name + "': unknown option '" +
+          spec_.extras[i].first + "'; supported options: " +
+          Join(supported, ", "));
+    }
+  }
+  return Status::OK();
+}
+
+EstimatorRegistry& EstimatorRegistry::Global() {
+  static EstimatorRegistry* registry = new EstimatorRegistry();
+  return *registry;
+}
+
+bool EstimatorRegistry::Register(const std::string& name, Entry entry) {
+  SEL_CHECK_MSG(!name.empty(), "estimator registration with empty name");
+  SEL_CHECK_MSG(entry.build != nullptr,
+                "estimator '%s' registered without a build function",
+                name.c_str());
+  SEL_CHECK_MSG(entries_.find(name) == entries_.end(),
+                "duplicate estimator registration '%s'", name.c_str());
+  entry.name = name;
+  entries_.emplace(name, std::move(entry));
+  return true;
+}
+
+const EstimatorRegistry::Entry* EstimatorRegistry::Find(
+    const std::string& name) const {
+  const auto it = entries_.find(name);
+  return it == entries_.end() ? nullptr : &it->second;
+}
+
+Status EstimatorRegistry::UnknownEstimatorError(
+    const std::string& name) const {
+  return Status::InvalidArgument("unknown estimator '" + name +
+                                 "'; registered estimators: " +
+                                 Join(Names(), ", "));
+}
+
+std::vector<std::string> EstimatorRegistry::Names() const {
+  std::vector<std::string> names;
+  names.reserve(entries_.size());
+  for (const auto& [name, entry] : entries_) names.push_back(name);
+  return names;  // std::map iterates in sorted order
+}
+
+std::vector<std::string> EstimatorRegistry::SavableNames() const {
+  std::vector<std::string> names;
+  for (const auto& [name, entry] : entries_) {
+    if (entry.save != nullptr) names.push_back(name);
+  }
+  return names;
+}
+
+bool EstimatorRegistry::SupportsSave(const std::string& name) const {
+  const Entry* entry = Find(name);
+  return entry != nullptr && entry->save != nullptr;
+}
+
+Result<std::unique_ptr<SelectivityModel>> EstimatorRegistry::Build(
+    const std::string& spec_string, int dim, size_t train_size) {
+  auto spec = EstimatorSpec::Parse(spec_string);
+  if (!spec.ok()) return spec.status();
+  return Build(spec.value(), dim, train_size);
+}
+
+Result<std::unique_ptr<SelectivityModel>> EstimatorRegistry::Build(
+    const EstimatorSpec& spec, int dim, size_t train_size) {
+  const EstimatorRegistry& registry = Global();
+  const Entry* entry = registry.Find(spec.name);
+  if (entry == nullptr) return registry.UnknownEstimatorError(spec.name);
+  if (dim < 1) {
+    return Status::InvalidArgument("estimator '" + spec.name +
+                                   "': dimension must be >= 1");
+  }
+  return entry->build(dim, train_size, spec);
+}
+
+}  // namespace sel

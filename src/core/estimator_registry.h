@@ -1,0 +1,186 @@
+// The estimator registry: every learning procedure 𝒜 of §2.1 (map a
+// training sample z^n to ŝ ∈ 𝓢) registers itself under a string key and
+// becomes reachable from one namespace — the experiment harness, bench
+// sweeps, the online loop, model persistence, and selcli all build
+// models from declarative spec strings like
+//
+//   "quadhist:tau=0.002,budget=4x,objective=linf"
+//   "ptshist:seed=7"
+//
+// instead of a closed enum. Adding an estimator is a one-file change:
+// implement SelectivityModel and drop a SEL_REGISTER_ESTIMATOR block
+// into its .cc.
+#ifndef SEL_CORE_ESTIMATOR_REGISTRY_H_
+#define SEL_CORE_ESTIMATOR_REGISTRY_H_
+
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "core/model.h"
+
+namespace sel {
+
+/// A parsed estimator spec: "name[:key=value[,key=value]*]".
+///
+/// Three keys are universal and parsed here: `budget` (bucket budget;
+/// "4x" = 4x the training size — the paper's §4.1 convention and the
+/// default — "<k>" = absolute, "none" = model-specific default /
+/// unlimited), `objective` (l2 | linf, §4.6), and `seed`. Everything
+/// else lands in `extras` for the estimator's builder, which consumes
+/// them through a SpecOptionReader; unknown keys are hard errors.
+struct EstimatorSpec {
+  /// How the bucket budget was expressed.
+  enum class BudgetMode { kMultiplier, kAbsolute, kNone };
+
+  std::string name;
+  BudgetMode budget_mode = BudgetMode::kMultiplier;
+  double budget_multiplier = 4.0;  ///< used when mode is kMultiplier
+  size_t budget_absolute = 0;      ///< used when mode is kAbsolute
+  bool budget_set = false;  ///< true iff the spec spelled out `budget=`
+  TrainObjective objective = TrainObjective::kL2;
+  uint64_t seed = 20220612;
+  bool seed_set = false;  ///< true iff the spec spelled out `seed=`
+  /// Estimator-specific options, in spec order.
+  std::vector<std::pair<std::string, std::string>> extras;
+
+  /// Parses a spec string. Errors on empty names, malformed or duplicate
+  /// `key=value` pairs, and bad budget/objective/seed values.
+  static Result<EstimatorSpec> Parse(const std::string& spec_string);
+
+  /// The bucket budget for a training set of `train_size` queries:
+  /// multiplier * n, the absolute count, or 0 for "none".
+  size_t ResolveBudget(size_t train_size) const;
+
+  /// Canonical spec string (parseable back into an equal spec).
+  std::string ToString() const;
+};
+
+/// Consumes an EstimatorSpec's `extras` with typed accessors. Builders
+/// call a Get* per supported key and then Finish(), which fails on any
+/// key no getter asked for (listing the supported ones) and on the
+/// first malformed value. Getters return their default on error;
+/// the error surfaces in Finish().
+class SpecOptionReader {
+ public:
+  explicit SpecOptionReader(const EstimatorSpec& spec);
+
+  double GetDouble(const std::string& key, double default_value);
+  size_t GetSize(const std::string& key, size_t default_value);
+  int GetInt(const std::string& key, int default_value);
+  std::string GetString(const std::string& key, std::string default_value);
+
+  /// InvalidArgument on unknown keys or malformed values; OK otherwise.
+  Status Finish() const;
+
+ private:
+  const std::string* FindValue(const std::string& key);
+  void RecordError(const std::string& key, const std::string& value,
+                   const char* expected);
+
+  const EstimatorSpec& spec_;
+  std::vector<bool> consumed_;
+  std::vector<std::string> known_keys_;
+  Status error_;
+};
+
+/// Where a loader reads an estimator's serialized records from (the
+/// `selmodel` header has already been parsed).
+struct ModelLoadContext {
+  int dim = 0;
+  size_t num_buckets = 0;
+  std::istream* in = nullptr;
+  std::string kind;  ///< the header's kind tag, for error messages
+  std::string path;  ///< for error messages
+};
+
+/// The global string-keyed estimator factory.
+class EstimatorRegistry {
+ public:
+  using BuildFn = std::function<Result<std::unique_ptr<SelectivityModel>>(
+      int dim, size_t train_size, const EstimatorSpec& spec)>;
+  using SaveFn =
+      std::function<Status(const SelectivityModel& model, std::ostream& out)>;
+  using LoadFn = std::function<Result<std::unique_ptr<SelectivityModel>>(
+      ModelLoadContext& ctx)>;
+
+  /// One registered estimator. `save`/`load` may be null: the estimator
+  /// then reports SupportsSave() == false and persistence rejects it.
+  struct Entry {
+    std::string name;          ///< registry key (filled by Register)
+    std::string display_name;  ///< must equal the model's Name()
+    std::string paper_section;
+    std::string options_summary;  ///< spec keys, for usage/help output
+    BuildFn build;
+    SaveFn save;
+    LoadFn load;
+  };
+
+  /// The process-wide registry (Meyers singleton; registration happens
+  /// during static initialization, single-threaded).
+  static EstimatorRegistry& Global();
+
+  /// Registers `entry` under `name`. Duplicate names are programmer
+  /// errors and abort (SEL_CHECK). Returns true so the registration
+  /// macro can run in a static initializer.
+  bool Register(const std::string& name, Entry entry);
+
+  /// The entry for `name`, or nullptr if unregistered.
+  const Entry* Find(const std::string& name) const;
+
+  /// InvalidArgument listing every registered name.
+  Status UnknownEstimatorError(const std::string& name) const;
+
+  /// All registered names, sorted.
+  std::vector<std::string> Names() const;
+
+  /// Registered names with save support, sorted.
+  std::vector<std::string> SavableNames() const;
+
+  /// True iff `name` is registered with a save hook.
+  bool SupportsSave(const std::string& name) const;
+
+  /// Parses `spec_string` and builds the estimator for a training set of
+  /// `train_size` queries in dimension `dim`.
+  static Result<std::unique_ptr<SelectivityModel>> Build(
+      const std::string& spec_string, int dim, size_t train_size);
+
+  /// Builds from an already-parsed spec.
+  static Result<std::unique_ptr<SelectivityModel>> Build(
+      const EstimatorSpec& spec, int dim, size_t train_size);
+
+ private:
+  std::map<std::string, Entry> entries_;
+};
+
+}  // namespace sel
+
+#define SEL_REGISTRY_CONCAT_INNER(a, b) a##b
+#define SEL_REGISTRY_CONCAT(a, b) SEL_REGISTRY_CONCAT_INNER(a, b)
+
+/// Registers an estimator from a static initializer. Usage (in the
+/// model's .cc, at namespace scope):
+///
+///   SEL_REGISTER_ESTIMATOR(
+///       "quadhist",
+///       .display_name = "QuadHist",
+///       .paper_section = "§3.2",
+///       .options_summary = "tau=<t>, solver=pg|nnls",
+///       .build = BuildQuadHist,
+///       .save = SaveQuadHist,    // optional
+///       .load = LoadQuadHist)    // optional
+#define SEL_REGISTER_ESTIMATOR(key, ...)                             \
+  namespace {                                                        \
+  const bool SEL_REGISTRY_CONCAT(sel_estimator_registrar_,           \
+                                 __COUNTER__) =                      \
+      ::sel::EstimatorRegistry::Global().Register(                   \
+          key, ::sel::EstimatorRegistry::Entry{__VA_ARGS__});        \
+  }
+
+#endif  // SEL_CORE_ESTIMATOR_REGISTRY_H_

@@ -7,6 +7,8 @@
 #include "common/normal.h"
 #include "common/rng.h"
 #include "common/timer.h"
+#include "core/estimator_registry.h"
+#include "core/model_io.h"
 #include "geometry/sampling.h"
 
 namespace sel {
@@ -256,5 +258,50 @@ double GmmModel::Estimate(const Query& query) const {
   }
   return std::clamp(s, 0.0, 1.0);
 }
+
+namespace {
+
+Result<std::unique_ptr<SelectivityModel>> BuildGmm(
+    int dim, size_t train_size, const EstimatorSpec& spec) {
+  SpecOptionReader reader(spec);
+  GmmOptions o;
+  // GMM's own complexity convention is max(8, n/4) components, not the
+  // 4x histogram-bucket budget; the budget applies only when spelled out.
+  const int components = reader.GetInt("components", o.num_components);
+  o.num_components = spec.budget_set
+                         ? static_cast<int>(spec.ResolveBudget(train_size))
+                         : components;
+  o.kmeans_iterations = reader.GetInt("kmeans", o.kmeans_iterations);
+  o.objective = spec.objective;
+  // Keep the model's distinct default seed unless the spec pins one.
+  if (spec.seed_set) o.seed = spec.seed;
+  const Status st = reader.Finish();
+  if (!st.ok()) return st;
+  return std::unique_ptr<SelectivityModel>(new GmmModel(dim, o));
+}
+
+Status SaveGmm(const SelectivityModel& model, std::ostream& out) {
+  const auto* gmm = dynamic_cast<const GmmModel*>(&model);
+  if (gmm == nullptr) {
+    return Status::InvalidArgument("save hook: model is not a GmmModel");
+  }
+  if (gmm->Means().empty()) {
+    return Status::FailedPrecondition("SaveGmmModel: model not trained");
+  }
+  return WriteGaussModel(out, model.RegistryName(), gmm->Means(),
+                         gmm->Stddevs(), gmm->Weights());
+}
+
+}  // namespace
+
+SEL_REGISTER_ESTIMATOR(
+    "gmm",
+    .display_name = "GMM",
+    .paper_section = "§6",
+    .options_summary = "components=<k> (max(8,n/4)), kmeans=<iters> (25),"
+                       " budget, objective, seed",
+    .build = BuildGmm,
+    .save = SaveGmm,
+    .load = LoadGaussModel)
 
 }  // namespace sel

@@ -1,11 +1,20 @@
 #include "core/model.h"
 
 #include <algorithm>
+#include <cctype>
 
 #include "common/check.h"
 #include "common/thread_pool.h"
 
 namespace sel {
+
+std::string SelectivityModel::RegistryName() const {
+  std::string name = Name();
+  for (char& c : name) {
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  return name;
+}
 
 SparseMatrix BuildBoxFractionMatrix(const Workload& workload,
                                     const std::vector<Box>& buckets,

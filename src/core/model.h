@@ -46,6 +46,11 @@ class SelectivityModel {
   /// Display name ("QuadHist", "PtsHist", "QuickSel", "Isomer", ...).
   virtual std::string Name() const = 0;
 
+  /// The EstimatorRegistry key this model serializes/dispatches under.
+  /// Defaults to the lowercased Name(); models whose key differs (the
+  /// static forms) override it.
+  virtual std::string RegistryName() const;
+
   /// Statistics from the last Train call.
   const TrainStats& train_stats() const { return train_stats_; }
 

@@ -1,7 +1,9 @@
 #include "core/model_io.h"
 
 #include <cinttypes>
+#include <cstdio>
 #include <fstream>
+#include <functional>
 #include <sstream>
 
 #include "common/string_util.h"
@@ -12,11 +14,19 @@ namespace {
 
 constexpr int kFormatVersion = 1;
 
-void WriteVector(std::ostream& out, const Point& v) {
-  for (double x : v) out << ' ' << FormatDouble(x);
+/// %.17g: enough digits for doubles to round-trip exactly, so a loaded
+/// model reproduces the saved model's estimates bit for bit.
+std::string FormatExact(double x) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", x);
+  return buf;
 }
 
-Status WriteHeader(std::ostream& out, const char* kind, int dim,
+void WriteVector(std::ostream& out, const Point& v) {
+  for (double x : v) out << ' ' << FormatExact(x);
+}
+
+Status WriteHeader(std::ostream& out, const std::string& kind, int dim,
                    size_t buckets) {
   out << "# sel learned selectivity model\n";
   out << "selmodel " << kFormatVersion << ' ' << kind << ' ' << dim << ' '
@@ -24,62 +34,195 @@ Status WriteHeader(std::ostream& out, const char* kind, int dim,
   return out.good() ? Status::OK() : Status::IOError("write failed");
 }
 
+/// The legacy kind tags predate the registry; map them onto the static
+/// forms they have always deserialized to.
+std::string CanonicalKind(const std::string& kind) {
+  if (kind == "histogram") return "static";
+  if (kind == "points") return "staticpoints";
+  return kind;
+}
+
+bool ReadDoubles(std::istringstream& is, int n, Point* out) {
+  out->resize(n);
+  for (int j = 0; j < n; ++j) {
+    if (!(is >> (*out)[j])) return false;
+  }
+  return true;
+}
+
+/// Iterates the non-comment record lines of `ctx`, enforcing the
+/// expected tag and the header's record count. `parse` consumes the
+/// stream positioned after the tag.
+Status ForEachRecord(
+    ModelLoadContext& ctx, const std::string& expected_tag,
+    const std::function<Status(std::istringstream&)>& parse) {
+  std::string line;
+  size_t records = 0;
+  while (std::getline(*ctx.in, line)) {
+    const std::string t = Trim(line);
+    if (t.empty() || t[0] == '#') continue;
+    std::istringstream ls(t);
+    std::string tag;
+    ls >> tag;
+    if (tag != expected_tag) {
+      return Status::IOError("unexpected record '" + tag + "' for kind '" +
+                             ctx.kind + "' in " + ctx.path);
+    }
+    SEL_RETURN_IF_ERROR(parse(ls));
+    ++records;
+  }
+  if (records != ctx.num_buckets) {
+    return Status::IOError("record count mismatch in " + ctx.path);
+  }
+  return Status::OK();
+}
+
 }  // namespace
 
-Status SaveHistogramModel(const std::vector<Box>& buckets,
-                          const Vector& weights, const std::string& path) {
+Status WriteBoxModel(std::ostream& out, const std::string& kind,
+                     const std::vector<Box>& buckets, const Vector& weights) {
   if (buckets.empty() || buckets.size() != weights.size()) {
     return Status::InvalidArgument(
-        "SaveHistogramModel: buckets/weights empty or misaligned");
+        "WriteBoxModel: buckets/weights empty or misaligned");
   }
-  std::ofstream out(path);
-  if (!out.good()) return Status::IOError("cannot open: " + path);
   SEL_RETURN_IF_ERROR(
-      WriteHeader(out, "histogram", buckets[0].dim(), buckets.size()));
+      WriteHeader(out, kind, buckets[0].dim(), buckets.size()));
   for (size_t i = 0; i < buckets.size(); ++i) {
     out << "box";
     WriteVector(out, buckets[i].lo());
     WriteVector(out, buckets[i].hi());
-    out << ' ' << FormatDouble(weights[i]) << "\n";
+    out << ' ' << FormatExact(weights[i]) << "\n";
   }
-  out.flush();
-  return out.good() ? Status::OK() : Status::IOError("write failed: " + path);
+  return out.good() ? Status::OK() : Status::IOError("write failed");
 }
 
-Status SavePointModel(const std::vector<Point>& points,
-                      const Vector& weights, const std::string& path) {
+Status WritePointModel(std::ostream& out, const std::string& kind,
+                       const std::vector<Point>& points,
+                       const Vector& weights) {
   if (points.empty() || points.size() != weights.size()) {
     return Status::InvalidArgument(
-        "SavePointModel: points/weights empty or misaligned");
+        "WritePointModel: points/weights empty or misaligned");
   }
-  std::ofstream out(path);
-  if (!out.good()) return Status::IOError("cannot open: " + path);
-  SEL_RETURN_IF_ERROR(WriteHeader(out, "points",
+  SEL_RETURN_IF_ERROR(WriteHeader(out, kind,
                                   static_cast<int>(points[0].size()),
                                   points.size()));
   for (size_t i = 0; i < points.size(); ++i) {
     out << "point";
     WriteVector(out, points[i]);
-    out << ' ' << FormatDouble(weights[i]) << "\n";
+    out << ' ' << FormatExact(weights[i]) << "\n";
   }
-  out.flush();
-  return out.good() ? Status::OK() : Status::IOError("write failed: " + path);
+  return out.good() ? Status::OK() : Status::IOError("write failed");
 }
 
-Status SaveGmmModel(const GmmModel& model, const std::string& path) {
-  if (model.Means().empty()) {
-    return Status::FailedPrecondition("SaveGmmModel: model not trained");
+Status WriteGaussModel(std::ostream& out, const std::string& kind,
+                       const std::vector<Point>& means,
+                       const std::vector<Point>& stddevs,
+                       const Vector& weights) {
+  if (means.empty() || means.size() != stddevs.size() ||
+      means.size() != weights.size()) {
+    return Status::InvalidArgument(
+        "WriteGaussModel: means/stddevs/weights empty or misaligned");
+  }
+  SEL_RETURN_IF_ERROR(WriteHeader(out, kind,
+                                  static_cast<int>(means[0].size()),
+                                  means.size()));
+  for (size_t i = 0; i < means.size(); ++i) {
+    out << "gauss";
+    WriteVector(out, means[i]);
+    WriteVector(out, stddevs[i]);
+    out << ' ' << FormatExact(weights[i]) << "\n";
+  }
+  return out.good() ? Status::OK() : Status::IOError("write failed");
+}
+
+Result<std::unique_ptr<SelectivityModel>> LoadBoxModel(
+    ModelLoadContext& ctx) {
+  std::vector<Box> boxes;
+  Vector weights;
+  const Status st = ForEachRecord(
+      ctx, "box", [&](std::istringstream& ls) -> Status {
+        Point lo, hi;
+        double w = 0.0;
+        if (!ReadDoubles(ls, ctx.dim, &lo) || !ReadDoubles(ls, ctx.dim, &hi) ||
+            !(ls >> w)) {
+          return Status::IOError("malformed box record in " + ctx.path);
+        }
+        for (int j = 0; j < ctx.dim; ++j) {
+          if (lo[j] > hi[j]) {
+            return Status::IOError("box with lo > hi in " + ctx.path);
+          }
+        }
+        boxes.emplace_back(std::move(lo), std::move(hi));
+        weights.push_back(w);
+        return Status::OK();
+      });
+  if (!st.ok()) return st;
+  return std::unique_ptr<SelectivityModel>(
+      new StaticHistogram(std::move(boxes), std::move(weights)));
+}
+
+Result<std::unique_ptr<SelectivityModel>> LoadPointModel(
+    ModelLoadContext& ctx) {
+  std::vector<Point> points;
+  Vector weights;
+  const Status st = ForEachRecord(
+      ctx, "point", [&](std::istringstream& ls) -> Status {
+        Point p;
+        double w = 0.0;
+        if (!ReadDoubles(ls, ctx.dim, &p) || !(ls >> w)) {
+          return Status::IOError("malformed point record in " + ctx.path);
+        }
+        points.push_back(std::move(p));
+        weights.push_back(w);
+        return Status::OK();
+      });
+  if (!st.ok()) return st;
+  return std::unique_ptr<SelectivityModel>(
+      new StaticPointModel(std::move(points), std::move(weights)));
+}
+
+Result<std::unique_ptr<SelectivityModel>> LoadGaussModel(
+    ModelLoadContext& ctx) {
+  std::vector<Point> means, stddevs;
+  Vector weights;
+  const Status st = ForEachRecord(
+      ctx, "gauss", [&](std::istringstream& ls) -> Status {
+        Point mean, sd;
+        double w = 0.0;
+        if (!ReadDoubles(ls, ctx.dim, &mean) ||
+            !ReadDoubles(ls, ctx.dim, &sd) || !(ls >> w)) {
+          return Status::IOError("malformed gauss record in " + ctx.path);
+        }
+        for (double s : sd) {
+          if (s <= 0.0) {
+            return Status::IOError("non-positive stddev in " + ctx.path);
+          }
+        }
+        means.push_back(std::move(mean));
+        stddevs.push_back(std::move(sd));
+        weights.push_back(w);
+        return Status::OK();
+      });
+  if (!st.ok()) return st;
+  return std::unique_ptr<SelectivityModel>(new GmmModel(
+      GmmModel::FromParameters(std::move(means), std::move(stddevs),
+                               std::move(weights))));
+}
+
+Status SaveModel(const SelectivityModel& model, const std::string& path) {
+  const std::string name = model.RegistryName();
+  const EstimatorRegistry& registry = EstimatorRegistry::Global();
+  const EstimatorRegistry::Entry* entry = registry.Find(name);
+  if (entry == nullptr) return registry.UnknownEstimatorError(name);
+  if (entry->save == nullptr) {
+    return Status::Unimplemented(
+        "estimator '" + name + "' does not support serialization; savable "
+        "estimators: " + Join(registry.SavableNames(), ", "));
   }
   std::ofstream out(path);
   if (!out.good()) return Status::IOError("cannot open: " + path);
-  const int dim = static_cast<int>(model.Means()[0].size());
-  SEL_RETURN_IF_ERROR(WriteHeader(out, "gmm", dim, model.Means().size()));
-  for (size_t i = 0; i < model.Means().size(); ++i) {
-    out << "gauss";
-    WriteVector(out, model.Means()[i]);
-    WriteVector(out, model.Stddevs()[i]);
-    out << ' ' << FormatDouble(model.Weights()[i]) << "\n";
-  }
+  const Status st = entry->save(model, out);
+  if (!st.ok()) return st;
   out.flush();
   return out.good() ? Status::OK() : Status::IOError("write failed: " + path);
 }
@@ -112,82 +255,56 @@ Result<std::unique_ptr<SelectivityModel>> LoadModel(const std::string& path) {
     return Status::IOError("invalid model dimensions in " + path);
   }
 
-  auto read_doubles = [](std::istringstream& is, int n,
-                         Point* out) -> bool {
-    out->resize(n);
-    for (int j = 0; j < n; ++j) {
-      if (!(is >> (*out)[j])) return false;
-    }
-    return true;
-  };
+  const EstimatorRegistry::Entry* entry =
+      EstimatorRegistry::Global().Find(CanonicalKind(kind));
+  if (entry == nullptr || entry->load == nullptr) {
+    return Status::IOError("unknown model kind '" + kind + "' in " + path);
+  }
+  ModelLoadContext ctx;
+  ctx.dim = dim;
+  ctx.num_buckets = num_buckets;
+  ctx.in = &in;
+  ctx.kind = kind;
+  ctx.path = path;
+  return entry->load(ctx);
+}
 
-  std::vector<Box> boxes;
-  std::vector<Point> points, means, stddevs;
-  Vector weights;
-  size_t records = 0;
-  while (std::getline(in, line)) {
-    const std::string t = Trim(line);
-    if (t.empty() || t[0] == '#') continue;
-    std::istringstream ls(t);
-    std::string tag;
-    ls >> tag;
-    double w = 0.0;
-    if (tag == "box" && kind == "histogram") {
-      Point lo, hi;
-      if (!read_doubles(ls, dim, &lo) || !read_doubles(ls, dim, &hi) ||
-          !(ls >> w)) {
-        return Status::IOError("malformed box record in " + path);
-      }
-      for (int j = 0; j < dim; ++j) {
-        if (lo[j] > hi[j]) {
-          return Status::IOError("box with lo > hi in " + path);
-        }
-      }
-      boxes.emplace_back(std::move(lo), std::move(hi));
-    } else if (tag == "point" && kind == "points") {
-      Point p;
-      if (!read_doubles(ls, dim, &p) || !(ls >> w)) {
-        return Status::IOError("malformed point record in " + path);
-      }
-      points.push_back(std::move(p));
-    } else if (tag == "gauss" && kind == "gmm") {
-      Point mean, sd;
-      if (!read_doubles(ls, dim, &mean) || !read_doubles(ls, dim, &sd) ||
-          !(ls >> w)) {
-        return Status::IOError("malformed gauss record in " + path);
-      }
-      for (double s : sd) {
-        if (s <= 0.0) {
-          return Status::IOError("non-positive stddev in " + path);
-        }
-      }
-      means.push_back(std::move(mean));
-      stddevs.push_back(std::move(sd));
-    } else {
-      return Status::IOError("unexpected record '" + tag + "' for kind '" +
-                             kind + "' in " + path);
-    }
-    weights.push_back(w);
-    ++records;
+Status SaveHistogramModel(const std::vector<Box>& buckets,
+                          const Vector& weights, const std::string& path) {
+  if (buckets.empty() || buckets.size() != weights.size()) {
+    return Status::InvalidArgument(
+        "SaveHistogramModel: buckets/weights empty or misaligned");
   }
-  if (records != num_buckets) {
-    return Status::IOError("record count mismatch in " + path);
-  }
+  std::ofstream out(path);
+  if (!out.good()) return Status::IOError("cannot open: " + path);
+  SEL_RETURN_IF_ERROR(WriteBoxModel(out, "histogram", buckets, weights));
+  out.flush();
+  return out.good() ? Status::OK() : Status::IOError("write failed: " + path);
+}
 
-  if (kind == "histogram") {
-    return std::unique_ptr<SelectivityModel>(
-        new StaticHistogram(std::move(boxes), std::move(weights)));
+Status SavePointModel(const std::vector<Point>& points,
+                      const Vector& weights, const std::string& path) {
+  if (points.empty() || points.size() != weights.size()) {
+    return Status::InvalidArgument(
+        "SavePointModel: points/weights empty or misaligned");
   }
-  if (kind == "points") {
-    return std::unique_ptr<SelectivityModel>(
-        new StaticPointModel(std::move(points), std::move(weights)));
+  std::ofstream out(path);
+  if (!out.good()) return Status::IOError("cannot open: " + path);
+  SEL_RETURN_IF_ERROR(WritePointModel(out, "points", points, weights));
+  out.flush();
+  return out.good() ? Status::OK() : Status::IOError("write failed: " + path);
+}
+
+Status SaveGmmModel(const GmmModel& model, const std::string& path) {
+  if (model.Means().empty()) {
+    return Status::FailedPrecondition("SaveGmmModel: model not trained");
   }
-  if (kind == "gmm") {
-    return std::unique_ptr<SelectivityModel>(new GmmModel(
-        GmmModel::FromParameters(std::move(means), std::move(stddevs),
-                                 std::move(weights))));
-  }
-  return Status::IOError("unknown model kind '" + kind + "' in " + path);
+  std::ofstream out(path);
+  if (!out.good()) return Status::IOError("cannot open: " + path);
+  SEL_RETURN_IF_ERROR(WriteGaussModel(out, "gmm", model.Means(),
+                                      model.Stddevs(), model.Weights()));
+  out.flush();
+  return out.good() ? Status::OK() : Status::IOError("write failed: " + path);
 }
 
 }  // namespace sel

@@ -1,6 +1,7 @@
 #include "core/online.h"
 
 #include "common/check.h"
+#include "core/estimator_registry.h"
 
 namespace sel {
 
@@ -41,13 +42,17 @@ Status OnlineEstimator::Feedback(const Query& query,
 Status OnlineEstimator::Retrain() {
   if (window_.empty()) return Status::OK();
   const Workload snapshot(window_.begin(), window_.end());
+  auto spec = EstimatorSpec::Parse(options_.estimator);
+  SEL_RETURN_IF_ERROR(spec.status());
   // Vary the stochastic seed across rounds so repeated retrains do not
   // reuse identical bucket samples (still fully deterministic overall).
-  ModelFactoryOptions factory = options_.factory;
-  factory.seed = options_.factory.seed + retrain_count_ + 1;
-  auto fresh = MakeModel(options_.model, dim_, snapshot.size(), factory);
-  SEL_RETURN_IF_ERROR(fresh->Train(snapshot));
-  model_ = std::move(fresh);
+  spec.value().seed += retrain_count_ + 1;
+  spec.value().seed_set = true;
+  auto fresh =
+      EstimatorRegistry::Build(spec.value(), dim_, snapshot.size());
+  SEL_RETURN_IF_ERROR(fresh.status());
+  SEL_RETURN_IF_ERROR(fresh.value()->Train(snapshot));
+  model_ = std::move(fresh).value();
   since_retrain_ = 0;
   ++retrain_count_;
   return Status::OK();

@@ -13,9 +13,10 @@
 
 #include <deque>
 #include <memory>
+#include <string>
 
 #include "core/model.h"
-#include "eval/experiment.h"
+#include "workload/workload.h"
 
 namespace sel {
 
@@ -27,12 +28,12 @@ struct OnlineOptions {
   /// Sliding-window capacity: only the most recent feedback is kept, so
   /// the model tracks workload drift.
   size_t window_capacity = 1024;
-  /// Which learner to retrain each time.
-  ModelKind model = ModelKind::kQuadHist;
+  /// Registry spec for the learner to retrain each time (see
+  /// EstimatorSpec::Parse); options such as budget/seed ride along, e.g.
+  /// "quadhist:tau=0.002" or "ptshist:budget=2x".
+  std::string estimator = "quadhist";
   /// Estimate returned before the first training round (a blind prior).
   double prior_estimate = 0.5;
-  /// Factory overrides for the underlying learner.
-  ModelFactoryOptions factory;
 };
 
 /// A self-retraining selectivity estimator fed by query execution.

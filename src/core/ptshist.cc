@@ -6,6 +6,8 @@
 #include "common/check.h"
 #include "common/rng.h"
 #include "common/timer.h"
+#include "core/estimator_registry.h"
+#include "core/model_io.h"
 #include "geometry/sampling.h"
 
 namespace sel {
@@ -107,5 +109,49 @@ double PtsHist::Estimate(const Query& query) const {
   SEL_CHECK(query.dim() == dim_);
   return EstimateFromPointBuckets(query, points_, weights_);
 }
+
+namespace {
+
+Result<std::unique_ptr<SelectivityModel>> BuildPtsHist(
+    int dim, size_t train_size, const EstimatorSpec& spec) {
+  SpecOptionReader reader(spec);
+  PtsHistOptions o;
+  o.model_size = spec.ResolveBudget(train_size);
+  o.interior_fraction = reader.GetDouble("interior", o.interior_fraction);
+  o.objective = spec.objective;
+  o.seed = spec.seed;
+  const std::string solver = reader.GetString("solver", "pg");
+  const Status st = reader.Finish();
+  if (!st.ok()) return st;
+  if (solver == "nnls") {
+    o.solver.method = SimplexLsqOptions::Method::kNnls;
+  } else if (solver != "pg") {
+    return Status::InvalidArgument(
+        "estimator spec 'ptshist': option 'solver' has bad value '" +
+        solver + "' (expected 'pg' or 'nnls')");
+  }
+  return std::unique_ptr<SelectivityModel>(new PtsHist(dim, o));
+}
+
+Status SavePtsHist(const SelectivityModel& model, std::ostream& out) {
+  const auto* ph = dynamic_cast<const PtsHist*>(&model);
+  if (ph == nullptr) {
+    return Status::InvalidArgument("save hook: model is not a PtsHist");
+  }
+  return WritePointModel(out, model.RegistryName(), ph->BucketPoints(),
+                         ph->BucketWeights());
+}
+
+}  // namespace
+
+SEL_REGISTER_ESTIMATOR(
+    "ptshist",
+    .display_name = "PtsHist",
+    .paper_section = "§3.3",
+    .options_summary = "interior=<f> (0.9), solver=pg|nnls, budget,"
+                       " objective, seed",
+    .build = BuildPtsHist,
+    .save = SavePtsHist,
+    .load = LoadPointModel)
 
 }  // namespace sel

@@ -5,6 +5,8 @@
 #include "common/check.h"
 #include "common/thread_pool.h"
 #include "common/timer.h"
+#include "core/estimator_registry.h"
+#include "core/model_io.h"
 
 namespace sel {
 
@@ -201,5 +203,50 @@ Vector QuadHist::LeafWeights() const {
   }
   return out;
 }
+
+namespace {
+
+Result<std::unique_ptr<SelectivityModel>> BuildQuadHist(
+    int dim, size_t train_size, const EstimatorSpec& spec) {
+  SpecOptionReader reader(spec);
+  QuadHistOptions o;
+  // The harness default is tau = 0.002 (the paper's Power setting), not
+  // the conservative struct default.
+  o.tau = reader.GetDouble("tau", 0.002);
+  o.max_leaves = spec.ResolveBudget(train_size);
+  o.objective = spec.objective;
+  const std::string solver = reader.GetString("solver", "pg");
+  const Status st = reader.Finish();
+  if (!st.ok()) return st;
+  if (solver == "nnls") {
+    o.solver.method = SimplexLsqOptions::Method::kNnls;
+  } else if (solver != "pg") {
+    return Status::InvalidArgument(
+        "estimator spec 'quadhist': option 'solver' has bad value '" +
+        solver + "' (expected 'pg' or 'nnls')");
+  }
+  return std::unique_ptr<SelectivityModel>(new QuadHist(dim, o));
+}
+
+Status SaveQuadHist(const SelectivityModel& model, std::ostream& out) {
+  const auto* qh = dynamic_cast<const QuadHist*>(&model);
+  if (qh == nullptr) {
+    return Status::InvalidArgument("save hook: model is not a QuadHist");
+  }
+  return WriteBoxModel(out, model.RegistryName(), qh->LeafBoxes(),
+                       qh->LeafWeights());
+}
+
+}  // namespace
+
+SEL_REGISTER_ESTIMATOR(
+    "quadhist",
+    .display_name = "QuadHist",
+    .paper_section = "§3.2",
+    .options_summary = "tau=<t> (0.002), solver=pg|nnls, budget, objective,"
+                       " seed",
+    .build = BuildQuadHist,
+    .save = SaveQuadHist,
+    .load = LoadBoxModel)
 
 }  // namespace sel

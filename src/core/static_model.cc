@@ -1,6 +1,8 @@
 #include "core/static_model.h"
 
 #include "common/check.h"
+#include "core/estimator_registry.h"
+#include "core/model_io.h"
 
 namespace sel {
 
@@ -39,5 +41,75 @@ Status StaticPointModel::Train(const Workload&) {
 double StaticPointModel::Estimate(const Query& query) const {
   return EstimateFromPointBuckets(query, points_, weights_);
 }
+
+namespace {
+
+// The registry builds static models in their blind-prior form (the
+// uniform distribution on [0,1]^d); real parameters arrive by loading a
+// serialized model, where these entries' load hooks do the work.
+
+Result<std::unique_ptr<SelectivityModel>> BuildStaticHistogram(
+    int dim, size_t train_size, const EstimatorSpec& spec) {
+  (void)train_size;
+  SpecOptionReader reader(spec);
+  const Status st = reader.Finish();
+  if (!st.ok()) return st;
+  std::vector<Box> buckets = {Box::Unit(dim)};
+  return std::unique_ptr<SelectivityModel>(
+      new StaticHistogram(std::move(buckets), Vector{1.0}));
+}
+
+Result<std::unique_ptr<SelectivityModel>> BuildStaticPointModel(
+    int dim, size_t train_size, const EstimatorSpec& spec) {
+  (void)train_size;
+  SpecOptionReader reader(spec);
+  const Status st = reader.Finish();
+  if (!st.ok()) return st;
+  std::vector<Point> points = {Point(dim, 0.5)};
+  return std::unique_ptr<SelectivityModel>(
+      new StaticPointModel(std::move(points), Vector{1.0}));
+}
+
+Status SaveStaticHistogram(const SelectivityModel& model,
+                           std::ostream& out) {
+  const auto* sh = dynamic_cast<const StaticHistogram*>(&model);
+  if (sh == nullptr) {
+    return Status::InvalidArgument(
+        "save hook: model is not a StaticHistogram");
+  }
+  return WriteBoxModel(out, model.RegistryName(), sh->buckets(),
+                       sh->weights());
+}
+
+Status SaveStaticPointModel(const SelectivityModel& model,
+                            std::ostream& out) {
+  const auto* sp = dynamic_cast<const StaticPointModel*>(&model);
+  if (sp == nullptr) {
+    return Status::InvalidArgument(
+        "save hook: model is not a StaticPointModel");
+  }
+  return WritePointModel(out, model.RegistryName(), sp->points(),
+                         sp->weights());
+}
+
+}  // namespace
+
+SEL_REGISTER_ESTIMATOR(
+    "static",
+    .display_name = "StaticHistogram",
+    .paper_section = "§3.1 (Eq. 6)",
+    .options_summary = "(no options; uniform prior until loaded)",
+    .build = BuildStaticHistogram,
+    .save = SaveStaticHistogram,
+    .load = LoadBoxModel)
+
+SEL_REGISTER_ESTIMATOR(
+    "staticpoints",
+    .display_name = "StaticPointModel",
+    .paper_section = "§3.1 (Eq. 7)",
+    .options_summary = "(no options; uniform prior until loaded)",
+    .build = BuildStaticPointModel,
+    .save = SaveStaticPointModel,
+    .load = LoadPointModel)
 
 }  // namespace sel

@@ -26,6 +26,7 @@ class StaticHistogram : public SelectivityModel {
   double Estimate(const Query& query) const override;
   size_t NumBuckets() const override { return buckets_.size(); }
   std::string Name() const override { return "StaticHistogram"; }
+  std::string RegistryName() const override { return "static"; }
 
   const std::vector<Box>& buckets() const { return buckets_; }
   const Vector& weights() const { return weights_; }
@@ -45,6 +46,7 @@ class StaticPointModel : public SelectivityModel {
   double Estimate(const Query& query) const override;
   size_t NumBuckets() const override { return points_.size(); }
   std::string Name() const override { return "StaticPointModel"; }
+  std::string RegistryName() const override { return "staticpoints"; }
 
   const std::vector<Point>& points() const { return points_; }
   const Vector& weights() const { return weights_; }

@@ -8,50 +8,6 @@
 
 namespace sel {
 
-const char* ModelKindName(ModelKind kind) {
-  switch (kind) {
-    case ModelKind::kQuadHist: return "QuadHist";
-    case ModelKind::kPtsHist: return "PtsHist";
-    case ModelKind::kQuickSel: return "QuickSel";
-    case ModelKind::kIsomer: return "Isomer";
-  }
-  return "unknown";
-}
-
-std::unique_ptr<SelectivityModel> MakeModel(
-    ModelKind kind, int dim, size_t train_size,
-    const ModelFactoryOptions& options) {
-  const size_t budget = options.bucket_budget > 0 ? options.bucket_budget
-                                                  : 4 * train_size;
-  switch (kind) {
-    case ModelKind::kQuadHist: {
-      QuadHistOptions o;
-      o.tau = options.quadhist_tau;
-      o.max_leaves = budget;
-      o.objective = options.objective;
-      return std::make_unique<QuadHist>(dim, o);
-    }
-    case ModelKind::kPtsHist: {
-      PtsHistOptions o;
-      o.model_size = budget;
-      o.objective = options.objective;
-      o.seed = options.seed;
-      return std::make_unique<PtsHist>(dim, o);
-    }
-    case ModelKind::kQuickSel: {
-      QuickSelOptions o;
-      o.num_kernels = budget;
-      o.seed = options.seed;
-      return std::make_unique<QuickSel>(dim, o);
-    }
-    case ModelKind::kIsomer: {
-      IsomerOptions o;
-      return std::make_unique<Isomer>(dim, o);
-    }
-  }
-  return nullptr;
-}
-
 EvalCell TrainAndEvaluate(SelectivityModel* model, const Workload& train,
                           const Workload& test, double q_floor) {
   EvalCell cell;

@@ -1,44 +1,19 @@
-// Shared experiment plumbing for the bench binaries: model factory with
-// the paper's conventions (bucket budget 4x the training size, §4.1),
-// train-and-score helpers, and REPRO_SCALE-aware sweep sizing.
+// Shared experiment plumbing for the bench binaries: train-and-score
+// helpers and REPRO_SCALE-aware sweep sizing. Models are built from
+// EstimatorRegistry spec strings (see core/estimator_registry.h), which
+// encode the paper's conventions (bucket budget 4x the training size,
+// §4.1) as defaults.
 #ifndef SEL_EVAL_EXPERIMENT_H_
 #define SEL_EVAL_EXPERIMENT_H_
 
-#include <memory>
 #include <string>
 #include <vector>
 
-#include "baselines/isomer.h"
-#include "baselines/quicksel.h"
-#include "core/arrangement.h"
-#include "core/ptshist.h"
-#include "core/quadhist.h"
+#include "core/estimator_registry.h"
+#include "core/model.h"
 #include "metrics/metrics.h"
 
 namespace sel {
-
-/// Model identifiers used by the experiment harness.
-enum class ModelKind { kQuadHist, kPtsHist, kQuickSel, kIsomer };
-
-/// Returns the display name for `kind`.
-const char* ModelKindName(ModelKind kind);
-
-/// Overrides applied on top of the paper's conventions.
-struct ModelFactoryOptions {
-  /// Bucket budget; 0 means 4x the training size.
-  size_t bucket_budget = 0;
-  /// QuadHist split threshold.
-  double quadhist_tau = 0.002;
-  /// Training objective (L2 default; §4.6 uses kLinf too).
-  TrainObjective objective = TrainObjective::kL2;
-  /// Seed for the stochastic models (PtsHist, QuickSel padding).
-  uint64_t seed = 20220612;
-};
-
-/// Builds an untrained model configured per the paper's setup.
-std::unique_ptr<SelectivityModel> MakeModel(
-    ModelKind kind, int dim, size_t train_size,
-    const ModelFactoryOptions& options = {});
 
 /// One scored experiment cell.
 struct EvalCell {

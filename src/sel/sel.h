@@ -33,6 +33,7 @@
 #include "common/timer.h"
 #include "common/normal.h"
 #include "core/arrangement.h"
+#include "core/estimator_registry.h"
 #include "core/gmm.h"
 #include "core/model.h"
 #include "core/model_io.h"

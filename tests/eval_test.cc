@@ -4,6 +4,7 @@
 
 #include <cstdlib>
 
+#include "core/estimator_registry.h"
 #include "data/generators.h"
 #include "eval/experiment.h"
 #include "eval/table_printer.h"
@@ -13,12 +14,14 @@
 namespace sel {
 namespace {
 
-TEST(ModelFactoryTest, BuildsEveryKind) {
-  for (ModelKind kind : {ModelKind::kQuadHist, ModelKind::kPtsHist,
-                         ModelKind::kQuickSel, ModelKind::kIsomer}) {
-    auto m = MakeModel(kind, 2, 50);
-    ASSERT_NE(m, nullptr);
-    EXPECT_EQ(m->Name(), ModelKindName(kind));
+TEST(ModelFactoryTest, BuildsEveryRegisteredLearner) {
+  for (const char* name : {"quadhist", "ptshist", "quicksel", "isomer"}) {
+    auto m = EstimatorRegistry::Build(name, 2, 50);
+    ASSERT_TRUE(m.ok()) << m.status().ToString();
+    ASSERT_NE(m.value(), nullptr);
+    EXPECT_EQ(m.value()->Name(),
+              EstimatorRegistry::Global().Find(name)->display_name);
+    EXPECT_EQ(m.value()->RegistryName(), name);
   }
 }
 
@@ -29,12 +32,14 @@ TEST(ModelFactoryTest, BucketBudgetConvention) {
   WorkloadOptions opts;
   WorkloadGenerator gen(&data, &index, opts);
   const Workload w = gen.Generate(50);
-  auto pts = MakeModel(ModelKind::kPtsHist, 2, 50);
-  ASSERT_TRUE(pts->Train(w).ok());
-  EXPECT_EQ(pts->NumBuckets(), 200u);
-  auto quad = MakeModel(ModelKind::kQuadHist, 2, 50);
-  ASSERT_TRUE(quad->Train(w).ok());
-  EXPECT_LE(quad->NumBuckets(), 200u);  // cap binds from above
+  auto pts = EstimatorRegistry::Build("ptshist", 2, 50);
+  ASSERT_TRUE(pts.ok());
+  ASSERT_TRUE(pts.value()->Train(w).ok());
+  EXPECT_EQ(pts.value()->NumBuckets(), 200u);
+  auto quad = EstimatorRegistry::Build("quadhist", 2, 50);
+  ASSERT_TRUE(quad.ok());
+  ASSERT_TRUE(quad.value()->Train(w).ok());
+  EXPECT_LE(quad.value()->NumBuckets(), 200u);  // cap binds from above
 }
 
 TEST(TrainAndEvaluateTest, PopulatesCell) {
@@ -44,8 +49,9 @@ TEST(TrainAndEvaluateTest, PopulatesCell) {
   WorkloadGenerator gen(&data, &index, opts);
   const Workload train = gen.Generate(60);
   const Workload test = gen.Generate(40);
-  auto m = MakeModel(ModelKind::kQuadHist, 2, train.size());
-  const EvalCell cell = TrainAndEvaluate(m.get(), train, test);
+  auto m = EstimatorRegistry::Build("quadhist", 2, train.size());
+  ASSERT_TRUE(m.ok());
+  const EvalCell cell = TrainAndEvaluate(m.value().get(), train, test);
   EXPECT_TRUE(cell.ok);
   EXPECT_EQ(cell.model, "QuadHist");
   EXPECT_EQ(cell.train_size, 60u);
@@ -58,8 +64,9 @@ TEST(TrainAndEvaluateTest, PopulatesCell) {
 TEST(TrainAndEvaluateTest, ReportsFailure) {
   Workload bad;  // ball queries: QuickSel rejects
   bad.push_back({Ball({0.5, 0.5}, 0.1), 0.2});
-  auto m = MakeModel(ModelKind::kQuickSel, 2, 1);
-  const EvalCell cell = TrainAndEvaluate(m.get(), bad, bad);
+  auto m = EstimatorRegistry::Build("quicksel", 2, 1);
+  ASSERT_TRUE(m.ok());
+  const EvalCell cell = TrainAndEvaluate(m.value().get(), bad, bad);
   EXPECT_FALSE(cell.ok);
   EXPECT_NE(cell.status_message.find("Unimplemented"), std::string::npos);
 }

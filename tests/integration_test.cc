@@ -50,6 +50,14 @@ class MeanPredictor : public SelectivityModel {
   double mean_ = 0.0;
 };
 
+// Builds a registry estimator or aborts (test-friendly shorthand).
+std::unique_ptr<SelectivityModel> BuildOrDie(const std::string& spec,
+                                             int dim, size_t n) {
+  auto r = EstimatorRegistry::Build(spec, dim, n);
+  SEL_CHECK_MSG(r.ok(), "%s", r.status().ToString().c_str());
+  return std::move(r).value();
+}
+
 TEST(IntegrationTest, EveryModelBeatsTheMeanPredictor) {
   Pipeline p;
   const Workload train = p.Make(150, 501);
@@ -57,27 +65,26 @@ TEST(IntegrationTest, EveryModelBeatsTheMeanPredictor) {
   MeanPredictor mean;
   ASSERT_TRUE(mean.Train(train).ok());
   const double mean_rms = EvaluateModel(mean, test).rms;
-  for (ModelKind kind : {ModelKind::kQuadHist, ModelKind::kPtsHist,
-                         ModelKind::kQuickSel, ModelKind::kIsomer}) {
-    auto model = MakeModel(kind, 2, train.size());
-    ASSERT_TRUE(model->Train(train).ok()) << ModelKindName(kind);
+  for (const char* kind : {"quadhist", "ptshist", "quicksel",
+                            "isomer"}) {
+    auto model = BuildOrDie(kind, 2, train.size());
+    ASSERT_TRUE(model->Train(train).ok()) << kind;
     EXPECT_LT(EvaluateModel(*model, test).rms, mean_rms)
-        << ModelKindName(kind);
+        << kind;
   }
 }
 
 TEST(IntegrationTest, ErrorDecreasesWithTrainingSizeAllModels) {
   Pipeline p;
   const Workload test = p.Make(150, 503);
-  for (ModelKind kind : {ModelKind::kQuadHist, ModelKind::kPtsHist,
-                         ModelKind::kQuickSel}) {
-    auto small = MakeModel(kind, 2, 25);
+  for (const char* kind : {"quadhist", "ptshist", "quicksel"}) {
+    auto small = BuildOrDie(kind, 2, 25);
     ASSERT_TRUE(small->Train(p.Make(25, 504)).ok());
-    auto large = MakeModel(kind, 2, 250);
+    auto large = BuildOrDie(kind, 2, 250);
     ASSERT_TRUE(large->Train(p.Make(250, 505)).ok());
     EXPECT_LT(EvaluateModel(*large, test).rms,
               EvaluateModel(*small, test).rms + 1e-6)
-        << ModelKindName(kind);
+        << kind;
   }
 }
 
@@ -87,9 +94,9 @@ TEST(IntegrationTest, MonotoneUnderBoxNesting) {
   Pipeline p;
   const Workload train = p.Make(150, 506);
   Rng rng(507);
-  for (ModelKind kind : {ModelKind::kQuadHist, ModelKind::kPtsHist,
-                         ModelKind::kQuickSel, ModelKind::kIsomer}) {
-    auto model = MakeModel(kind, 2, train.size());
+  for (const char* kind : {"quadhist", "ptshist", "quicksel",
+                            "isomer"}) {
+    auto model = BuildOrDie(kind, 2, train.size());
     ASSERT_TRUE(model->Train(train).ok());
     for (int t = 0; t < 40; ++t) {
       Point c = {rng.NextDouble(), rng.NextDouble()};
@@ -99,7 +106,7 @@ TEST(IntegrationTest, MonotoneUnderBoxNesting) {
       const Box inner = Box::FromCenterAndWidths(c, w_in, Box::Unit(2));
       const Box outer = Box::FromCenterAndWidths(c, w_out, Box::Unit(2));
       EXPECT_LE(model->Estimate(inner), model->Estimate(outer) + 1e-9)
-          << ModelKindName(kind);
+          << kind;
     }
   }
 }
@@ -109,7 +116,7 @@ TEST(IntegrationTest, ConsistentAdditivityOverDisjointSplits) {
   // disjoint halves sums back (another §4 consistency property).
   Pipeline p;
   const Workload train = p.Make(150, 508);
-  auto model = MakeModel(ModelKind::kQuadHist, 2, train.size());
+  auto model = BuildOrDie("quadhist", 2, train.size());
   ASSERT_TRUE(model->Train(train).ok());
   Rng rng(509);
   for (int t = 0; t < 30; ++t) {
@@ -133,7 +140,7 @@ TEST(IntegrationTest, RandomWorkloadStillLearnable) {
       p.Make(250, 510, QueryType::kBox, CenterDistribution::kRandom);
   const Workload test =
       p.Make(150, 511, QueryType::kBox, CenterDistribution::kRandom);
-  auto model = MakeModel(ModelKind::kQuadHist, 2, train.size());
+  auto model = BuildOrDie("quadhist", 2, train.size());
   ASSERT_TRUE(model->Train(train).ok());
   EXPECT_LT(EvaluateModel(*model, test).rms, 0.05);
 }
@@ -145,7 +152,7 @@ TEST(IntegrationTest, CrossWorkloadGeneralizationDegradesGracefully) {
   const Workload train_dd = p.Make(250, 512);
   const Workload test_gauss = p.Make(150, 513, QueryType::kBox,
                                      CenterDistribution::kGaussian);
-  auto model = MakeModel(ModelKind::kQuadHist, 2, train_dd.size());
+  auto model = BuildOrDie("quadhist", 2, train_dd.size());
   ASSERT_TRUE(model->Train(train_dd).ok());
   EXPECT_LT(EvaluateModel(*model, test_gauss).rms, 0.12);
 }
@@ -162,11 +169,11 @@ TEST(IntegrationTest, AllQueryTypesLearnableWithPtsHist) {
     WorkloadGenerator gen(&data, &index, opts);
     const Workload train = gen.Generate(250);
     const Workload test = gen.Generate(120);
-    PtsHist model(3, PtsHistOptions{});
-    ASSERT_TRUE(model.Train(train).ok());
+    auto model = BuildOrDie("ptshist", 3, train.size());
+    ASSERT_TRUE(model->Train(train).ok());
     MeanPredictor mean;
     ASSERT_TRUE(mean.Train(train).ok());
-    EXPECT_LT(EvaluateModel(model, test).rms,
+    EXPECT_LT(EvaluateModel(*model, test).rms,
               EvaluateModel(mean, test).rms)
         << QueryTypeName(qt);
   }
@@ -183,7 +190,7 @@ TEST(IntegrationTest, NoisyLabelsStillTrainable) {
         z.selectivity + rng.Uniform(-0.05, 0.05), 0.0, 1.0);
   }
   const Workload test = p.Make(120, 518);
-  auto model = MakeModel(ModelKind::kQuadHist, 2, train.size());
+  auto model = BuildOrDie("quadhist", 2, train.size());
   ASSERT_TRUE(model->Train(train).ok());
   // Noise level 0.05/sqrt(3) bounds achievable rms; allow ~2x.
   EXPECT_LT(EvaluateModel(*model, test).rms, 0.07);
@@ -194,7 +201,7 @@ TEST(IntegrationTest, DeterministicEndToEnd) {
     Pipeline p(600);
     const Workload train = p.Make(80, 601);
     const Workload test = p.Make(40, 602);
-    auto model = MakeModel(ModelKind::kPtsHist, 2, train.size());
+    auto model = BuildOrDie("ptshist", 2, train.size());
     SEL_CHECK(model->Train(train).ok());
     std::vector<double> est;
     for (const auto& z : test) est.push_back(model->Estimate(z.query));
@@ -219,10 +226,10 @@ TEST(IntegrationTest, ArrangementLearnerHasLowestTrainingLoss) {
     return loss / static_cast<double>(train.size());
   };
   const double arr_loss = train_loss(arr);
-  for (ModelKind kind : {ModelKind::kQuadHist, ModelKind::kQuickSel}) {
-    auto model = MakeModel(kind, 2, train.size());
+  for (const char* kind : {"quadhist", "quicksel"}) {
+    auto model = BuildOrDie(kind, 2, train.size());
     ASSERT_TRUE(model->Train(train).ok());
-    EXPECT_LE(arr_loss, train_loss(*model) + 1e-6) << ModelKindName(kind);
+    EXPECT_LE(arr_loss, train_loss(*model) + 1e-6) << kind;
   }
 }
 
@@ -235,24 +242,24 @@ TEST(IntegrationTest, CategoricalPipelineEndToEnd) {
   WorkloadGenerator gen(&data, &index, opts);
   const Workload train = gen.Generate(200);
   const Workload test = gen.Generate(120);
-  for (ModelKind kind : {ModelKind::kQuadHist, ModelKind::kPtsHist}) {
-    auto model = MakeModel(kind, 2, train.size());
-    ASSERT_TRUE(model->Train(train).ok()) << ModelKindName(kind);
-    EXPECT_LT(EvaluateModel(*model, test).rms, 0.1) << ModelKindName(kind);
+  for (const char* kind : {"quadhist", "ptshist"}) {
+    auto model = BuildOrDie(kind, 2, train.size());
+    ASSERT_TRUE(model->Train(train).ok()) << kind;
+    EXPECT_LT(EvaluateModel(*model, test).rms, 0.1) << kind;
   }
 }
 
 TEST(IntegrationTest, EstimateFullAndEmptyExtremes) {
   Pipeline p;
   const Workload train = p.Make(100, 522);
-  for (ModelKind kind : {ModelKind::kQuadHist, ModelKind::kPtsHist,
-                         ModelKind::kQuickSel, ModelKind::kIsomer}) {
-    auto model = MakeModel(kind, 2, train.size());
+  for (const char* kind : {"quadhist", "ptshist", "quicksel",
+                            "isomer"}) {
+    auto model = BuildOrDie(kind, 2, train.size());
     ASSERT_TRUE(model->Train(train).ok());
     EXPECT_NEAR(model->Estimate(Box::Unit(2)), 1.0, 1e-5)
-        << ModelKindName(kind);
+        << kind;
     const Box empty({0.999, 0.999}, {1.0, 1.0});
-    EXPECT_LE(model->Estimate(empty), 0.2) << ModelKindName(kind);
+    EXPECT_LE(model->Estimate(empty), 0.2) << kind;
   }
 }
 

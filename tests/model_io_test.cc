@@ -5,6 +5,7 @@
 #include <filesystem>
 #include <fstream>
 
+#include "core/estimator_registry.h"
 #include "core/gmm.h"
 #include "core/model_io.h"
 #include "core/ptshist.h"
@@ -115,6 +116,82 @@ TEST(ModelIoTest, GmmRoundTripIdenticalEstimates) {
     EXPECT_NEAR(loaded.value()->Estimate(z.query), model.Estimate(z.query),
                 1e-5);
   }
+  std::filesystem::remove(path);
+}
+
+TEST(ModelIoTest, RegistrySaveLoadBitIdenticalEstimates) {
+  Fixture f;
+  const Workload train = f.Make(60, 907);
+  const Workload probe = f.Make(50, 908);
+  for (const std::string& name :
+       EstimatorRegistry::Global().SavableNames()) {
+    auto built = EstimatorRegistry::Build(name, 2, train.size());
+    ASSERT_TRUE(built.ok()) << name << ": " << built.status().ToString();
+    SelectivityModel& model = *built.value();
+    // Static forms ship untrained (uniform prior); everything else is
+    // trained before serialization.
+    if (name != "static" && name != "staticpoints") {
+      ASSERT_TRUE(model.Train(train).ok()) << name;
+    }
+    const std::string path = TempPath("sel_registry_" + name + ".model");
+    ASSERT_TRUE(SaveModel(model, path).ok()) << name;
+    auto loaded = LoadModel(path);
+    ASSERT_TRUE(loaded.ok()) << name << ": " << loaded.status().ToString();
+    EXPECT_EQ(loaded.value()->NumBuckets(), model.NumBuckets()) << name;
+    // %.17g serialization round-trips doubles exactly: re-saving the
+    // loaded model and loading again must give bit-identical estimates.
+    const std::string path2 = TempPath("sel_registry_" + name + "_2.model");
+    ASSERT_TRUE(SaveModel(*loaded.value(), path2).ok()) << name;
+    auto reloaded = LoadModel(path2);
+    ASSERT_TRUE(reloaded.ok()) << name << ": "
+                               << reloaded.status().ToString();
+    for (const auto& z : probe) {
+      EXPECT_EQ(loaded.value()->Estimate(z.query),
+                reloaded.value()->Estimate(z.query))
+          << name;
+      // Against the original model only to float accumulation order:
+      // e.g. QuadHist sums its leaves tree-wise, the loaded histogram
+      // linearly.
+      EXPECT_NEAR(loaded.value()->Estimate(z.query),
+                  model.Estimate(z.query), 1e-12)
+          << name;
+    }
+    std::filesystem::remove(path);
+    std::filesystem::remove(path2);
+  }
+}
+
+TEST(ModelIoTest, SaveModelRejectsTransientEstimators) {
+  Fixture f;
+  const Workload train = f.Make(40, 909);
+  auto built = EstimatorRegistry::Build("quicksel", 2, train.size());
+  ASSERT_TRUE(built.ok());
+  ASSERT_TRUE(built.value()->Train(train).ok());
+  const Status st = SaveModel(*built.value(), TempPath("x.model"));
+  EXPECT_EQ(st.code(), StatusCode::kUnimplemented);
+  EXPECT_NE(st.ToString().find("does not support serialization"),
+            std::string::npos);
+  // The message enumerates what IS savable, straight from the registry.
+  EXPECT_NE(st.ToString().find("quadhist"), std::string::npos);
+}
+
+TEST(ModelIoTest, SaveModelWritesRegistryNameHeader) {
+  Fixture f;
+  const Workload train = f.Make(40, 910);
+  auto built = EstimatorRegistry::Build("quadhist", 2, train.size());
+  ASSERT_TRUE(built.ok());
+  ASSERT_TRUE(built.value()->Train(train).ok());
+  const std::string path = TempPath("sel_header.model");
+  ASSERT_TRUE(SaveModel(*built.value(), path).ok());
+  std::ifstream in(path);
+  std::string line, header;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line[0] != '#') {
+      header = line;
+      break;
+    }
+  }
+  EXPECT_EQ(header.rfind("selmodel 1 quadhist 2 ", 0), 0u) << header;
   std::filesystem::remove(path);
 }
 

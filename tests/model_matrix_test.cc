@@ -14,14 +14,15 @@ namespace sel {
 namespace {
 
 struct Combo {
-  ModelKind model;
+  const char* model;  // EstimatorRegistry name
   QueryType query_type;
   const char* dataset;
   std::vector<int> attrs;
 };
 
 std::string ComboName(const ::testing::TestParamInfo<Combo>& info) {
-  return std::string(ModelKindName(info.param.model)) + "_" +
+  const auto* entry = EstimatorRegistry::Global().Find(info.param.model);
+  return entry->display_name + "_" +
          QueryTypeName(info.param.query_type) + "_" + info.param.dataset +
          "_" + std::to_string(info.param.attrs.size()) + "d";
 }
@@ -41,7 +42,9 @@ TEST_P(ModelMatrixTest, TrainsAndGeneralizes) {
   const Workload train = gen.Generate(150);
   const Workload test = gen.Generate(80);
 
-  auto model = MakeModel(c.model, data.dim(), train.size());
+  auto built = EstimatorRegistry::Build(c.model, data.dim(), train.size());
+  ASSERT_TRUE(built.ok()) << built.status().ToString();
+  auto& model = built.value();
   ASSERT_TRUE(model->Train(train).ok());
 
   // Bounded estimates; trivial baseline beaten.
@@ -64,30 +67,30 @@ INSTANTIATE_TEST_SUITE_P(
     AllSupportedCombos, ModelMatrixTest,
     ::testing::Values(
         // QuadHist: every query type, low dimensions.
-        Combo{ModelKind::kQuadHist, QueryType::kBox, "power", {0, 1}},
-        Combo{ModelKind::kQuadHist, QueryType::kBall, "power", {0, 1}},
-        Combo{ModelKind::kQuadHist, QueryType::kHalfspace, "power", {0, 1}},
-        Combo{ModelKind::kQuadHist, QueryType::kBox, "forest", {0, 1, 2}},
-        Combo{ModelKind::kQuadHist, QueryType::kBox, "census", {0, 8}},
+        Combo{"quadhist", QueryType::kBox, "power", {0, 1}},
+        Combo{"quadhist", QueryType::kBall, "power", {0, 1}},
+        Combo{"quadhist", QueryType::kHalfspace, "power", {0, 1}},
+        Combo{"quadhist", QueryType::kBox, "forest", {0, 1, 2}},
+        Combo{"quadhist", QueryType::kBox, "census", {0, 8}},
         // PtsHist: every query type, low and high dimensions.
-        Combo{ModelKind::kPtsHist, QueryType::kBox, "power", {0, 1}},
-        Combo{ModelKind::kPtsHist, QueryType::kBall, "forest",
+        Combo{"ptshist", QueryType::kBox, "power", {0, 1}},
+        Combo{"ptshist", QueryType::kBall, "forest",
               {0, 1, 2, 3}},
-        Combo{ModelKind::kPtsHist, QueryType::kHalfspace, "forest",
+        Combo{"ptshist", QueryType::kHalfspace, "forest",
               {0, 1, 2, 3}},
-        Combo{ModelKind::kPtsHist, QueryType::kBox, "forest",
+        Combo{"ptshist", QueryType::kBox, "forest",
               {0, 1, 2, 3, 4, 5}},
-        Combo{ModelKind::kPtsHist, QueryType::kBox, "dmv", {2, 10}},
+        Combo{"ptshist", QueryType::kBox, "dmv", {2, 10}},
         // QuickSel and ISOMER: boxes only (their supported class).
-        Combo{ModelKind::kQuickSel, QueryType::kBox, "power", {0, 1}},
-        Combo{ModelKind::kQuickSel, QueryType::kBox, "forest", {0, 1, 2}},
-        Combo{ModelKind::kQuickSel, QueryType::kBox, "census", {0, 8}},
-        Combo{ModelKind::kIsomer, QueryType::kBox, "power", {0, 1}},
-        Combo{ModelKind::kIsomer, QueryType::kBox, "forest", {0, 1}}),
+        Combo{"quicksel", QueryType::kBox, "power", {0, 1}},
+        Combo{"quicksel", QueryType::kBox, "forest", {0, 1, 2}},
+        Combo{"quicksel", QueryType::kBox, "census", {0, 8}},
+        Combo{"isomer", QueryType::kBox, "power", {0, 1}},
+        Combo{"isomer", QueryType::kBox, "forest", {0, 1}}),
     ComboName);
 
-// The GMM learner is not in the ModelKind factory sweep; cover its
-// combos directly.
+// The GMM learner joins the sweep through the registry too; cover its
+// query-type × dimension combos directly.
 class GmmMatrixTest
     : public ::testing::TestWithParam<std::tuple<QueryType, int>> {};
 
@@ -103,9 +106,10 @@ TEST_P(GmmMatrixTest, TrainsAndGeneralizes) {
   WorkloadGenerator gen(&data, &index, opts);
   const Workload train = gen.Generate(150);
   const Workload test = gen.Generate(80);
-  GmmModel model(d, GmmOptions{});
-  ASSERT_TRUE(model.Train(train).ok());
-  const ErrorReport r = EvaluateModel(model, test);
+  auto built = EstimatorRegistry::Build("gmm:budget=none", d, train.size());
+  ASSERT_TRUE(built.ok()) << built.status().ToString();
+  ASSERT_TRUE(built.value()->Train(train).ok());
+  const ErrorReport r = EvaluateModel(*built.value(), test);
   EXPECT_LT(r.rms, 0.15);
 }
 

@@ -140,7 +140,7 @@ TEST(OnlineTest, RejectsBadFeedback) {
 TEST(OnlineTest, WorksWithPtsHistBackend) {
   Fixture f;
   OnlineOptions opts;
-  opts.model = ModelKind::kPtsHist;
+  opts.estimator = "ptshist";
   opts.retrain_interval = 40;
   OnlineEstimator est(2, opts);
   for (const auto& z : f.Make(120, 958)) {

@@ -1,0 +1,73 @@
+#!/usr/bin/env bash
+# End-to-end smoke test for selcli: generate data and a workload, then
+# train / evaluate / estimate with every registered estimator. Savable
+# estimators must complete the full loop; transient ones must fail the
+# train step with the registry's capability error.
+set -u
+
+SELCLI="${1:?usage: selcli_smoke_test.sh <path-to-selcli>}"
+WORKDIR="$(mktemp -d)"
+trap 'rm -rf "${WORKDIR}"' EXIT
+cd "${WORKDIR}"
+
+fail() {
+  echo "FAIL: $*" >&2
+  exit 1
+}
+
+run() {
+  "${SELCLI}" "$@" || fail "selcli $* exited non-zero"
+}
+
+run gen-data power 4000 data.csv 7100
+run gen-workload data.csv 120 train.csv box data 7101
+run gen-workload data.csv 60 test.csv box data 7102
+
+# The registry enumerates itself; scrape the name column.
+"${SELCLI}" estimators > estimators.txt || fail "selcli estimators failed"
+NAMES="$(awk 'NR > 1 { print $1 }' estimators.txt)"
+[ -n "${NAMES}" ] || fail "selcli estimators listed nothing"
+for required in quadhist ptshist gmm quicksel; do
+  echo "${NAMES}" | grep -qx "${required}" \
+    || fail "estimator '${required}' missing from selcli estimators"
+done
+
+for name in ${NAMES}; do
+  savable="$(awk -v n="${name}" '$1 == n { print $4 }' estimators.txt)"
+  if [ "${name}" = "static" ] || [ "${name}" = "staticpoints" ]; then
+    # Static models are savable but immutable: training must fail with
+    # the model's own contract error, not a crash.
+    if "${SELCLI}" train train.csv "${name}.model" "${name}" \
+        > out.txt 2> err.txt; then
+      fail "train ${name} should have failed (immutable model)"
+    fi
+    grep -q "immutable" err.txt \
+      || fail "train ${name} missing immutability error: $(cat err.txt)"
+  elif [ "${savable}" = "yes" ]; then
+    run train train.csv "${name}.model" "${name}"
+    [ -s "${name}.model" ] || fail "train ${name} wrote no model file"
+    run evaluate "${name}.model" test.csv
+    # The power dataset has 7 attributes; unmentioned ones stay [0,1].
+    est="$("${SELCLI}" estimate "${name}.model" c0,c1,c2,c3,c4,c5,c6 \
+          'c0 < 0.5 AND c1 < 0.5')" \
+      || fail "estimate with ${name} exited non-zero"
+    awk -v e="${est}" 'BEGIN { exit !(e >= 0.0 && e <= 1.0) }' \
+      || fail "estimate with ${name} out of [0,1]: ${est}"
+  else
+    if "${SELCLI}" train train.csv "${name}.model" "${name}" \
+        > out.txt 2> err.txt; then
+      fail "train ${name} should have failed (no save support)"
+    fi
+    grep -q "does not support serialization" err.txt \
+      || fail "train ${name} missing capability error: $(cat err.txt)"
+  fi
+done
+
+# Unknown estimators fail with the registry's name listing.
+if "${SELCLI}" train train.csv x.model nosuchmodel > out.txt 2> err.txt; then
+  fail "train with unknown estimator should have failed"
+fi
+grep -q "unknown estimator 'nosuchmodel'" err.txt \
+  || fail "unknown-estimator error not from registry: $(cat err.txt)"
+
+echo "selcli smoke test passed"

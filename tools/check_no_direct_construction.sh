@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Lint: bench/ and tools/ must build estimators through the
+# EstimatorRegistry, never by constructing concrete learner types. The
+# registry is the single namespace for estimators; direct construction
+# reintroduces the closed-enum coupling this repo removed.
+#
+# Allowed escapes: *Options structs (plain config), dynamic_cast to a
+# concrete type for model-specific accessors after a registry build.
+set -u
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+TYPES='QuadHist|PtsHist|QuickSel|Isomer|GmmModel|AviHistogram|ArrangementLearner'
+
+violations="$(
+  grep -rnE \
+    "\b(${TYPES})[[:space:]]+[A-Za-z_][A-Za-z0-9_]*[[:space:]]*[({]|make_unique<[[:space:]]*(${TYPES})\b|new[[:space:]]+(${TYPES})\b" \
+    "${ROOT}/bench" "${ROOT}/tools" --include='*.cc' --include='*.h' \
+  | grep -vE 'Options|dynamic_cast' | grep -v '"'
+)"
+
+if [ -n "${violations}" ]; then
+  echo "error: direct estimator construction in bench/ or tools/ —" >&2
+  echo "build through EstimatorRegistry::Build(spec, dim, n) instead:" >&2
+  echo "${violations}" >&2
+  exit 1
+fi
+echo "no direct estimator construction in bench/ or tools/"

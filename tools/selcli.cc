@@ -4,13 +4,16 @@
 //          [seed]
 //   selcli gen-workload <data.csv> <count> <out.csv>
 //          [box|ball|halfspace] [data|random|gaussian] [seed]
-//   selcli train <workload.csv> <model.out>
-//          [quadhist|ptshist|quicksel|gmm]
+//   selcli train <workload.csv> <model.out> [<estimator-spec>]
 //   selcli evaluate <model.out> <workload.csv>
 //   selcli estimate <model.out> <schema-a,b,c> "<predicate>"
+//   selcli estimators
 //
-// The full loop: capture a query log as a workload CSV, train offline,
-// ship the model file, evaluate or answer ad-hoc WHERE predicates.
+// Estimators come from the EstimatorRegistry; `<estimator-spec>` is a
+// registry spec string such as "quadhist:tau=0.002" (run
+// `selcli estimators` for the full table). The full loop: capture a
+// query log as a workload CSV, train offline, ship the model file,
+// evaluate or answer ad-hoc WHERE predicates.
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -28,6 +31,16 @@
 
 namespace sel {
 
+std::string JoinNames(const std::vector<std::string>& names,
+                      const char* sep) {
+  std::string joined;
+  for (const auto& n : names) {
+    if (!joined.empty()) joined += sep;
+    joined += n;
+  }
+  return joined;
+}
+
 int Usage() {
   std::fprintf(
       stderr,
@@ -35,11 +48,29 @@ int Usage() {
       "  selcli gen-data <name> <rows> <out.csv> [seed]\n"
       "  selcli gen-workload <data.csv> <count> <out.csv> "
       "[box|ball|halfspace] [data|random|gaussian] [seed]\n"
-      "  selcli train <workload.csv> <model.out> "
-      "[quadhist|ptshist|quicksel|gmm]\n"
+      "  selcli train <workload.csv> <model.out> [<estimator-spec>]\n"
       "  selcli evaluate <model.out> <workload.csv>\n"
-      "  selcli estimate <model.out> <schema-a,b,c> \"<predicate>\"\n");
+      "  selcli estimate <model.out> <schema-a,b,c> \"<predicate>\"\n"
+      "  selcli estimators\n"
+      "\n"
+      "estimator specs are \"name[:key=value,...]\", e.g. "
+      "\"quadhist:tau=0.002\";\n"
+      "registered estimators: %s\n",
+      JoinNames(EstimatorRegistry::Global().Names(), "|").c_str());
   return 2;
+}
+
+int Estimators() {
+  const EstimatorRegistry& reg = EstimatorRegistry::Global();
+  std::printf("%-14s %-18s %-14s %-5s %s\n", "name", "model", "paper",
+              "save", "options");
+  for (const std::string& name : reg.Names()) {
+    const EstimatorRegistry::Entry* e = reg.Find(name);
+    std::printf("%-14s %-18s %-14s %-5s %s\n", name.c_str(),
+                e->display_name.c_str(), e->paper_section.c_str(),
+                e->save ? "yes" : "no", e->options_summary.c_str());
+  }
+  return 0;
 }
 
 int Fail(const Status& st) {
@@ -115,50 +146,34 @@ int Train(int argc, char** argv) {
     return Fail(Status::InvalidArgument("workload is empty"));
   }
   const std::string out = argv[1];
-  const std::string kind = argc > 2 ? argv[2] : "quadhist";
+  const std::string spec_string = argc > 2 ? argv[2] : "quadhist";
   const int dim = w[0].query.dim();
   const size_t n = w.size();
 
-  Status save = Status::OK();
-  if (kind == "quadhist") {
-    QuadHistOptions o;
-    o.tau = 0.002;
-    o.max_leaves = 4 * n;
-    QuadHist model(dim, o);
-    SEL_RETURN_STATUS_AS_EXIT(model.Train(w));
-    save = SaveHistogramModel(model.LeafBoxes(), model.LeafWeights(), out);
-    std::printf("trained QuadHist: %zu buckets, train loss %.3g, %.3fs\n",
-                model.NumBuckets(), model.train_stats().train_loss,
-                model.train_stats().train_seconds);
-  } else if (kind == "ptshist") {
-    PtsHist model(dim, PtsHistOptions{});
-    SEL_RETURN_STATUS_AS_EXIT(model.Train(w));
-    save = SavePointModel(model.BucketPoints(), model.BucketWeights(), out);
-    std::printf("trained PtsHist: %zu buckets, train loss %.3g, %.3fs\n",
-                model.NumBuckets(), model.train_stats().train_loss,
-                model.train_stats().train_seconds);
-  } else if (kind == "quicksel") {
-    QuickSel model(dim, QuickSelOptions{});
-    SEL_RETURN_STATUS_AS_EXIT(model.Train(w));
-    // QuickSel's overlapping kernels estimate via the same Eq. (6) sum,
-    // so they serialize as a (non-partitioning) histogram.
-    Vector weights(model.NumBuckets());
-    // Weights are not exposed individually; re-derive by probing each
-    // kernel alone is not possible — serialize via StaticHistogram is
-    // unsupported; reject for now.
-    (void)weights;
-    return Fail(Status::Unimplemented(
-        "quicksel serialization is not supported; use quadhist/ptshist/gmm"));
-  } else if (kind == "gmm") {
-    GmmModel model(dim, GmmOptions{});
-    SEL_RETURN_STATUS_AS_EXIT(model.Train(w));
-    save = SaveGmmModel(model, out);
-    std::printf("trained GMM: %zu components, train loss %.3g, %.3fs\n",
-                model.NumBuckets(), model.train_stats().train_loss,
-                model.train_stats().train_seconds);
-  } else {
-    return Usage();
+  auto spec = EstimatorSpec::Parse(spec_string);
+  if (!spec.ok()) return Fail(spec.status());
+  const EstimatorRegistry& reg = EstimatorRegistry::Global();
+  const EstimatorRegistry::Entry* entry = reg.Find(spec.value().name);
+  if (entry == nullptr) {
+    return Fail(reg.UnknownEstimatorError(spec.value().name));
   }
+  // Capability check up front: do not spend training time on a model we
+  // cannot serialize afterwards.
+  if (!reg.SupportsSave(spec.value().name)) {
+    return Fail(Status::Unimplemented(
+        "estimator '" + spec.value().name +
+        "' does not support serialization; savable estimators: " +
+        JoinNames(reg.SavableNames(), ", ")));
+  }
+  auto built = EstimatorRegistry::Build(spec.value(), dim, n);
+  if (!built.ok()) return Fail(built.status());
+  SelectivityModel& model = *built.value();
+  SEL_RETURN_STATUS_AS_EXIT(model.Train(w));
+  std::printf("trained %s: %zu buckets, train loss %.3g, %.3fs\n",
+              model.Name().c_str(), model.NumBuckets(),
+              model.train_stats().train_loss,
+              model.train_stats().train_seconds);
+  const Status save = SaveModel(model, out);
   if (!save.ok()) return Fail(save);
   std::printf("model written to %s\n", out.c_str());
   return 0;
@@ -207,5 +222,6 @@ int main(int argc, char** argv) {
   if (cmd == "train") return sel::Train(argc, argv);
   if (cmd == "evaluate") return sel::Evaluate(argc, argv);
   if (cmd == "estimate") return sel::Estimate(argc, argv);
+  if (cmd == "estimators") return sel::Estimators();
   return sel::Usage();
 }
