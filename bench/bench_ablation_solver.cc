@@ -23,10 +23,11 @@ int main() {
   const Workload test = test_gen.Generate(test_size);
 
   TablePrinter t({"solver", "train_n", "buckets", "train_loss", "rms",
-                  "train_s"});
+                  "train_s", "converged"});
   CsvWriter csv("bench_ablation_solver.csv");
   csv.WriteRow(std::vector<std::string>{"solver", "train_n", "buckets",
-                                        "train_loss", "rms", "train_s"});
+                                        "train_loss", "rms", "train_s",
+                                        "converged"});
   for (size_t n : sizes) {
     WorkloadOptions train_opts = wopts;
     train_opts.seed = wopts.seed + n;
@@ -42,14 +43,15 @@ int main() {
       const char* name =
           std::string(solver) == "pg" ? "proj-gradient" : "nnls";
       const ErrorReport r = EvaluateModel(model, test, QFloor(prep));
+      const char* conv = model.train_stats().converged ? "yes" : "no";
       t.AddRow({name, std::to_string(n), std::to_string(model.NumBuckets()),
                 FormatDouble(model.train_stats().train_loss, 8),
                 FormatDouble(r.rms, 5),
-                FormatDouble(model.train_stats().train_seconds, 4)});
+                FormatDouble(model.train_stats().train_seconds, 4), conv});
       csv.WriteRow(std::vector<std::string>{
           name, std::to_string(n), std::to_string(model.NumBuckets()),
           FormatDouble(model.train_stats().train_loss), FormatDouble(r.rms),
-          FormatDouble(model.train_stats().train_seconds)});
+          FormatDouble(model.train_stats().train_seconds), conv});
     }
   }
   csv.Close();

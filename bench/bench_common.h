@@ -169,7 +169,7 @@ inline void WriteSweepCsv(const std::string& path,
   CsvWriter csv(path);
   csv.WriteRow(std::vector<std::string>{
       "model", "train_n", "buckets", "rms", "mae", "linf", "q50", "q95",
-      "q99", "qmax", "train_seconds", "ok"});
+      "q99", "qmax", "train_seconds", "ok", "fallback_level", "converged"});
   for (const auto& c : cells) {
     csv.WriteRow(std::vector<std::string>{
         c.model, std::to_string(c.train_size), std::to_string(c.buckets),
@@ -177,7 +177,8 @@ inline void WriteSweepCsv(const std::string& path,
         FormatDouble(c.errors.linf), FormatDouble(c.errors.q50),
         FormatDouble(c.errors.q95), FormatDouble(c.errors.q99),
         FormatDouble(c.errors.qmax), FormatDouble(c.train_seconds),
-        c.ok ? "1" : "0"});
+        c.ok ? "1" : "0", std::to_string(c.fallback_level),
+        c.converged ? "1" : "0"});
   }
   csv.Close();
   std::printf("csv: %s\n\n", path.c_str());

@@ -79,11 +79,12 @@ Status QuickSel::Train(const Workload& workload) {
   const Vector s = SelectivitiesOf(workload);
   SimplexLsqOptions solver = options_.solver;
   solver.ridge = options_.ridge;
-  auto res = SolveSimplexLeastSquares(a, s, solver);
-  if (!res.ok()) return res.status();
-  weights_ = std::move(res.value().w);
-  train_stats_.train_loss = res.value().loss;
-  train_stats_.solver_iterations = res.value().iterations;
+  // Through the shared fallback chain: a bad batch degrades the solve
+  // (recorded in train_stats_) instead of failing the train.
+  auto weights = SolveBucketWeights(a, s, TrainObjective::kL2, solver,
+                                    LpOptions{}, &train_stats_);
+  if (!weights.ok()) return weights.status();
+  weights_ = std::move(weights.value());
 
   trained_ = true;
   train_stats_.train_seconds = timer.Seconds();

@@ -1,0 +1,146 @@
+#include "common/fault.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "common/check.h"
+#include "common/env.h"
+#include "common/string_util.h"
+
+namespace sel {
+
+namespace fault_internal {
+std::atomic<bool> g_any_armed{false};
+}  // namespace fault_internal
+
+FaultRegistry& FaultRegistry::Global() {
+  static FaultRegistry* registry = new FaultRegistry();
+  return *registry;
+}
+
+FaultRegistry::FaultRegistry() {
+  const std::string spec = GetEnvString("SEL_FAULTS", "");
+  if (!spec.empty()) {
+    const Status st = ArmFromSpec(spec);
+    SEL_CHECK_MSG(st.ok(), "SEL_FAULTS: %s", st.ToString().c_str());
+  }
+}
+
+void FaultRegistry::RefreshActiveFlag() {
+  bool any = false;
+  for (const auto& [name, site] : sites_) {
+    if (site.armed()) {
+      any = true;
+      break;
+    }
+  }
+  fault_internal::g_any_armed.store(any, std::memory_order_relaxed);
+}
+
+void FaultRegistry::Arm(const std::string& site, uint64_t trigger) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Site& s = sites_[site];
+  if (trigger == kEveryHit) {
+    s.every_hit = true;
+  } else {
+    s.triggers.push_back(trigger);
+  }
+  fault_internal::g_any_armed.store(true, std::memory_order_relaxed);
+}
+
+void FaultRegistry::Disarm(const std::string& site) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sites_.find(site);
+  if (it != sites_.end()) {
+    it->second.every_hit = false;
+    it->second.triggers.clear();
+  }
+  RefreshActiveFlag();
+}
+
+void FaultRegistry::DisarmAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  sites_.clear();
+  fault_internal::g_any_armed.store(false, std::memory_order_relaxed);
+}
+
+Status FaultRegistry::ArmFromSpec(const std::string& spec) {
+  for (const std::string& raw : Split(spec, ',')) {
+    const std::string entry = Trim(raw);
+    if (entry.empty()) continue;
+    const size_t at = entry.find('@');
+    const std::string site = Trim(entry.substr(0, at));
+    if (site.empty()) {
+      return Status::InvalidArgument("fault spec entry '" + entry +
+                                     "' has an empty site name");
+    }
+    uint64_t trigger = 1;
+    if (at != std::string::npos) {
+      const std::string t = Trim(entry.substr(at + 1));
+      if (t == "*") {
+        trigger = kEveryHit;
+      } else {
+        char* end = nullptr;
+        const unsigned long long parsed = std::strtoull(t.c_str(), &end, 10);
+        // strtoull wraps "-1" to a huge value; forbid signs outright.
+        if (t.empty() || t[0] == '-' || t[0] == '+' ||
+            end != t.c_str() + t.size() || parsed == 0) {
+          return Status::InvalidArgument(
+              "fault spec entry '" + entry +
+              "' has a bad trigger '" + t + "' (expected a hit number >= 1 "
+              "or '*')");
+        }
+        trigger = parsed;
+      }
+    }
+    Arm(site, trigger);
+  }
+  return Status::OK();
+}
+
+bool FaultRegistry::Hit(const char* site) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Site& s = sites_[site];
+  ++s.hits;
+  const bool fires =
+      s.every_hit ||
+      std::find(s.triggers.begin(), s.triggers.end(), s.hits) !=
+          s.triggers.end();
+  if (fires) ++s.fires;
+  return fires;
+}
+
+uint64_t FaultRegistry::HitCount(const std::string& site) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = sites_.find(site);
+  return it == sites_.end() ? 0 : it->second.hits;
+}
+
+uint64_t FaultRegistry::FireCount(const std::string& site) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = sites_.find(site);
+  return it == sites_.end() ? 0 : it->second.fires;
+}
+
+std::vector<std::string> FaultRegistry::ArmedSites() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> out;
+  for (const auto& [name, site] : sites_) {
+    if (site.armed()) out.push_back(name);
+  }
+  return out;
+}
+
+namespace {
+
+/// Touch the registry at static-init time so a SEL_FAULTS-armed process
+/// flips the fast-path flag before any fault site is reached (and a
+/// malformed spec aborts at startup, not mid-run).
+const bool g_fault_env_init = [] {
+  if (!GetEnvString("SEL_FAULTS", "").empty()) FaultRegistry::Global();
+  return true;
+}();
+
+}  // namespace
+
+}  // namespace sel

@@ -1,0 +1,110 @@
+// Deterministic fault injection for robustness testing.
+//
+// Library code plants named fault sites on its failure-prone paths
+// (solver iteration caps, short reads, retrain failures):
+//
+//   if (SEL_FAULT_POINT("qp.force_iteration_limit")) { ...degrade... }
+//
+// Sites are inert until armed, either programmatically (tests call
+// FaultRegistry::Global().Arm(...)) or via the SEL_FAULTS environment
+// knob parsed at process start:
+//
+//   SEL_FAULTS="qp.force_iteration_limit@1,io.model_short_read"
+//
+// Each entry is `site[@trigger]` where `trigger` is the 1-based hit
+// number the fault fires on (default 1) or `*` to fire on every hit.
+// Arming the same site repeatedly accumulates triggers, so
+// "lp.force_infeasible@1,lp.force_infeasible@3" fires on hits 1 and 3.
+//
+// The macro's fast path is a single relaxed atomic load, so unarmed
+// processes pay (essentially) nothing; hit accounting only runs while
+// at least one site is armed. All registry operations are thread-safe,
+// and hit/fire counters are introspectable from tests.
+#ifndef SEL_COMMON_FAULT_H_
+#define SEL_COMMON_FAULT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace sel {
+
+namespace fault_internal {
+extern std::atomic<bool> g_any_armed;
+}  // namespace fault_internal
+
+/// True iff at least one fault site is armed (the macro's fast path).
+inline bool FaultInjectionActive() {
+  return fault_internal::g_any_armed.load(std::memory_order_relaxed);
+}
+
+/// Process-wide registry of armed fault sites and their hit counters.
+class FaultRegistry {
+ public:
+  /// Fires on every hit when armed with this trigger value.
+  static constexpr uint64_t kEveryHit = 0;
+
+  /// The singleton. First use parses SEL_FAULTS (aborting loudly on a
+  /// malformed spec: a misconfigured injection run must not pass as a
+  /// clean one).
+  static FaultRegistry& Global();
+
+  /// Arms `site` to fire on its `trigger`-th hit (1-based), or on every
+  /// hit when `trigger` is kEveryHit. Triggers accumulate per site.
+  void Arm(const std::string& site, uint64_t trigger = 1);
+
+  /// Removes all triggers for `site` (its counters survive).
+  void Disarm(const std::string& site);
+
+  /// Removes every trigger and resets all counters.
+  void DisarmAll();
+
+  /// Arms from a "site[@n],site[@n]" spec (`n` >= 1 or `*`). Empty spec
+  /// is a no-op. InvalidArgument on malformed entries.
+  Status ArmFromSpec(const std::string& spec);
+
+  /// Records a hit at `site`. True iff an armed trigger fires on this
+  /// hit. Called via SEL_FAULT_POINT, only while injection is active.
+  bool Hit(const char* site);
+
+  /// Total hits recorded at `site` while injection was active.
+  uint64_t HitCount(const std::string& site) const;
+
+  /// Total times `site` actually fired.
+  uint64_t FireCount(const std::string& site) const;
+
+  /// Names of all currently armed sites, sorted.
+  std::vector<std::string> ArmedSites() const;
+
+ private:
+  FaultRegistry();
+
+  struct Site {
+    uint64_t hits = 0;
+    uint64_t fires = 0;
+    bool every_hit = false;
+    std::vector<uint64_t> triggers;  ///< 1-based hit numbers to fire on
+    bool armed() const { return every_hit || !triggers.empty(); }
+  };
+
+  void RefreshActiveFlag();  // holding mu_
+
+  mutable std::mutex mu_;
+  std::map<std::string, Site> sites_;
+};
+
+}  // namespace sel
+
+/// Plants a named fault site: evaluates to true iff `site` is armed and
+/// one of its triggers fires on this hit. Near-zero cost when no site in
+/// the process is armed.
+#define SEL_FAULT_POINT(site)             \
+  (::sel::FaultInjectionActive() &&       \
+   ::sel::FaultRegistry::Global().Hit(site))
+
+#endif  // SEL_COMMON_FAULT_H_

@@ -1,11 +1,13 @@
 #include "core/model_io.h"
 
 #include <cinttypes>
+#include <cmath>
 #include <cstdio>
 #include <fstream>
 #include <functional>
 #include <sstream>
 
+#include "common/fault.h"
 #include "common/string_util.h"
 
 namespace sel {
@@ -45,9 +47,14 @@ std::string CanonicalKind(const std::string& kind) {
 bool ReadDoubles(std::istringstream& is, int n, Point* out) {
   out->resize(n);
   for (int j = 0; j < n; ++j) {
-    if (!(is >> (*out)[j])) return false;
+    if (!(is >> (*out)[j]) || !std::isfinite((*out)[j])) return false;
   }
   return true;
+}
+
+/// Reads the trailing weight of a record; NaN/inf weights are corrupt.
+bool ReadWeight(std::istringstream& is, double* w) {
+  return static_cast<bool>(is >> *w) && std::isfinite(*w);
 }
 
 /// Iterates the non-comment record lines of `ctx`, enforcing the
@@ -144,7 +151,7 @@ Result<std::unique_ptr<SelectivityModel>> LoadBoxModel(
         Point lo, hi;
         double w = 0.0;
         if (!ReadDoubles(ls, ctx.dim, &lo) || !ReadDoubles(ls, ctx.dim, &hi) ||
-            !(ls >> w)) {
+            !ReadWeight(ls, &w)) {
           return Status::IOError("malformed box record in " + ctx.path);
         }
         for (int j = 0; j < ctx.dim; ++j) {
@@ -169,7 +176,7 @@ Result<std::unique_ptr<SelectivityModel>> LoadPointModel(
       ctx, "point", [&](std::istringstream& ls) -> Status {
         Point p;
         double w = 0.0;
-        if (!ReadDoubles(ls, ctx.dim, &p) || !(ls >> w)) {
+        if (!ReadDoubles(ls, ctx.dim, &p) || !ReadWeight(ls, &w)) {
           return Status::IOError("malformed point record in " + ctx.path);
         }
         points.push_back(std::move(p));
@@ -190,7 +197,7 @@ Result<std::unique_ptr<SelectivityModel>> LoadGaussModel(
         Point mean, sd;
         double w = 0.0;
         if (!ReadDoubles(ls, ctx.dim, &mean) ||
-            !ReadDoubles(ls, ctx.dim, &sd) || !(ls >> w)) {
+            !ReadDoubles(ls, ctx.dim, &sd) || !ReadWeight(ls, &w)) {
           return Status::IOError("malformed gauss record in " + ctx.path);
         }
         for (double s : sd) {
@@ -230,6 +237,9 @@ Status SaveModel(const SelectivityModel& model, const std::string& path) {
 Result<std::unique_ptr<SelectivityModel>> LoadModel(const std::string& path) {
   std::ifstream in(path);
   if (!in.good()) return Status::IOError("cannot open: " + path);
+  if (SEL_FAULT_POINT("io.model_short_read")) {
+    return Status::IOError("short read (injected fault): " + path);
+  }
 
   std::string line;
   std::string kind;

@@ -1,15 +1,54 @@
 #include "core/online.h"
 
+#include <algorithm>
+#include <cmath>
+
 #include "common/check.h"
+#include "common/fault.h"
 #include "core/estimator_registry.h"
 
 namespace sel {
+
+Status OnlineOptions::Validate() const {
+  // NaN-proof: `!(x >= lo && x <= hi)` also rejects NaN, which plain
+  // range comparisons would wave through.
+  if (!(prior_estimate >= 0.0 && prior_estimate <= 1.0)) {
+    return Status::InvalidArgument(
+        "OnlineOptions: prior_estimate must be in [0,1]");
+  }
+  if (window_capacity == 0) {
+    return Status::InvalidArgument(
+        "OnlineOptions: window_capacity must be positive");
+  }
+  if (max_backoff_multiplier == 0) {
+    return Status::InvalidArgument(
+        "OnlineOptions: max_backoff_multiplier must be positive");
+  }
+  auto spec = EstimatorSpec::Parse(estimator);
+  SEL_RETURN_IF_ERROR(spec.status());
+  if (EstimatorRegistry::Global().Find(spec.value().name) == nullptr) {
+    return EstimatorRegistry::Global().UnknownEstimatorError(
+        spec.value().name);
+  }
+  return Status::OK();
+}
+
+Result<std::unique_ptr<OnlineEstimator>> OnlineEstimator::Create(
+    int domain_dim, const OnlineOptions& options) {
+  if (domain_dim < 1) {
+    return Status::InvalidArgument(
+        "OnlineEstimator: domain_dim must be >= 1");
+  }
+  SEL_RETURN_IF_ERROR(options.Validate());
+  return std::make_unique<OnlineEstimator>(domain_dim, options);
+}
 
 OnlineEstimator::OnlineEstimator(int domain_dim,
                                  const OnlineOptions& options)
     : dim_(domain_dim), options_(options) {
   SEL_CHECK(domain_dim >= 1);
-  SEL_CHECK(options_.window_capacity > 0);
+  last_error_ = options_.Validate();
+  current_interval_ = options_.retrain_interval;
 }
 
 double OnlineEstimator::Estimate(const Query& query) const {
@@ -20,10 +59,17 @@ double OnlineEstimator::Estimate(const Query& query) const {
 
 Status OnlineEstimator::Feedback(const Query& query,
                                  double true_selectivity) {
+  if (!last_error_.ok() && retrain_count_ == 0 &&
+      failed_retrain_count_ == 0) {
+    // Construction-time validation failure: surface it instead of
+    // silently pooling feedback an invalid estimator spec can never
+    // consume.
+    return last_error_;
+  }
   if (query.dim() != dim_) {
     return Status::InvalidArgument("OnlineEstimator: dimension mismatch");
   }
-  if (true_selectivity < 0.0 || true_selectivity > 1.0) {
+  if (!(true_selectivity >= 0.0 && true_selectivity <= 1.0)) {
     return Status::InvalidArgument(
         "OnlineEstimator: selectivity must be in [0,1]");
   }
@@ -32,30 +78,71 @@ Status OnlineEstimator::Feedback(const Query& query,
     window_.pop_front();
   }
   ++since_retrain_;
-  if (options_.retrain_interval > 0 &&
-      since_retrain_ >= options_.retrain_interval) {
-    return Retrain();
+  if (options_.retrain_interval > 0 && since_retrain_ >= current_interval_) {
+    // An automatic retrain that fails is a degraded state, not an error
+    // to the caller: the feedback itself was absorbed and estimates keep
+    // flowing from the previous model. RetrainNow() recorded the failure
+    // in last_error() and backed the interval off.
+    (void)RetrainNow();
   }
   return Status::OK();
 }
 
 Status OnlineEstimator::Retrain() {
+  if (!last_error_.ok() && retrain_count_ == 0 &&
+      failed_retrain_count_ == 0) {
+    return last_error_;
+  }
   if (window_.empty()) return Status::OK();
-  const Workload snapshot(window_.begin(), window_.end());
-  auto spec = EstimatorSpec::Parse(options_.estimator);
-  SEL_RETURN_IF_ERROR(spec.status());
-  // Vary the stochastic seed across rounds so repeated retrains do not
-  // reuse identical bucket samples (still fully deterministic overall).
-  spec.value().seed += retrain_count_ + 1;
-  spec.value().seed_set = true;
-  auto fresh =
-      EstimatorRegistry::Build(spec.value(), dim_, snapshot.size());
-  SEL_RETURN_IF_ERROR(fresh.status());
-  SEL_RETURN_IF_ERROR(fresh.value()->Train(snapshot));
-  model_ = std::move(fresh).value();
+  return RetrainNow();
+}
+
+Status OnlineEstimator::RetrainNow() {
+  auto attempt = [&]() -> Status {
+    if (SEL_FAULT_POINT("online.fail_retrain")) {
+      return Status::Internal("injected fault: online.fail_retrain");
+    }
+    const Workload snapshot(window_.begin(), window_.end());
+    auto spec = EstimatorSpec::Parse(options_.estimator);
+    SEL_RETURN_IF_ERROR(spec.status());
+    // Vary the stochastic seed across rounds so repeated retrains do not
+    // reuse identical bucket samples (still fully deterministic overall).
+    spec.value().seed += retrain_count_ + 1;
+    spec.value().seed_set = true;
+    auto fresh =
+        EstimatorRegistry::Build(spec.value(), dim_, snapshot.size());
+    SEL_RETURN_IF_ERROR(fresh.status());
+    SEL_RETURN_IF_ERROR(fresh.value()->Train(snapshot));
+    model_ = std::move(fresh).value();
+    return Status::OK();
+  };
+
+  const Status st = attempt();
   since_retrain_ = 0;
-  ++retrain_count_;
-  return Status::OK();
+  if (st.ok()) {
+    ++retrain_count_;
+    consecutive_failures_ = 0;
+    current_interval_ = options_.retrain_interval;
+    last_error_ = Status::OK();
+    return st;
+  }
+  // Exponential backoff: double the effective interval per consecutive
+  // failure, capped at retrain_interval * max_backoff_multiplier, so a
+  // persistently bad window does not pay a full retrain every
+  // `retrain_interval` queries. The previous model keeps serving.
+  ++failed_retrain_count_;
+  ++consecutive_failures_;
+  if (options_.retrain_interval > 0) {
+    const size_t cap =
+        options_.retrain_interval * options_.max_backoff_multiplier;
+    size_t interval = options_.retrain_interval;
+    for (size_t i = 0; i < consecutive_failures_ && interval < cap; ++i) {
+      interval = std::min(cap, interval * 2);
+    }
+    current_interval_ = interval;
+  }
+  last_error_ = st;
+  return st;
 }
 
 }  // namespace sel

@@ -8,6 +8,12 @@
 // window, and retrain on a schedule. Retraining from the window is how
 // the theory's "training sample from distribution Q" meets a live,
 // possibly drifting workload (§4.3).
+//
+// Serving-path degradation: a failed retrain never takes estimation
+// down. The previous model keeps answering, the failure is exposed via
+// last_error(), and the retrain interval backs off exponentially
+// (capped, reset on the next success) so a persistently bad window does
+// not burn a full retrain every `retrain_interval` queries.
 #ifndef SEL_CORE_ONLINE_H_
 #define SEL_CORE_ONLINE_H_
 
@@ -34,22 +40,42 @@ struct OnlineOptions {
   std::string estimator = "quadhist";
   /// Estimate returned before the first training round (a blind prior).
   double prior_estimate = 0.5;
+  /// Ceiling of the failed-retrain backoff, as a multiple of
+  /// retrain_interval: the effective interval doubles per consecutive
+  /// failure up to `retrain_interval * max_backoff_multiplier`.
+  size_t max_backoff_multiplier = 16;
+
+  /// Checks the options a construction time instead of at the first
+  /// retrain: prior_estimate in [0,1], positive capacities, and an
+  /// estimator spec that parses against a registered estimator.
+  Status Validate() const;
 };
 
 /// A self-retraining selectivity estimator fed by query execution.
 class OnlineEstimator {
  public:
+  /// Validates `options` up front (InvalidArgument on a bad spec or
+  /// prior) — the checked construction path.
+  static Result<std::unique_ptr<OnlineEstimator>> Create(
+      int domain_dim, const OnlineOptions& options);
+
+  /// Direct construction: a validation failure is deferred into
+  /// `last_error()` and every Feedback/Retrain call, never an abort.
   OnlineEstimator(int domain_dim, const OnlineOptions& options);
 
-  /// Current estimate for `query` (the prior before any training).
+  /// Current estimate for `query` (the prior before any training; the
+  /// previous model while retrains are failing).
   double Estimate(const Query& query) const;
 
   /// Absorbs one executed query's true selectivity; may trigger a
-  /// retrain per `retrain_interval`.
+  /// retrain per the (backed-off) retrain interval. A failed automatic
+  /// retrain degrades gracefully: the error lands in last_error(), the
+  /// interval backs off, and OK is returned — the feedback itself was
+  /// absorbed and serving continues on the previous model.
   Status Feedback(const Query& query, double true_selectivity);
 
   /// Forces a retrain on the current window (no-op while the window is
-  /// empty).
+  /// empty). Returns — and records in last_error() — the actual outcome.
   Status Retrain();
 
   /// Number of feedback records currently in the window.
@@ -58,16 +84,34 @@ class OnlineEstimator {
   /// Number of completed retrains.
   size_t retrain_count() const { return retrain_count_; }
 
+  /// Number of failed retrain attempts since construction.
+  size_t failed_retrain_count() const { return failed_retrain_count_; }
+
+  /// OK, or the error of the most recent failed retrain (cleared by the
+  /// next successful one). Construction-time validation errors also
+  /// surface here.
+  const Status& last_error() const { return last_error_; }
+
+  /// The effective retrain interval right now: `retrain_interval`, or
+  /// its backed-off multiple while retrains are failing.
+  size_t current_retrain_interval() const { return current_interval_; }
+
   /// True once a model has been trained.
   bool trained() const { return model_ != nullptr; }
 
  private:
+  Status RetrainNow();
+
   int dim_;
   OnlineOptions options_;
   std::deque<LabeledQuery> window_;
   std::unique_ptr<SelectivityModel> model_;
   size_t since_retrain_ = 0;
   size_t retrain_count_ = 0;
+  size_t failed_retrain_count_ = 0;
+  size_t consecutive_failures_ = 0;
+  size_t current_interval_ = 0;
+  Status last_error_;
 };
 
 }  // namespace sel

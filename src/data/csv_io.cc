@@ -1,9 +1,11 @@
 #include "data/csv_io.h"
 
 #include <algorithm>
+#include <cmath>
 #include <fstream>
 #include <limits>
 
+#include "common/fault.h"
 #include "common/string_util.h"
 
 namespace sel {
@@ -30,6 +32,9 @@ Status SaveDatasetCsv(const Dataset& dataset, const std::string& path) {
 Result<Dataset> LoadDatasetCsv(const std::string& path) {
   std::ifstream in(path);
   if (!in.good()) return Status::IOError("cannot open for read: " + path);
+  if (SEL_FAULT_POINT("io.csv_short_read")) {
+    return Status::IOError("short read (injected fault): " + path);
+  }
   std::string line;
   if (!std::getline(in, line)) {
     return Status::IOError("empty CSV: " + path);
@@ -53,7 +58,9 @@ Result<Dataset> LoadDatasetCsv(const std::string& path) {
     for (int j = 0; j < d; ++j) {
       char* end = nullptr;
       p[j] = std::strtod(fields[j].c_str(), &end);
-      if (end == fields[j].c_str()) {
+      if (end == fields[j].c_str() || !std::isfinite(p[j])) {
+        // NaN/inf would poison the min-max normalization below and every
+        // ordered comparison downstream — treat it as corrupt input.
         return Status::IOError("CSV row " + std::to_string(lineno) +
                                " has a non-numeric field in " + path);
       }

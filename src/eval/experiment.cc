@@ -23,6 +23,10 @@ EvalCell TrainAndEvaluate(SelectivityModel* model, const Workload& train,
   cell.buckets = model->NumBuckets();
   cell.train_seconds = model->train_stats().train_seconds;
   cell.train_loss = model->train_stats().train_loss;
+  cell.fallback_level = model->train_stats().fallback_level;
+  cell.solver_retries = model->train_stats().solver_retries;
+  cell.converged = model->train_stats().converged;
+  cell.solver_status = model->train_stats().solver_status;
   WallTimer eval_timer;
   cell.errors = EvaluateModel(*model, test, q_floor);
   cell.eval_seconds = eval_timer.Seconds();

@@ -23,6 +23,10 @@ struct EvalCell {
   double train_seconds = 0.0;
   double eval_seconds = 0.0;   ///< wall-clock of the batched test scoring
   double train_loss = 0.0;
+  int fallback_level = 0;      ///< TrainStats::fallback_level of the run
+  int solver_retries = 0;      ///< escalated-budget retries taken
+  bool converged = true;       ///< accepted solve met its criterion
+  std::string solver_status;   ///< per-stage solver trail (TrainStats)
   ErrorReport errors;
   bool ok = false;             ///< false if training failed
   std::string status_message;  ///< error detail when !ok

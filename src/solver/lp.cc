@@ -4,6 +4,8 @@
 #include <cmath>
 #include <limits>
 
+#include "common/fault.h"
+
 namespace sel {
 
 namespace {
@@ -257,6 +259,14 @@ Result<Vector> SolveSimplexChebyshev(const DenseMatrix& a, const Vector& s,
     return Status::InvalidArgument("Chebyshev: rhs size mismatch");
   }
   if (m == 0) return Status::InvalidArgument("Chebyshev: zero columns");
+  if (SEL_FAULT_POINT("lp.force_infeasible")) {
+    return Status::FailedPrecondition(
+        "Chebyshev LP reported infeasible (injected fault)");
+  }
+  if (SEL_FAULT_POINT("lp.force_iteration_limit")) {
+    return Status::NotConverged(
+        "Chebyshev LP hit the iteration limit (injected fault)");
+  }
 
   // Variables: w_1..w_m, t. Constraints:
   //   (A w)_i - t <= s_i         (n rows)
@@ -289,7 +299,7 @@ Result<Vector> SolveSimplexChebyshev(const DenseMatrix& a, const Vector& s,
 
   const LpResult res = SolveLinearProgram(lp, options);
   if (res.status == LpStatus::kInfeasible) {
-    return Status::Internal("Chebyshev LP reported infeasible");
+    return Status::FailedPrecondition("Chebyshev LP reported infeasible");
   }
   if (res.status == LpStatus::kUnbounded) {
     return Status::Internal("Chebyshev LP reported unbounded");

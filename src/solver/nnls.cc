@@ -4,6 +4,8 @@
 #include <cmath>
 #include <vector>
 
+#include "common/fault.h"
+
 namespace sel {
 
 Vector SolveLeastSquaresQr(const DenseMatrix& a, const Vector& b) {
@@ -62,11 +64,20 @@ Result<NnlsResult> SolveNnls(const DenseMatrix& a, const Vector& b,
   if (n == 0) {
     return NnlsResult{Vector{}, std::sqrt(SquaredNorm(b)), 0};
   }
+  if (SEL_FAULT_POINT("nnls.fail")) {
+    return Status::Internal("injected fault: nnls.fail");
+  }
+  // Injected limit: zero outer budget leaves x = 0, a feasible iterate
+  // with the KKT conditions unchecked — the real cap-exhausted state.
   const int max_iter =
-      options.max_iterations > 0 ? options.max_iterations : 3 * n + 30;
+      SEL_FAULT_POINT("nnls.force_iteration_limit")
+          ? 0
+          : (options.max_iterations > 0 ? options.max_iterations
+                                        : 3 * n + 30);
 
   Vector x(n, 0.0);
   std::vector<bool> passive(n, false);
+  bool kkt_satisfied = false;
   Vector w = a.ApplyTranspose(b);  // gradient of -0.5||Ax-b||^2 at x=0
 
   auto SubproblemSolve = [&](const std::vector<int>& cols) {
@@ -90,7 +101,10 @@ Result<NnlsResult> SolveNnls(const DenseMatrix& a, const Vector& b,
         best = j;
       }
     }
-    if (best < 0) break;  // KKT satisfied
+    if (best < 0) {
+      kkt_satisfied = true;
+      break;
+    }
     passive[best] = true;
     ++iterations;
 
@@ -157,6 +171,9 @@ Result<NnlsResult> SolveNnls(const DenseMatrix& a, const Vector& b,
   out.x = std::move(x);
   out.residual_norm = std::sqrt(SquaredNorm(Residual(a, out.x, b)));
   out.iterations = iterations;
+  out.converged = kkt_satisfied;
+  out.termination = kkt_satisfied ? SolverTermination::kConverged
+                                  : SolverTermination::kIterationLimit;
   return out;
 }
 

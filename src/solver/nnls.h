@@ -5,6 +5,7 @@
 
 #include "common/status.h"
 #include "solver/dense.h"
+#include "solver/termination.h"
 
 namespace sel {
 
@@ -16,11 +17,14 @@ struct NnlsOptions {
   double tolerance = 1e-10;
 };
 
-/// Result of an NNLS solve.
+/// Result of an NNLS solve. `x` is feasible (nonnegative) even when
+/// `converged` is false — it is the active-set iterate at the budget.
 struct NnlsResult {
   Vector x;               ///< Solution with x >= 0.
   double residual_norm;   ///< ||A x - b||_2.
   int iterations;         ///< Outer iterations used.
+  bool converged = true;  ///< False iff the outer loop hit its cap.
+  SolverTermination termination = SolverTermination::kConverged;
 };
 
 /// Solves min_x ||A x - b||_2 subject to x >= 0 with the Lawson–Hanson

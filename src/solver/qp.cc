@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 
+#include "common/fault.h"
 #include "solver/nnls.h"
 #include "solver/simplex_projection.h"
 
@@ -31,6 +32,15 @@ double EstimateLipschitzT(const Matrix& a, int iterations) {
 template <typename Matrix>
 Result<SimplexLsqResult> SolveByProjectedGradient(
     const Matrix& a, const Vector& s, const SimplexLsqOptions& options) {
+  if (SEL_FAULT_POINT("qp.fail")) {
+    return Status::Internal("injected fault: qp.fail");
+  }
+  // Injected limit: cut the budget to one step so the solve terminates
+  // with a feasible-but-unconverged iterate, the state a pathological
+  // batch would produce at the real cap.
+  const int max_iterations = SEL_FAULT_POINT("qp.force_iteration_limit")
+                                 ? std::min(1, options.max_iterations)
+                                 : options.max_iterations;
   const int m = a.cols();
   const double lip = EstimateLipschitzT(a, 50) + options.ridge;
   const double step = 1.0 / std::max(lip * 1.05, 1e-12);
@@ -40,8 +50,9 @@ Result<SimplexLsqResult> SolveByProjectedGradient(
   Vector w_prev = w;
   double t = 1.0;
   double last_check_obj = std::numeric_limits<double>::infinity();
+  bool converged = false;
   int it = 0;
-  for (; it < options.max_iterations; ++it) {
+  for (; it < max_iterations; ++it) {
     // gradient at y: A^T (A y - s) + ridge * y
     Vector r = a.Apply(y);
     for (size_t i = 0; i < r.size(); ++i) r[i] -= s[i];
@@ -65,6 +76,7 @@ Result<SimplexLsqResult> SolveByProjectedGradient(
           last_check_obj - obj <
               options.tolerance * std::max(1.0, last_check_obj)) {
         ++it;
+        converged = true;
         break;
       }
       if (obj > last_check_obj) {
@@ -80,6 +92,9 @@ Result<SimplexLsqResult> SolveByProjectedGradient(
   out.w = std::move(w);
   out.loss = MeanSquaredResidual(a, out.w, s);
   out.iterations = it;
+  out.converged = converged;
+  out.termination = converged ? SolverTermination::kConverged
+                              : SolverTermination::kIterationLimit;
   return out;
 }
 
@@ -112,6 +127,8 @@ Result<SimplexLsqResult> SolveByNnls(const DenseMatrix& a, const Vector& s,
   out.w = std::move(w);
   out.loss = MeanSquaredResidual(a, out.w, s);
   out.iterations = nnls.value().iterations;
+  out.converged = nnls.value().converged;
+  out.termination = nnls.value().termination;
   return out;
 }
 

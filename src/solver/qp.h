@@ -11,6 +11,7 @@
 #include "common/status.h"
 #include "solver/dense.h"
 #include "solver/sparse.h"
+#include "solver/termination.h"
 
 namespace sel {
 
@@ -35,11 +36,15 @@ struct SimplexLsqOptions {
   double nnls_sum_penalty = 1e3;
 };
 
-/// Result of a simplex-constrained least-squares solve.
+/// Result of a simplex-constrained least-squares solve. `w` is a valid
+/// simplex point even when `converged` is false (the best iterate at the
+/// budget), so callers can decide whether a limit exit is good enough.
 struct SimplexLsqResult {
   Vector w;          ///< Weights on the simplex.
   double loss;       ///< Mean squared residual (1/n)||A w - s||^2.
   int iterations;    ///< Iterations used by the chosen method.
+  bool converged = true;  ///< False iff the iteration budget ran out.
+  SolverTermination termination = SolverTermination::kConverged;
 };
 
 /// Solves Eq. (8). `a` is n x m (training queries x buckets); `s` holds

@@ -1,0 +1,26 @@
+// Shared termination reporting for the iterative solvers. Every solver
+// result carries how the iteration actually ended, so an iteration-limit
+// exit is distinguishable from true convergence (the precondition for
+// the graceful-degradation chain in SolveBucketWeights).
+#ifndef SEL_SOLVER_TERMINATION_H_
+#define SEL_SOLVER_TERMINATION_H_
+
+namespace sel {
+
+/// How an iterative solve ended.
+enum class SolverTermination {
+  kConverged,       ///< optimality/tolerance criterion met
+  kIterationLimit,  ///< budget exhausted before the criterion
+};
+
+inline const char* SolverTerminationName(SolverTermination t) {
+  switch (t) {
+    case SolverTermination::kConverged: return "converged";
+    case SolverTermination::kIterationLimit: return "iteration_limit";
+  }
+  return "unknown";
+}
+
+}  // namespace sel
+
+#endif  // SEL_SOLVER_TERMINATION_H_

@@ -1,8 +1,10 @@
 #include "workload/workload_io.h"
 
+#include <cmath>
 #include <fstream>
 #include <sstream>
 
+#include "common/fault.h"
 #include "common/string_util.h"
 
 namespace sel {
@@ -50,6 +52,9 @@ Status SaveWorkloadCsv(const Workload& workload, const std::string& path) {
 Result<Workload> LoadWorkloadCsv(const std::string& path) {
   std::ifstream in(path);
   if (!in.good()) return Status::IOError("cannot open: " + path);
+  if (SEL_FAULT_POINT("io.workload_short_read")) {
+    return Status::IOError("short read (injected fault): " + path);
+  }
   std::string line;
   if (!std::getline(in, line)) return Status::IOError("empty file: " + path);
 
@@ -76,7 +81,11 @@ Result<Workload> LoadWorkloadCsv(const std::string& path) {
       for (size_t i = 0; i < count; ++i) {
         char* end = nullptr;
         (*v)[i] = std::strtod(fields[start + i].c_str(), &end);
-        if (end == fields[start + i].c_str()) return false;
+        // Reject NaN/inf too: a NaN coordinate or selectivity slides
+        // through every ordered comparison downstream.
+        if (end == fields[start + i].c_str() || !std::isfinite((*v)[i])) {
+          return false;
+        }
       }
       return true;
     };
@@ -118,7 +127,8 @@ Result<Workload> LoadWorkloadCsv(const std::string& path) {
     } else {
       return bad("unknown query type '" + type + "'");
     }
-    if (out.back().selectivity < 0.0 || out.back().selectivity > 1.0) {
+    const double sel_value = out.back().selectivity;
+    if (!(sel_value >= 0.0 && sel_value <= 1.0)) {
       return bad("selectivity outside [0,1]");
     }
   }

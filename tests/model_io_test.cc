@@ -224,6 +224,36 @@ TEST(ModelIoTest, RejectsCorruptFiles) {
   EXPECT_FALSE(LoadModel("/nonexistent/dir/m.model").ok());
 }
 
+TEST(ModelIoTest, RejectsNonFiniteValuesAsIOError) {
+  const std::string path = TempPath("sel_nonfinite.model");
+  auto write_and_code = [&path](const std::string& body) {
+    std::ofstream out(path);
+    out << body;
+    out.close();
+    return LoadModel(path).status().code();
+  };
+  // A NaN weight, coordinate, or stddev is corrupt data, not a value to
+  // propagate into estimates.
+  EXPECT_EQ(write_and_code("selmodel 1 histogram 2 1\n"
+                           "box 0 0 1 1 nan\n"),
+            StatusCode::kIOError);
+  EXPECT_EQ(write_and_code("selmodel 1 histogram 2 1\n"
+                           "box 0 nan 1 1 0.5\n"),
+            StatusCode::kIOError);
+  EXPECT_EQ(write_and_code("selmodel 1 points 2 1\n"
+                           "point 0.5 inf 1.0\n"),
+            StatusCode::kIOError);
+  EXPECT_EQ(write_and_code("selmodel 1 gmm 2 1\n"
+                           "gauss 0.5 0.5 nan 0.1 1.0\n"),
+            StatusCode::kIOError);
+  // Truncated record (stream ends mid-box) is IOError, not an abort.
+  EXPECT_EQ(write_and_code("selmodel 1 histogram 2 2\n"
+                           "box 0 0 1 1 0.5\n"
+                           "box 0 0\n"),
+            StatusCode::kIOError);
+  std::filesystem::remove(path);
+}
+
 TEST(ModelIoTest, RejectsInvalidSaves) {
   EXPECT_FALSE(SaveHistogramModel({}, {}, TempPath("x.model")).ok());
   EXPECT_FALSE(SavePointModel({{0.5}}, {0.5, 0.5},

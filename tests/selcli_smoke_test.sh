@@ -63,11 +63,30 @@ for name in ${NAMES}; do
   fi
 done
 
-# Unknown estimators fail with the registry's name listing.
-if "${SELCLI}" train train.csv x.model nosuchmodel > out.txt 2> err.txt; then
-  fail "train with unknown estimator should have failed"
-fi
+# Unknown estimators fail with the registry's name listing — and with
+# the InvalidArgument exit code (3), not a generic 1.
+"${SELCLI}" train train.csv x.model nosuchmodel > out.txt 2> err.txt
+rc=$?
+[ "${rc}" -eq 3 ] \
+  || fail "unknown estimator should exit 3 (InvalidArgument), got ${rc}"
 grep -q "unknown estimator 'nosuchmodel'" err.txt \
   || fail "unknown-estimator error not from registry: $(cat err.txt)"
+[ -s out.txt ] && fail "unknown-estimator error leaked to stdout"
+
+# Corrupt model files are IOError (exit 10), reported on stderr.
+printf 'selmodel 1 static 2 3\nbox 0 0 1 nan 0.5\n' > corrupt.model
+"${SELCLI}" evaluate corrupt.model test.csv > out.txt 2> err.txt
+rc=$?
+[ "${rc}" -eq 10 ] \
+  || fail "corrupt model should exit 10 (IOError), got ${rc}"
+grep -q "error:" err.txt \
+  || fail "corrupt-model failure missing stderr diagnostic: $(cat err.txt)"
+
+# Truncated model (fewer records than the header promises) is IOError too.
+head -n 2 quadhist.model > truncated.model
+"${SELCLI}" evaluate truncated.model test.csv > out.txt 2> err.txt
+rc=$?
+[ "${rc}" -eq 10 ] \
+  || fail "truncated model should exit 10 (IOError), got ${rc}"
 
 echo "selcli smoke test passed"

@@ -82,6 +82,26 @@ TEST(WorkloadIoTest, RejectsMalformedFiles) {
   EXPECT_FALSE(LoadWorkloadCsv("/nonexistent/w.csv").ok());
 }
 
+TEST(WorkloadIoTest, RejectsNonFiniteFieldsAsIOError) {
+  const std::string path = TempPath("sel_nonfinite_workload.csv");
+  auto write_and_code = [&path](const std::string& content) {
+    std::ofstream out(path);
+    out << "type,dim,geometry...,selectivity\n" << content;
+    out.close();
+    return LoadWorkloadCsv(path).status().code();
+  };
+  // NaN slides through ordered checks (NaN > 1.0 is false), so the
+  // parser must reject non-finite fields outright.
+  EXPECT_EQ(write_and_code("box,2,0,0,1,1,nan\n"), StatusCode::kIOError);
+  EXPECT_EQ(write_and_code("box,2,nan,0,1,1,0.5\n"), StatusCode::kIOError);
+  EXPECT_EQ(write_and_code("box,2,0,0,inf,1,0.5\n"), StatusCode::kIOError);
+  EXPECT_EQ(write_and_code("ball,2,0.5,0.5,nan,0.5\n"),
+            StatusCode::kIOError);
+  EXPECT_EQ(write_and_code("halfspace,2,nan,1,0.5,0.5\n"),
+            StatusCode::kIOError);
+  std::filesystem::remove(path);
+}
+
 TEST(WorkloadIoTest, EmptyWorkloadRoundTrips) {
   const std::string path = TempPath("sel_empty_workload.csv");
   ASSERT_TRUE(SaveWorkloadCsv({}, path).ok());

@@ -73,9 +73,26 @@ int Estimators() {
   return 0;
 }
 
+/// Exit-code map: scripts can tell "bad input" (3) from "corrupt file"
+/// (10) without scraping stderr. Usage errors exit 2 (see Usage()).
+int ExitCodeFor(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk: return 0;
+    case StatusCode::kInvalidArgument: return 3;
+    case StatusCode::kFailedPrecondition: return 4;
+    case StatusCode::kNotFound: return 5;
+    case StatusCode::kOutOfRange: return 6;
+    case StatusCode::kNotConverged: return 7;
+    case StatusCode::kUnimplemented: return 8;
+    case StatusCode::kInternal: return 9;
+    case StatusCode::kIOError: return 10;
+  }
+  return 1;
+}
+
 int Fail(const Status& st) {
   std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
-  return 1;
+  return ExitCodeFor(st.code());
 }
 
 int GenData(int argc, char** argv) {
@@ -173,6 +190,13 @@ int Train(int argc, char** argv) {
               model.Name().c_str(), model.NumBuckets(),
               model.train_stats().train_loss,
               model.train_stats().train_seconds);
+  const TrainStats& ts = model.train_stats();
+  std::printf("solver: %s (fallback_level=%d, retries=%d%s)\n",
+              ts.converged ? "converged" : "NOT converged",
+              ts.fallback_level, ts.solver_retries,
+              ts.solver_status.empty()
+                  ? ""
+                  : (std::string("; ") + ts.solver_status).c_str());
   const Status save = SaveModel(model, out);
   if (!save.ok()) return Fail(save);
   std::printf("model written to %s\n", out.c_str());
