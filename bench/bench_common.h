@@ -169,7 +169,8 @@ inline void WriteSweepCsv(const std::string& path,
   CsvWriter csv(path);
   csv.WriteRow(std::vector<std::string>{
       "model", "train_n", "buckets", "rms", "mae", "linf", "q50", "q95",
-      "q99", "qmax", "train_seconds", "ok", "fallback_level", "converged"});
+      "q99", "qmax", "train_seconds", "ok", "fallback_level", "converged",
+      "p95_predict_us", "solver_iters"});
   for (const auto& c : cells) {
     csv.WriteRow(std::vector<std::string>{
         c.model, std::to_string(c.train_size), std::to_string(c.buckets),
@@ -178,7 +179,8 @@ inline void WriteSweepCsv(const std::string& path,
         FormatDouble(c.errors.q95), FormatDouble(c.errors.q99),
         FormatDouble(c.errors.qmax), FormatDouble(c.train_seconds),
         c.ok ? "1" : "0", std::to_string(c.fallback_level),
-        c.converged ? "1" : "0"});
+        c.converged ? "1" : "0", FormatDouble(c.p95_predict_us),
+        std::to_string(c.solver_iterations)});
   }
   csv.Close();
   std::printf("csv: %s\n\n", path.c_str());

@@ -1,0 +1,225 @@
+#include "common/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/env.h"
+#include "common/string_util.h"
+
+namespace sel {
+
+namespace metrics_internal {
+std::atomic<bool> g_enabled{false};
+}  // namespace metrics_internal
+
+void SetMetricsEnabled(bool enabled) {
+  metrics_internal::g_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+namespace {
+
+/// Upper bound of non-overflow bucket i: 2^i.
+double BucketBound(int i) {
+  return static_cast<double>(uint64_t{1} << i);
+}
+
+/// Bucket index for a value: smallest i with value <= 2^i; negative and
+/// zero values land in bucket 0, everything past the last bound in the
+/// overflow bucket.
+int BucketIndex(double value) {
+  if (!(value > 1.0)) return 0;  // NaN-proof: NaN also lands here
+  for (int i = 1; i < Histogram::kNumBounds; ++i) {
+    if (value <= BucketBound(i)) return i;
+  }
+  return Histogram::kNumBounds;  // overflow
+}
+
+}  // namespace
+
+void Histogram::Record(double value) {
+  buckets_[BucketIndex(value)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(std::isfinite(value) ? value : 0.0,
+                 std::memory_order_relaxed);
+}
+
+void Histogram::Reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+}
+
+HistogramSnapshot Histogram::Snapshot() const {
+  HistogramSnapshot snap;
+  snap.bucket_counts.resize(kNumBuckets);
+  snap.bucket_bounds.resize(kNumBounds);
+  for (int i = 0; i < kNumBuckets; ++i) {
+    snap.bucket_counts[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  for (int i = 0; i < kNumBounds; ++i) {
+    snap.bucket_bounds[i] = BucketBound(i);
+  }
+  // Derive the total from the per-bucket counts rather than the count_
+  // cell: the relaxed counters can be mid-update relative to each other,
+  // and "counts conserved" (total == sum of buckets) is the invariant
+  // tests and quantile math rely on.
+  snap.count = 0;
+  for (uint64_t c : snap.bucket_counts) snap.count += c;
+  snap.sum = sum_.load(std::memory_order_relaxed);
+  return snap;
+}
+
+double HistogramSnapshot::Quantile(double p) const {
+  if (count == 0) return 0.0;
+  p = std::clamp(p, 0.0, 1.0);
+  // Rank of the target observation, 1-based; linear in p so the result
+  // is monotone in p even inside one bucket.
+  const double rank = p * static_cast<double>(count - 1) + 1.0;
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i < bucket_counts.size(); ++i) {
+    const uint64_t in_bucket = bucket_counts[i];
+    if (in_bucket == 0) continue;
+    if (rank <= static_cast<double>(cumulative + in_bucket)) {
+      // Interpolate within [lower, upper] of this bucket.
+      const double lower = i == 0 ? 0.0 : bucket_bounds[i - 1];
+      const double upper = i < bucket_bounds.size()
+                               ? bucket_bounds[i]
+                               : bucket_bounds.back() * 2.0;
+      const double into =
+          (rank - static_cast<double>(cumulative)) /
+          static_cast<double>(in_bucket);
+      return lower + (upper - lower) * std::clamp(into, 0.0, 1.0);
+    }
+    cumulative += in_bucket;
+  }
+  // rank beyond the last populated bucket (p == 1 rounding): top bound.
+  for (size_t i = bucket_counts.size(); i-- > 0;) {
+    if (bucket_counts[i] > 0) {
+      return i < bucket_bounds.size() ? bucket_bounds[i]
+                                      : bucket_bounds.back() * 2.0;
+    }
+  }
+  return 0.0;
+}
+
+uint64_t MetricsSnapshot::CounterValue(const std::string& name) const {
+  const auto it = counters.find(name);
+  return it == counters.end() ? 0 : it->second;
+}
+
+int64_t MetricsSnapshot::GaugeValue(const std::string& name) const {
+  const auto it = gauges.find(name);
+  return it == gauges.end() ? 0 : it->second;
+}
+
+const HistogramSnapshot* MetricsSnapshot::FindHistogram(
+    const std::string& name) const {
+  const auto it = histograms.find(name);
+  return it == histograms.end() ? nullptr : &it->second;
+}
+
+std::string MetricsSnapshot::ToText() const {
+  std::ostringstream out;
+  for (const auto& [name, value] : counters) {
+    out << "counter " << name << " = " << value << "\n";
+  }
+  for (const auto& [name, value] : gauges) {
+    out << "gauge " << name << " = " << value << "\n";
+  }
+  for (const auto& [name, h] : histograms) {
+    out << "histogram " << name << " count=" << h.count
+        << " mean=" << FormatDouble(h.Mean())
+        << " p50=" << FormatDouble(h.Quantile(0.50))
+        << " p95=" << FormatDouble(h.Quantile(0.95))
+        << " p99=" << FormatDouble(h.Quantile(0.99)) << "\n";
+  }
+  return out.str();
+}
+
+std::string MetricsSnapshot::ToCsv() const {
+  std::ostringstream out;
+  out << "kind,name,count,value,sum,mean,p50,p95,p99\n";
+  for (const auto& [name, value] : counters) {
+    out << "counter," << name << ",," << value << ",,,,,\n";
+  }
+  for (const auto& [name, value] : gauges) {
+    out << "gauge," << name << ",," << value << ",,,,,\n";
+  }
+  for (const auto& [name, h] : histograms) {
+    out << "histogram," << name << ',' << h.count << ",,"
+        << FormatDouble(h.sum) << ',' << FormatDouble(h.Mean()) << ','
+        << FormatDouble(h.Quantile(0.50)) << ','
+        << FormatDouble(h.Quantile(0.95)) << ','
+        << FormatDouble(h.Quantile(0.99)) << "\n";
+  }
+  return out.str();
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+MetricsRegistry::MetricsRegistry() {
+  const std::string v = GetEnvString("SEL_METRICS", "");
+  if (v == "1" || v == "true" || v == "on") SetMetricsEnabled(true);
+}
+
+Counter& MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& MetricsRegistry::GetHistogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (slot == nullptr) slot = std::make_unique<Histogram>();
+  return *slot;
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot snap;
+  for (const auto& [name, c] : counters_) {
+    snap.counters[name] = c->Value();
+  }
+  for (const auto& [name, g] : gauges_) {
+    snap.gauges[name] = g->Value();
+  }
+  for (const auto& [name, h] : histograms_) {
+    snap.histograms[name] = h->Snapshot();
+  }
+  return snap;
+}
+
+void MetricsRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  // Zero in place: call sites hold cached references, so the instrument
+  // objects must survive.
+  for (auto& [name, c] : counters_) c->Reset();
+  for (auto& [name, g] : gauges_) g->Reset();
+  for (auto& [name, h] : histograms_) h->Reset();
+}
+
+namespace {
+
+/// Touch the registry at static-init time so SEL_METRICS=1 flips the
+/// fast-path flag before any instrument is reached (fault.cc pattern).
+const bool g_metrics_env_init = [] {
+  if (!GetEnvString("SEL_METRICS", "").empty()) MetricsRegistry::Global();
+  return true;
+}();
+
+}  // namespace
+
+}  // namespace sel

@@ -6,6 +6,8 @@
 
 #include "common/check.h"
 #include "common/env.h"
+#include "common/metrics.h"
+#include "common/trace.h"
 
 namespace sel {
 
@@ -26,7 +28,13 @@ ThreadPool::ThreadPool(int num_threads) {
                 num_threads);
   workers_.reserve(num_threads);
   for (int i = 0; i < num_threads; ++i) {
-    workers_.emplace_back([this] { WorkerMain(); });
+    workers_.emplace_back([this, i] {
+      if (TraceArmed()) {
+        TraceRecorder::Global().SetCurrentThreadName(
+            "pool-" + std::to_string(i));
+      }
+      WorkerMain();
+    });
   }
 }
 
@@ -49,6 +57,8 @@ void ThreadPool::WorkerMain() {
       task = std::move(queue_.front());
       queue_.pop_front();
     }
+    SEL_METRIC_GAUGE_ADD("pool.queue_depth", -1);
+    SEL_METRIC_SCOPED_LATENCY("pool.task_us");
     task();  // packaged_task captures exceptions into its future
   }
 }
@@ -56,6 +66,10 @@ void ThreadPool::WorkerMain() {
 std::future<void> ThreadPool::Submit(std::function<void()> fn) {
   std::packaged_task<void()> task(std::move(fn));
   std::future<void> future = task.get_future();
+  // Gauge up before the push so a worker's post-pop decrement can never
+  // observably outrun it (the depth gauge stays >= 0).
+  SEL_METRIC_COUNTER_INC("pool.tasks_total");
+  SEL_METRIC_GAUGE_ADD("pool.queue_depth", 1);
   {
     std::lock_guard<std::mutex> lock(mu_);
     SEL_CHECK_MSG(!stop_, "ThreadPool::Submit after shutdown");

@@ -1,0 +1,145 @@
+#include "common/trace.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+
+#include "common/env.h"
+
+namespace sel {
+
+namespace trace_internal {
+std::atomic<bool> g_armed{false};
+}  // namespace trace_internal
+
+namespace {
+
+/// Stable, small per-thread trace id, assigned on first use.
+uint32_t CurrentTraceThreadId() {
+  static std::atomic<uint32_t> next{0};
+  thread_local uint32_t id = next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+/// Minimal JSON string escaping (names are code-controlled, but thread
+/// names and paths pass through here too).
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+double TraceRecorder::NowUs() {
+  using Clock = std::chrono::steady_clock;
+  static const Clock::time_point origin = Clock::now();
+  return std::chrono::duration<double, std::micro>(Clock::now() - origin)
+      .count();
+}
+
+TraceRecorder& TraceRecorder::Global() {
+  static TraceRecorder* recorder = new TraceRecorder();
+  return *recorder;
+}
+
+void TraceRecorder::Start(const std::string& path) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    path_ = path;
+    events_.clear();
+  }
+  trace_internal::g_armed.store(true, std::memory_order_relaxed);
+}
+
+void TraceRecorder::RecordComplete(const char* name, double ts_us,
+                                   double dur_us) {
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.push_back(Event{name, ts_us, dur_us, CurrentTraceThreadId()});
+}
+
+void TraceRecorder::SetCurrentThreadName(const std::string& name) {
+  const uint32_t tid = CurrentTraceThreadId();
+  std::lock_guard<std::mutex> lock(mu_);
+  thread_names_.emplace_back(tid, name);
+}
+
+size_t TraceRecorder::EventCount() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_.size();
+}
+
+Status TraceRecorder::Stop() {
+  if (!TraceArmed()) return Status::OK();
+  trace_internal::g_armed.store(false, std::memory_order_relaxed);
+
+  std::lock_guard<std::mutex> lock(mu_);
+  if (path_.empty()) return Status::OK();
+  std::ofstream out(path_);
+  if (!out.good()) {
+    return Status::IOError("SEL_TRACE: cannot open: " + path_);
+  }
+  // Chrome trace-event format, object form: chrome://tracing and
+  // Perfetto both load it directly.
+  out << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  for (const auto& [tid, name] : thread_names_) {
+    if (!first) out << ',';
+    first = false;
+    out << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":"
+        << tid << ",\"args\":{\"name\":\"" << JsonEscape(name) << "\"}}";
+  }
+  char buf[64];
+  for (const Event& e : events_) {
+    if (!first) out << ',';
+    first = false;
+    out << "{\"name\":\"" << JsonEscape(e.name) << "\",\"ph\":\"X\"";
+    std::snprintf(buf, sizeof(buf), ",\"ts\":%.3f,\"dur\":%.3f", e.ts_us,
+                  e.dur_us);
+    out << buf << ",\"pid\":1,\"tid\":" << e.tid << '}';
+  }
+  out << "]}\n";
+  out.flush();
+  if (!out.good()) {
+    return Status::IOError("SEL_TRACE: write failed: " + path_);
+  }
+  events_.clear();
+  thread_names_.clear();
+  return Status::OK();
+}
+
+namespace {
+
+/// SEL_TRACE=<path> arms the recorder at static-init time and flushes
+/// the buffer at process exit, so any traced binary "just works":
+///
+///   SEL_TRACE=out.json ./selcli train ...
+const bool g_trace_env_init = [] {
+  const std::string path = GetEnvString("SEL_TRACE", "");
+  if (!path.empty()) {
+    TraceRecorder::Global().Start(path);
+    std::atexit([] { (void)TraceRecorder::Global().Stop(); });
+  }
+  return true;
+}();
+
+}  // namespace
+
+}  // namespace sel

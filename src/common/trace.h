@@ -1,0 +1,130 @@
+// Scoped trace spans emitting Chrome trace-event JSON.
+//
+// Library code brackets its phases with named spans:
+//
+//   void Train(...) {
+//     SEL_TRACE_SPAN("train.assemble_matrix");
+//     ...
+//   }
+//
+// Spans are inert until the recorder is armed, either programmatically
+// (TraceRecorder::Global().Start(path)) or via the SEL_TRACE=<path>
+// environment knob parsed at process start; an env-armed recorder
+// flushes at process exit. The span constructor's fast path is a single
+// relaxed atomic load (fault.h's design), so untraced processes pay
+// (essentially) nothing. When armed, each span buffers one complete
+// ("ph":"X") event — name, microsecond timestamp + duration, and a
+// stable per-thread id — under a mutex at span end; Stop() writes the
+// buffer as JSON that loads directly in chrome://tracing / Perfetto.
+//
+// Thread ids are small sequential integers assigned on a thread's first
+// span; ThreadPool workers additionally register a "pool-<i>" thread
+// name that is emitted as Chrome "M"-phase metadata.
+#ifndef SEL_COMMON_TRACE_H_
+#define SEL_COMMON_TRACE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace sel {
+
+namespace trace_internal {
+extern std::atomic<bool> g_armed;
+}  // namespace trace_internal
+
+/// True iff a trace recording is in progress (the span fast path).
+inline bool TraceArmed() {
+  return trace_internal::g_armed.load(std::memory_order_relaxed);
+}
+
+/// Process-wide trace-event buffer and writer.
+class TraceRecorder {
+ public:
+  /// The singleton. First use parses SEL_TRACE (arming the recorder and
+  /// registering an at-exit flush when set).
+  static TraceRecorder& Global();
+
+  /// Arms recording; Stop() (or process exit, when armed via SEL_TRACE)
+  /// writes the JSON to `path`. Restarting discards buffered events.
+  void Start(const std::string& path);
+
+  /// Disarms and writes the buffered events as Chrome trace JSON to the
+  /// Start() path. No-op (OK) when not armed.
+  Status Stop();
+
+  /// Appends one complete event (timestamps in microseconds since an
+  /// arbitrary process-wide origin). Called by TraceSpan when armed.
+  void RecordComplete(const char* name, double ts_us, double dur_us);
+
+  /// Names the calling thread in the trace ("pool-3"); emitted as
+  /// Chrome thread_name metadata.
+  void SetCurrentThreadName(const std::string& name);
+
+  /// Number of buffered events (introspection for tests).
+  size_t EventCount() const;
+
+  /// Microseconds since the process-wide trace origin.
+  static double NowUs();
+
+ private:
+  TraceRecorder() = default;
+
+  struct Event {
+    const char* name;  ///< static string from the span call site
+    double ts_us;
+    double dur_us;
+    uint32_t tid;
+  };
+
+  mutable std::mutex mu_;
+  std::string path_;
+  std::vector<Event> events_;
+  std::vector<std::pair<uint32_t, std::string>> thread_names_;
+};
+
+/// RAII span: captures the start time at construction and records a
+/// complete event at destruction. Spans constructed while the recorder
+/// is disarmed stay inert even if arming happens mid-scope (their start
+/// time would be meaningless).
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char* name) {
+    if (TraceArmed()) {
+      name_ = name;
+      start_us_ = TraceRecorder::NowUs();
+    }
+  }
+  ~TraceSpan() {
+    if (name_ != nullptr && TraceArmed()) {
+      const double end_us = TraceRecorder::NowUs();
+      TraceRecorder::Global().RecordComplete(name_, start_us_,
+                                             end_us - start_us_);
+    }
+  }
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  const char* name_ = nullptr;
+  double start_us_ = 0.0;
+};
+
+namespace trace_internal {
+#define SEL_TRACE_CONCAT_INNER(a, b) a##b
+#define SEL_TRACE_CONCAT(a, b) SEL_TRACE_CONCAT_INNER(a, b)
+}  // namespace trace_internal
+
+}  // namespace sel
+
+/// Opens a span covering the rest of the enclosing scope. `name` must be
+/// a string literal (or otherwise outlive the recorder).
+#define SEL_TRACE_SPAN(name) \
+  ::sel::TraceSpan SEL_TRACE_CONCAT(sel_trace_span_, __LINE__)(name)
+
+#endif  // SEL_COMMON_TRACE_H_

@@ -7,7 +7,9 @@
 
 #include "common/check.h"
 #include "common/fault.h"
+#include "common/metrics.h"
 #include "common/thread_pool.h"
+#include "common/trace.h"
 
 namespace sel {
 
@@ -23,6 +25,8 @@ SparseMatrix BuildBoxFractionMatrix(const Workload& workload,
                                     const std::vector<Box>& buckets,
                                     const VolumeOptions& volume_options,
                                     double drop_tolerance) {
+  SEL_TRACE_SPAN("train.assemble_matrix");
+  SEL_METRIC_SCOPED_LATENCY("train.assemble_us");
   // Row-parallel: row i only touches rows[i], and QueryBoxFraction is
   // deterministic (exact or seeded QMC), so the matrix is identical for
   // any thread count.
@@ -47,6 +51,8 @@ SparseMatrix BuildBoxFractionMatrix(const Workload& workload,
 
 SparseMatrix BuildPointIndicatorMatrix(const Workload& workload,
                                        const std::vector<Point>& buckets) {
+  SEL_TRACE_SPAN("train.assemble_matrix");
+  SEL_METRIC_SCOPED_LATENCY("train.assemble_us");
   // Indicator rows are cheap; a coarser grain keeps scheduling overhead
   // below the per-row work without changing the (per-slot) output.
   std::vector<std::vector<std::pair<int, double>>> rows(workload.size());
@@ -130,11 +136,69 @@ struct FallbackState {
 
 }  // namespace
 
+namespace {
+
+/// Counter name for each FallbackLevel the chain can accept at.
+const char* FallbackLevelCounterName(int level) {
+  switch (static_cast<FallbackLevel>(level)) {
+    case FallbackLevel::kPrimary: return "solver.fallback.primary";
+    case FallbackLevel::kL2Gradient: return "solver.fallback.l2grad";
+    case FallbackLevel::kNnlsPolish: return "solver.fallback.nnls_polish";
+    case FallbackLevel::kUniform: return "solver.fallback.uniform";
+  }
+  return "solver.fallback.unknown";
+}
+
+/// Mirrors the accepted solve's TrainStats into the metrics registry.
+/// Dynamic instrument names, so this goes through the registry directly
+/// instead of the (per-call-site cached) macros.
+void RecordSolveMetrics(const TrainStats& stats) {
+  if (!MetricsEnabled()) return;
+  MetricsRegistry& m = MetricsRegistry::Global();
+  m.GetCounter("solver.solves_total").Increment();
+  m.GetCounter(FallbackLevelCounterName(stats.fallback_level)).Increment();
+  if (stats.fallback_level > 0) {
+    m.GetCounter("solver.fallback_total").Increment();
+  }
+  if (stats.solver_retries > 0) {
+    m.GetCounter("solver.retries_total").Increment(stats.solver_retries);
+  }
+  if (!stats.converged) {
+    m.GetCounter("solver.nonconverged_total").Increment();
+  }
+  m.GetHistogram("solver.iterations").Record(stats.solver_iterations);
+}
+
+Result<Vector> SolveBucketWeightsImpl(const SparseMatrix& a,
+                                      const Vector& s,
+                                      TrainObjective objective,
+                                      const SimplexLsqOptions& qp_options,
+                                      const LpOptions& lp_options,
+                                      TrainStats* stats);
+
+}  // namespace
+
 Result<Vector> SolveBucketWeights(const SparseMatrix& a, const Vector& s,
                                   TrainObjective objective,
                                   const SimplexLsqOptions& qp_options,
                                   const LpOptions& lp_options,
                                   TrainStats* stats) {
+  SEL_TRACE_SPAN("train.solve_weights");
+  SEL_METRIC_SCOPED_LATENCY("train.solve_us");
+  auto result =
+      SolveBucketWeightsImpl(a, s, objective, qp_options, lp_options, stats);
+  if (result.ok()) RecordSolveMetrics(*stats);
+  return result;
+}
+
+namespace {
+
+Result<Vector> SolveBucketWeightsImpl(const SparseMatrix& a,
+                                      const Vector& s,
+                                      TrainObjective objective,
+                                      const SimplexLsqOptions& qp_options,
+                                      const LpOptions& lp_options,
+                                      TrainStats* stats) {
   SEL_CHECK(stats != nullptr);
   // Malformed inputs are programmer errors, not solver trouble: fail
   // before the degradation chain can mask them with uniform weights.
@@ -232,6 +296,8 @@ Result<Vector> SolveBucketWeights(const SparseMatrix& a, const Vector& s,
   fb.have_iterate = true;
   return fb.Accept(FallbackLevel::kUniform);
 }
+
+}  // namespace
 
 double EstimateFromBoxBuckets(const Query& query,
                               const std::vector<Box>& buckets,

@@ -8,7 +8,9 @@
 #include <sstream>
 
 #include "common/fault.h"
+#include "common/metrics.h"
 #include "common/string_util.h"
+#include "common/trace.h"
 
 namespace sel {
 
@@ -217,6 +219,7 @@ Result<std::unique_ptr<SelectivityModel>> LoadGaussModel(
 }
 
 Status SaveModel(const SelectivityModel& model, const std::string& path) {
+  SEL_TRACE_SPAN("io.save_model");
   const std::string name = model.RegistryName();
   const EstimatorRegistry& registry = EstimatorRegistry::Global();
   const EstimatorRegistry::Entry* entry = registry.Find(name);
@@ -227,19 +230,40 @@ Status SaveModel(const SelectivityModel& model, const std::string& path) {
         "estimators: " + Join(registry.SavableNames(), ", "));
   }
   std::ofstream out(path);
-  if (!out.good()) return Status::IOError("cannot open: " + path);
+  if (!out.good()) {
+    SEL_METRIC_COUNTER_INC("io.model.errors_total");
+    return Status::IOError("cannot open: " + path);
+  }
   const Status st = entry->save(model, out);
-  if (!st.ok()) return st;
+  if (!st.ok()) {
+    SEL_METRIC_COUNTER_INC("io.model.errors_total");
+    return st;
+  }
   out.flush();
-  return out.good() ? Status::OK() : Status::IOError("write failed: " + path);
+  if (!out.good()) {
+    SEL_METRIC_COUNTER_INC("io.model.errors_total");
+    return Status::IOError("write failed: " + path);
+  }
+  const auto pos = out.tellp();
+  if (pos > 0) {
+    SEL_METRIC_COUNTER_ADD("io.model.write_bytes",
+                           static_cast<uint64_t>(pos));
+  }
+  return Status::OK();
 }
 
-Result<std::unique_ptr<SelectivityModel>> LoadModel(const std::string& path) {
+namespace {
+
+Result<std::unique_ptr<SelectivityModel>> LoadModelImpl(
+    const std::string& path) {
   std::ifstream in(path);
   if (!in.good()) return Status::IOError("cannot open: " + path);
   if (SEL_FAULT_POINT("io.model_short_read")) {
     return Status::IOError("short read (injected fault): " + path);
   }
+  in.seekg(0, std::ios::end);
+  const std::streamoff file_size = in.tellg();
+  in.seekg(0, std::ios::beg);
 
   std::string line;
   std::string kind;
@@ -276,7 +300,21 @@ Result<std::unique_ptr<SelectivityModel>> LoadModel(const std::string& path) {
   ctx.in = &in;
   ctx.kind = kind;
   ctx.path = path;
-  return entry->load(ctx);
+  auto loaded = entry->load(ctx);
+  if (loaded.ok() && file_size > 0) {
+    SEL_METRIC_COUNTER_ADD("io.model.read_bytes",
+                           static_cast<uint64_t>(file_size));
+  }
+  return loaded;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<SelectivityModel>> LoadModel(const std::string& path) {
+  SEL_TRACE_SPAN("io.load_model");
+  auto result = LoadModelImpl(path);
+  if (!result.ok()) SEL_METRIC_COUNTER_INC("io.model.errors_total");
+  return result;
 }
 
 Status SaveHistogramModel(const std::vector<Box>& buckets,

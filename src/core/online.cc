@@ -5,6 +5,8 @@
 
 #include "common/check.h"
 #include "common/fault.h"
+#include "common/metrics.h"
+#include "common/trace.h"
 #include "core/estimator_registry.h"
 
 namespace sel {
@@ -98,6 +100,8 @@ Status OnlineEstimator::Retrain() {
 }
 
 Status OnlineEstimator::RetrainNow() {
+  SEL_TRACE_SPAN("online.retrain");
+  SEL_METRIC_SCOPED_LATENCY("online.retrain_us");
   auto attempt = [&]() -> Status {
     if (SEL_FAULT_POINT("online.fail_retrain")) {
       return Status::Internal("injected fault: online.fail_retrain");
@@ -124,6 +128,9 @@ Status OnlineEstimator::RetrainNow() {
     consecutive_failures_ = 0;
     current_interval_ = options_.retrain_interval;
     last_error_ = Status::OK();
+    SEL_METRIC_COUNTER_INC("online.retrains_total");
+    SEL_METRIC_GAUGE_SET("online.backoff_interval",
+                         static_cast<int64_t>(current_interval_));
     return st;
   }
   // Exponential backoff: double the effective interval per consecutive
@@ -142,6 +149,9 @@ Status OnlineEstimator::RetrainNow() {
     current_interval_ = interval;
   }
   last_error_ = st;
+  SEL_METRIC_COUNTER_INC("online.retrain_failures_total");
+  SEL_METRIC_GAUGE_SET("online.backoff_interval",
+                       static_cast<int64_t>(current_interval_));
   return st;
 }
 

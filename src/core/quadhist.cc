@@ -3,8 +3,10 @@
 #include <algorithm>
 
 #include "common/check.h"
+#include "common/metrics.h"
 #include "common/thread_pool.h"
 #include "common/timer.h"
+#include "common/trace.h"
 #include "core/estimator_registry.h"
 #include "core/model_io.h"
 
@@ -126,11 +128,15 @@ Status QuadHist::Train(const Workload& workload) {
   // The tree is frozen after refinement, so row collection is a read-only
   // traversal and parallelizes row-per-slot like BuildBoxFractionMatrix.
   std::vector<std::vector<std::pair<int, double>>> rows(workload.size());
-  ParallelFor(0, static_cast<int64_t>(workload.size()), 1, [&](int64_t i) {
-    CollectRow(0, workload[i].query, &rows[i], leaf_index);
-  });
-  const SparseMatrix a =
-      SparseMatrix::FromRows(static_cast<int>(num_leaves_), rows);
+  SparseMatrix a;
+  {
+    SEL_TRACE_SPAN("train.assemble_matrix");
+    SEL_METRIC_SCOPED_LATENCY("train.assemble_us");
+    ParallelFor(0, static_cast<int64_t>(workload.size()), 1, [&](int64_t i) {
+      CollectRow(0, workload[i].query, &rows[i], leaf_index);
+    });
+    a = SparseMatrix::FromRows(static_cast<int>(num_leaves_), rows);
+  }
   const Vector s = SelectivitiesOf(workload);
   auto weights = SolveBucketWeights(a, s, options_.objective,
                                     options_.solver, options_.lp,

@@ -6,13 +6,19 @@
 #include <limits>
 
 #include "common/fault.h"
+#include "common/metrics.h"
 #include "common/string_util.h"
+#include "common/trace.h"
 
 namespace sel {
 
 Status SaveDatasetCsv(const Dataset& dataset, const std::string& path) {
+  SEL_TRACE_SPAN("io.save_csv");
   std::ofstream out(path);
-  if (!out.good()) return Status::IOError("cannot open for write: " + path);
+  if (!out.good()) {
+    SEL_METRIC_COUNTER_INC("io.csv.errors_total");
+    return Status::IOError("cannot open for write: " + path);
+  }
   std::vector<std::string> header;
   header.reserve(dataset.dim());
   for (const auto& a : dataset.attributes()) header.push_back(a.name);
@@ -25,32 +31,52 @@ Status SaveDatasetCsv(const Dataset& dataset, const std::string& path) {
     out << "\n";
   }
   out.flush();
-  if (!out.good()) return Status::IOError("write failed: " + path);
+  if (!out.good()) {
+    SEL_METRIC_COUNTER_INC("io.csv.errors_total");
+    return Status::IOError("write failed: " + path);
+  }
+  const auto pos = out.tellp();
+  if (pos > 0) {
+    SEL_METRIC_COUNTER_ADD("io.csv.write_bytes", static_cast<uint64_t>(pos));
+  }
   return Status::OK();
 }
 
 Result<Dataset> LoadDatasetCsv(const std::string& path) {
+  SEL_TRACE_SPAN("io.load_csv");
   std::ifstream in(path);
-  if (!in.good()) return Status::IOError("cannot open for read: " + path);
+  if (!in.good()) {
+    SEL_METRIC_COUNTER_INC("io.csv.errors_total");
+    return Status::IOError("cannot open for read: " + path);
+  }
   if (SEL_FAULT_POINT("io.csv_short_read")) {
+    SEL_METRIC_COUNTER_INC("io.csv.errors_total");
     return Status::IOError("short read (injected fault): " + path);
   }
+  uint64_t bytes_read = 0;
   std::string line;
   if (!std::getline(in, line)) {
+    SEL_METRIC_COUNTER_INC("io.csv.errors_total");
     return Status::IOError("empty CSV: " + path);
   }
+  bytes_read += line.size() + 1;
   const auto names = Split(Trim(line), ',');
   const int d = static_cast<int>(names.size());
-  if (d == 0) return Status::IOError("CSV header has no columns: " + path);
+  if (d == 0) {
+    SEL_METRIC_COUNTER_INC("io.csv.errors_total");
+    return Status::IOError("CSV header has no columns: " + path);
+  }
 
   std::vector<Point> rows;
   size_t lineno = 1;
   while (std::getline(in, line)) {
     ++lineno;
+    bytes_read += line.size() + 1;
     const std::string trimmed = Trim(line);
     if (trimmed.empty()) continue;
     const auto fields = Split(trimmed, ',');
     if (static_cast<int>(fields.size()) != d) {
+      SEL_METRIC_COUNTER_INC("io.csv.errors_total");
       return Status::IOError("CSV row " + std::to_string(lineno) +
                              " has wrong arity in " + path);
     }
@@ -61,12 +87,14 @@ Result<Dataset> LoadDatasetCsv(const std::string& path) {
       if (end == fields[j].c_str() || !std::isfinite(p[j])) {
         // NaN/inf would poison the min-max normalization below and every
         // ordered comparison downstream — treat it as corrupt input.
+        SEL_METRIC_COUNTER_INC("io.csv.errors_total");
         return Status::IOError("CSV row " + std::to_string(lineno) +
                                " has a non-numeric field in " + path);
       }
     }
     rows.push_back(std::move(p));
   }
+  SEL_METRIC_COUNTER_ADD("io.csv.read_bytes", bytes_read);
 
   // Min-max normalize any column that leaves [0,1].
   for (int j = 0; j < d; ++j) {

@@ -23,13 +23,22 @@ EvalCell TrainAndEvaluate(SelectivityModel* model, const Workload& train,
   cell.buckets = model->NumBuckets();
   cell.train_seconds = model->train_stats().train_seconds;
   cell.train_loss = model->train_stats().train_loss;
+  cell.solver_iterations = model->train_stats().solver_iterations;
   cell.fallback_level = model->train_stats().fallback_level;
   cell.solver_retries = model->train_stats().solver_retries;
   cell.converged = model->train_stats().converged;
   cell.solver_status = model->train_stats().solver_status;
   WallTimer eval_timer;
-  cell.errors = EvaluateModel(*model, test, q_floor);
+  std::vector<double> latencies_us;
+  const std::vector<double> est = EstimateBatch(*model, test, &latencies_us);
+  std::vector<double> truth;
+  truth.reserve(test.size());
+  for (const auto& z : test) truth.push_back(z.selectivity);
+  cell.errors = ComputeErrors(est, truth, q_floor);
   cell.eval_seconds = eval_timer.Seconds();
+  if (!latencies_us.empty()) {
+    cell.p95_predict_us = Quantile(latencies_us, 0.95);
+  }
   return cell;
 }
 

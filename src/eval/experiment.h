@@ -23,6 +23,8 @@ struct EvalCell {
   double train_seconds = 0.0;
   double eval_seconds = 0.0;   ///< wall-clock of the batched test scoring
   double train_loss = 0.0;
+  double p95_predict_us = 0.0; ///< 95th-pct per-query predict latency (µs)
+  int solver_iterations = 0;   ///< TrainStats::solver_iterations of the run
   int fallback_level = 0;      ///< TrainStats::fallback_level of the run
   int solver_retries = 0;      ///< escalated-budget retries taken
   bool converged = true;       ///< accepted solve met its criterion

@@ -4,7 +4,10 @@
 #include <cmath>
 
 #include "common/check.h"
+#include "common/metrics.h"
 #include "common/thread_pool.h"
+#include "common/timer.h"
+#include "common/trace.h"
 
 namespace sel {
 
@@ -54,9 +57,30 @@ ErrorReport ComputeErrors(const std::vector<double>& estimates,
 
 std::vector<double> EstimateBatch(const SelectivityModel& model,
                                   const Workload& queries) {
+  return EstimateBatch(model, queries, nullptr);
+}
+
+std::vector<double> EstimateBatch(const SelectivityModel& model,
+                                  const Workload& queries,
+                                  std::vector<double>* latencies_us) {
+  SEL_TRACE_SPAN("predict.batch");
+  SEL_METRIC_SCOPED_LATENCY("predict.batch_us");
+  SEL_METRIC_COUNTER_ADD("predict.queries_total", queries.size());
   std::vector<double> est(queries.size());
+  if (latencies_us != nullptr) latencies_us->assign(queries.size(), 0.0);
+  // Per-query clocks run only when someone consumes them; the plain
+  // batched path stays two clock calls total.
+  const bool time_queries = latencies_us != nullptr || MetricsEnabled();
   ParallelFor(0, static_cast<int64_t>(queries.size()), 4, [&](int64_t i) {
-    est[i] = model.Estimate(queries[i].query);
+    if (time_queries) {
+      WallTimer timer;
+      est[i] = model.Estimate(queries[i].query);
+      const double us = timer.Seconds() * 1e6;
+      if (latencies_us != nullptr) (*latencies_us)[i] = us;
+      SEL_METRIC_HIST_RECORD("predict.query_us", us);
+    } else {
+      est[i] = model.Estimate(queries[i].query);
+    }
   });
   return est;
 }

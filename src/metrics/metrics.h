@@ -34,9 +34,19 @@ ErrorReport ComputeErrors(const std::vector<double>& estimates,
 
 /// Batched prediction: estimates[i] = model.Estimate(queries[i].query),
 /// computed in parallel on the shared pool (Estimate is const and
-/// side-effect free for every model in the library).
+/// side-effect free for every model in the library). When the metrics
+/// registry is enabled, per-query latencies land in the
+/// "predict.query_us" histogram.
 std::vector<double> EstimateBatch(const SelectivityModel& model,
                                   const Workload& queries);
+
+/// EstimateBatch that additionally reports each query's serving latency
+/// in microseconds into `latencies_us` (slot per query, deterministic
+/// ordering for any thread count). The bench sweeps use this for their
+/// p95_predict_us column.
+std::vector<double> EstimateBatch(const SelectivityModel& model,
+                                  const Workload& queries,
+                                  std::vector<double>* latencies_us);
 
 /// Runs `model` on the test workload and scores it. `q_floor` defaults to
 /// one-tuple resolution when the dataset size is supplied.

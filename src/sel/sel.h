@@ -26,11 +26,13 @@
 #include "common/check.h"
 #include "common/csv.h"
 #include "common/env.h"
+#include "common/metrics.h"
 #include "common/rng.h"
 #include "common/status.h"
 #include "common/string_util.h"
 #include "common/thread_pool.h"
 #include "common/timer.h"
+#include "common/trace.h"
 #include "common/normal.h"
 #include "core/arrangement.h"
 #include "core/estimator_registry.h"

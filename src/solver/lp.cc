@@ -5,6 +5,8 @@
 #include <limits>
 
 #include "common/fault.h"
+#include "common/metrics.h"
+#include "common/trace.h"
 
 namespace sel {
 
@@ -259,6 +261,8 @@ Result<Vector> SolveSimplexChebyshev(const DenseMatrix& a, const Vector& s,
     return Status::InvalidArgument("Chebyshev: rhs size mismatch");
   }
   if (m == 0) return Status::InvalidArgument("Chebyshev: zero columns");
+  SEL_TRACE_SPAN("solver.lp");
+  SEL_METRIC_COUNTER_INC("solver.lp.attempts");
   if (SEL_FAULT_POINT("lp.force_infeasible")) {
     return Status::FailedPrecondition(
         "Chebyshev LP reported infeasible (injected fault)");

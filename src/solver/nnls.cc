@@ -5,6 +5,8 @@
 #include <vector>
 
 #include "common/fault.h"
+#include "common/metrics.h"
+#include "common/trace.h"
 
 namespace sel {
 
@@ -64,6 +66,8 @@ Result<NnlsResult> SolveNnls(const DenseMatrix& a, const Vector& b,
   if (n == 0) {
     return NnlsResult{Vector{}, std::sqrt(SquaredNorm(b)), 0};
   }
+  SEL_TRACE_SPAN("solver.nnls");
+  SEL_METRIC_COUNTER_INC("solver.nnls.attempts");
   if (SEL_FAULT_POINT("nnls.fail")) {
     return Status::Internal("injected fault: nnls.fail");
   }

@@ -5,6 +5,8 @@
 #include <limits>
 
 #include "common/fault.h"
+#include "common/metrics.h"
+#include "common/trace.h"
 #include "solver/nnls.h"
 #include "solver/simplex_projection.h"
 
@@ -32,6 +34,8 @@ double EstimateLipschitzT(const Matrix& a, int iterations) {
 template <typename Matrix>
 Result<SimplexLsqResult> SolveByProjectedGradient(
     const Matrix& a, const Vector& s, const SimplexLsqOptions& options) {
+  SEL_TRACE_SPAN("solver.qp.pg");
+  SEL_METRIC_COUNTER_INC("solver.qp.pg.attempts");
   if (SEL_FAULT_POINT("qp.fail")) {
     return Status::Internal("injected fault: qp.fail");
   }
@@ -100,6 +104,8 @@ Result<SimplexLsqResult> SolveByProjectedGradient(
 
 Result<SimplexLsqResult> SolveByNnls(const DenseMatrix& a, const Vector& s,
                                      const SimplexLsqOptions& options) {
+  SEL_TRACE_SPAN("solver.qp.nnls");
+  SEL_METRIC_COUNTER_INC("solver.qp.nnls.attempts");
   const int n = a.rows();
   const int m = a.cols();
   // Augment with a penalty row lambda * 1^T w = lambda.

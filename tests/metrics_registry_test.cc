@@ -1,0 +1,240 @@
+// Unit and property tests for the metrics registry and trace recorder:
+// instrument semantics, histogram bucket math (counts conserved,
+// quantiles monotone), snapshot rendering, enable/disable gating, and
+// the Chrome-tracing JSON emitted by TraceRecorder.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <numeric>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/metrics.h"
+#include "common/rng.h"
+#include "common/trace.h"
+
+namespace sel {
+namespace {
+
+class MetricsRegistryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    SetMetricsEnabled(true);
+    MetricsRegistry::Global().Reset();
+  }
+  void TearDown() override {
+    MetricsRegistry::Global().Reset();
+    SetMetricsEnabled(false);
+  }
+};
+
+TEST_F(MetricsRegistryTest, CounterAndGaugeBasics) {
+  SEL_METRIC_COUNTER_INC("t.counter");
+  SEL_METRIC_COUNTER_ADD("t.counter", 41);
+  SEL_METRIC_GAUGE_SET("t.gauge", 7);
+  SEL_METRIC_GAUGE_ADD("t.gauge", -3);
+
+  const MetricsSnapshot snap = MetricsRegistry::Global().Snapshot();
+  EXPECT_EQ(snap.CounterValue("t.counter"), 42u);
+  EXPECT_EQ(snap.GaugeValue("t.gauge"), 4);
+  // Untouched instruments read as zero / absent.
+  EXPECT_EQ(snap.CounterValue("t.never"), 0u);
+  EXPECT_EQ(snap.GaugeValue("t.never"), 0);
+  EXPECT_EQ(snap.FindHistogram("t.never"), nullptr);
+}
+
+TEST_F(MetricsRegistryTest, DisabledMacrosRecordNothing) {
+  SetMetricsEnabled(false);
+  SEL_METRIC_COUNTER_INC("t.off");
+  SEL_METRIC_HIST_RECORD("t.off_hist", 5.0);
+  { SEL_METRIC_SCOPED_LATENCY("t.off_lat"); }
+  SetMetricsEnabled(true);
+  const MetricsSnapshot snap = MetricsRegistry::Global().Snapshot();
+  EXPECT_EQ(snap.CounterValue("t.off"), 0u);
+  EXPECT_EQ(snap.FindHistogram("t.off_hist"), nullptr);
+  EXPECT_EQ(snap.FindHistogram("t.off_lat"), nullptr);
+}
+
+TEST_F(MetricsRegistryTest, RegistryReturnsStableReferences) {
+  Counter& a = MetricsRegistry::Global().GetCounter("t.stable");
+  // Force map growth, then look the first one up again.
+  for (int i = 0; i < 100; ++i) {
+    MetricsRegistry::Global().GetCounter("t.filler." + std::to_string(i));
+  }
+  Counter& b = MetricsRegistry::Global().GetCounter("t.stable");
+  EXPECT_EQ(&a, &b);
+}
+
+TEST_F(MetricsRegistryTest, HistogramCountsAreConserved) {
+  // Property: however the values scatter across buckets, the sum of
+  // bucket counts equals the total count — nothing dropped, nothing
+  // double-counted. Exercised across magnitudes from sub-1 to beyond
+  // the overflow bucket.
+  Rng rng(909);
+  Histogram h;
+  const int n = 5000;
+  for (int i = 0; i < n; ++i) {
+    const double magnitude = rng.Uniform(-1.0, 9.0);  // 0.1 .. 1e9
+    h.Record(std::pow(10.0, magnitude));
+  }
+  const HistogramSnapshot snap = h.Snapshot();
+  EXPECT_EQ(snap.count, static_cast<uint64_t>(n));
+  const uint64_t bucket_total = std::accumulate(
+      snap.bucket_counts.begin(), snap.bucket_counts.end(), uint64_t{0});
+  EXPECT_EQ(bucket_total, snap.count);
+  EXPECT_EQ(snap.bucket_counts.size(),
+            static_cast<size_t>(Histogram::kNumBuckets));
+  EXPECT_EQ(snap.bucket_bounds.size(),
+            static_cast<size_t>(Histogram::kNumBounds));
+}
+
+TEST_F(MetricsRegistryTest, HistogramBucketBoundsArePowersOfTwo) {
+  const HistogramSnapshot snap = Histogram().Snapshot();
+  for (size_t i = 0; i < snap.bucket_bounds.size(); ++i) {
+    EXPECT_DOUBLE_EQ(snap.bucket_bounds[i], std::ldexp(1.0, i));
+  }
+}
+
+TEST_F(MetricsRegistryTest, HistogramQuantilesAreMonotoneInP) {
+  Rng rng(910);
+  Histogram h;
+  for (int i = 0; i < 2000; ++i) {
+    h.Record(rng.Uniform(0.0, 1.0e7));
+  }
+  const HistogramSnapshot snap = h.Snapshot();
+  double prev = 0.0;
+  for (double p = 0.0; p <= 1.0 + 1e-12; p += 0.01) {
+    const double q = snap.Quantile(std::min(p, 1.0));
+    EXPECT_GE(q, prev) << "quantile not monotone at p=" << p;
+    prev = q;
+  }
+}
+
+TEST_F(MetricsRegistryTest, HistogramQuantileBracketsTheData) {
+  // Every value is exactly 100, which lives in the (64, 128] bucket: any
+  // quantile must land inside that bucket, and the mean is exact.
+  Histogram h;
+  for (int i = 0; i < 50; ++i) h.Record(100.0);
+  const HistogramSnapshot snap = h.Snapshot();
+  EXPECT_DOUBLE_EQ(snap.Mean(), 100.0);
+  for (double p : {0.0, 0.5, 0.95, 1.0}) {
+    const double q = snap.Quantile(p);
+    EXPECT_GT(q, 64.0) << "p=" << p;
+    EXPECT_LE(q, 128.0) << "p=" << p;
+  }
+}
+
+TEST_F(MetricsRegistryTest, HistogramHandlesPathologicalInputs) {
+  Histogram h;
+  h.Record(-5.0);                 // clamped into the first bucket
+  h.Record(0.0);                  // first bucket
+  h.Record(std::nan(""));         // must not poison count or crash
+  h.Record(1e30);                 // overflow bucket
+  const HistogramSnapshot snap = h.Snapshot();
+  EXPECT_EQ(snap.count, 4u);
+  const uint64_t bucket_total = std::accumulate(
+      snap.bucket_counts.begin(), snap.bucket_counts.end(), uint64_t{0});
+  EXPECT_EQ(bucket_total, 4u);
+  EXPECT_EQ(snap.bucket_counts.back(), 1u);  // the 1e30 landed in overflow
+  EXPECT_TRUE(std::isfinite(snap.Quantile(0.5)));
+}
+
+TEST_F(MetricsRegistryTest, ScopedLatencyRecordsIntoHistogram) {
+  {
+    SEL_METRIC_SCOPED_LATENCY("t.scope_us");
+    volatile double sink = 0.0;
+    for (int i = 0; i < 1000; ++i) sink = sink + 1.0;
+  }
+  const MetricsSnapshot snap = MetricsRegistry::Global().Snapshot();
+  const HistogramSnapshot* h = snap.FindHistogram("t.scope_us");
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->count, 1u);
+  EXPECT_GE(h->sum, 0.0);
+}
+
+TEST_F(MetricsRegistryTest, ToTextAndToCsvRenderEveryInstrument) {
+  SEL_METRIC_COUNTER_ADD("t.render_counter", 3);
+  SEL_METRIC_GAUGE_SET("t.render_gauge", -2);
+  SEL_METRIC_HIST_RECORD("t.render_hist", 10.0);
+  const MetricsSnapshot snap = MetricsRegistry::Global().Snapshot();
+
+  const std::string text = snap.ToText();
+  EXPECT_NE(text.find("counter t.render_counter = 3"), std::string::npos);
+  EXPECT_NE(text.find("gauge t.render_gauge = -2"), std::string::npos);
+  EXPECT_NE(text.find("histogram t.render_hist"), std::string::npos);
+
+  const std::string csv = snap.ToCsv();
+  EXPECT_EQ(csv.rfind("kind,name,count,value,sum,mean,p50,p95,p99", 0), 0u);
+  EXPECT_NE(csv.find("counter,t.render_counter,,3,"), std::string::npos);
+  EXPECT_NE(csv.find("gauge,t.render_gauge,,-2,"), std::string::npos);
+  EXPECT_NE(csv.find("histogram,t.render_hist,1,"), std::string::npos);
+  // Rectangular: every row has the same number of commas as the header.
+  std::istringstream lines(csv);
+  std::string line;
+  std::getline(lines, line);
+  const auto commas = [](const std::string& s) {
+    return std::count(s.begin(), s.end(), ',');
+  };
+  const auto header_commas = commas(line);
+  while (std::getline(lines, line)) {
+    if (line.empty()) continue;
+    EXPECT_EQ(commas(line), header_commas) << line;
+  }
+}
+
+TEST_F(MetricsRegistryTest, ResetZeroesInsteadOfDangling) {
+  Counter& c = MetricsRegistry::Global().GetCounter("t.reset");
+  c.Increment(9);
+  MetricsRegistry::Global().Reset();
+  EXPECT_EQ(c.Value(), 0u);  // the cached reference is still valid
+  c.Increment(2);
+  EXPECT_EQ(MetricsRegistry::Global().Snapshot().CounterValue("t.reset"),
+            2u);
+}
+
+TEST(TraceRecorderTest, EmitsParseableChromeTracingEvents) {
+  const std::string path =
+      ::testing::TempDir() + "/sel_trace_recorder_test.json";
+  TraceRecorder::Global().Start(path);
+  ASSERT_TRUE(TraceArmed());
+  {
+    SEL_TRACE_SPAN("test.outer");
+    SEL_TRACE_SPAN("test.inner");
+  }
+  TraceRecorder::Global().SetCurrentThreadName("main-test");
+  ASSERT_TRUE(TraceRecorder::Global().Stop().ok());
+  EXPECT_FALSE(TraceArmed());
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream buf;
+  buf << in.rdbuf();
+  const std::string json = buf.str();
+  // Structural checks (no JSON library in-tree): the Chrome trace object
+  // wrapper, both span names, complete-event phases, and thread metadata.
+  EXPECT_EQ(json.rfind("{", 0), 0u);
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"test.outer\""), std::string::npos);
+  EXPECT_NE(json.find("\"test.inner\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"M\""), std::string::npos);
+  EXPECT_NE(json.find("main-test"), std::string::npos);
+  EXPECT_EQ(json.back(), '\n');
+  std::remove(path.c_str());
+}
+
+TEST(TraceRecorderTest, SpansAreFreeWhenDisarmed) {
+  ASSERT_FALSE(TraceArmed());
+  const size_t before = TraceRecorder::Global().EventCount();
+  {
+    SEL_TRACE_SPAN("test.disarmed");
+  }
+  EXPECT_EQ(TraceRecorder::Global().EventCount(), before);
+}
+
+}  // namespace
+}  // namespace sel

@@ -89,4 +89,52 @@ rc=$?
 [ "${rc}" -eq 10 ] \
   || fail "truncated model should exit 10 (IOError), got ${rc}"
 
+# --- Observability: the stats subcommand and the SEL_TRACE knob. ---
+
+# stats trains + predicts with the metrics registry on and must report
+# the core counters and latency histograms of that run, plus a CSV dump.
+run stats train.csv quadhist metrics.csv > stats.txt
+for needle in "solver.solves_total" "predict.queries_total" \
+              "histogram predict.query_us" "histogram train.solve_us"; do
+  grep -q "${needle}" stats.txt \
+    || fail "selcli stats missing '${needle}': $(cat stats.txt)"
+done
+[ -s metrics.csv ] || fail "selcli stats wrote no metrics CSV"
+head -n 1 metrics.csv | grep -q "^kind,name,count,value,sum,mean,p50,p95,p99$" \
+  || fail "metrics CSV header wrong: $(head -n 1 metrics.csv)"
+# Rectangular CSV: every row has the header's column count.
+awk -F, 'NR == 1 { n = NF } NF != n { exit 1 }' metrics.csv \
+  || fail "metrics CSV is ragged"
+
+# The happy-path run must never have degraded to the uniform fallback.
+grep -q "solver.fallback.uniform" stats.txt \
+  && fail "happy-path stats run hit the uniform fallback"
+
+# SEL_TRACE must produce Chrome-tracing JSON at the given path.
+SEL_TRACE=trace.json "${SELCLI}" stats train.csv quadhist > /dev/null \
+  || fail "selcli stats under SEL_TRACE exited non-zero"
+[ -s trace.json ] || fail "SEL_TRACE produced no trace file"
+if command -v python3 > /dev/null 2>&1; then
+  python3 - <<'EOF' || fail "SEL_TRACE output is not valid Chrome trace JSON"
+import json, sys
+with open("trace.json") as f:
+    d = json.load(f)
+events = d["traceEvents"]
+assert events, "no trace events"
+names = {e["name"] for e in events if e.get("ph") == "X"}
+assert "train.solve_weights" in names, names
+assert "predict.batch" in names, names
+for e in events:
+    assert e["ph"] in ("X", "M"), e
+    if e["ph"] == "X":
+        assert e["dur"] >= 0 and "ts" in e and "tid" in e, e
+EOF
+else
+  # Structural fallback when python3 is unavailable.
+  grep -q '"traceEvents"' trace.json || fail "trace JSON missing traceEvents"
+  grep -q '"ph":"X"' trace.json || fail "trace JSON has no complete events"
+  grep -q 'train.solve_weights' trace.json \
+    || fail "trace JSON missing the solver span"
+fi
+
 echo "selcli smoke test passed"

@@ -1,0 +1,132 @@
+// Property-based tests for the Euclidean simplex projection (Duchi et
+// al. 2008), the primitive under the projected-gradient QP solver.
+// Rather than pinning outputs, these assert the algebraic contract on
+// hundreds of seeded random inputs: the output lies on the simplex, the
+// map is idempotent, permutation-equivariant, and optimal (no feasible
+// point is closer to the input).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "common/rng.h"
+#include "solver/simplex_projection.h"
+
+namespace sel {
+namespace {
+
+constexpr double kTol = 1e-9;
+
+double Sum(const Vector& v) {
+  return std::accumulate(v.begin(), v.end(), 0.0);
+}
+
+double Dist2(const Vector& a, const Vector& b) {
+  double d = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    d += (a[i] - b[i]) * (a[i] - b[i]);
+  }
+  return d;
+}
+
+Vector RandomInput(Rng* rng, int n, double spread) {
+  Vector v(n);
+  for (auto& x : v) x = rng->Uniform(-spread, spread);
+  return v;
+}
+
+TEST(SimplexProjectionProperty, OutputIsOnTheSimplex) {
+  Rng rng(101);
+  for (int trial = 0; trial < 200; ++trial) {
+    const int n = 1 + static_cast<int>(rng.Uniform(0.0, 40.0));
+    const double total = trial % 3 == 0 ? 2.5 : 1.0;
+    Vector v = RandomInput(&rng, n, 10.0);
+    ProjectToSimplex(&v, total);
+    ASSERT_NEAR(Sum(v), total, 1e-7) << "mass not conserved, n=" << n;
+    for (double x : v) {
+      ASSERT_GE(x, -kTol) << "negative coordinate, n=" << n;
+    }
+  }
+}
+
+TEST(SimplexProjectionProperty, Idempotent) {
+  Rng rng(202);
+  for (int trial = 0; trial < 200; ++trial) {
+    const int n = 1 + static_cast<int>(rng.Uniform(0.0, 30.0));
+    Vector v = RandomInput(&rng, n, 5.0);
+    const Vector once = SimplexProjection(v);
+    const Vector twice = SimplexProjection(once);
+    for (size_t i = 0; i < once.size(); ++i) {
+      ASSERT_NEAR(once[i], twice[i], 1e-9)
+          << "projection moved an already-feasible point, i=" << i;
+    }
+  }
+}
+
+TEST(SimplexProjectionProperty, PermutationEquivariant) {
+  // Projecting a shuffled vector equals shuffling the projection: the
+  // simplex is symmetric, so coordinate order cannot matter.
+  Rng rng(303);
+  for (int trial = 0; trial < 100; ++trial) {
+    const int n = 2 + static_cast<int>(rng.Uniform(0.0, 20.0));
+    const Vector v = RandomInput(&rng, n, 3.0);
+    std::vector<size_t> perm(v.size());
+    std::iota(perm.begin(), perm.end(), 0u);
+    for (size_t i = perm.size(); i > 1; --i) {
+      std::swap(perm[i - 1], perm[rng.UniformInt(i)]);
+    }
+    Vector shuffled(v.size());
+    for (size_t i = 0; i < v.size(); ++i) shuffled[i] = v[perm[i]];
+
+    const Vector direct = SimplexProjection(v);
+    const Vector via_shuffle = SimplexProjection(shuffled);
+    for (size_t i = 0; i < v.size(); ++i) {
+      ASSERT_NEAR(via_shuffle[i], direct[perm[i]], 1e-9);
+    }
+  }
+}
+
+TEST(SimplexProjectionProperty, NoFeasiblePointIsCloser) {
+  // Optimality: the projection minimizes ||w - v|| over the simplex, so
+  // any other feasible candidate must be at least as far from v.
+  Rng rng(404);
+  for (int trial = 0; trial < 100; ++trial) {
+    const int n = 2 + static_cast<int>(rng.Uniform(0.0, 15.0));
+    const Vector v = RandomInput(&rng, n, 4.0);
+    const Vector proj = SimplexProjection(v);
+    const double best = Dist2(proj, v);
+    for (int cand = 0; cand < 20; ++cand) {
+      Vector w(n);
+      double mass = 0.0;
+      for (auto& x : w) {
+        x = rng.Uniform(0.0, 1.0);
+        mass += x;
+      }
+      for (auto& x : w) x /= mass;  // random point on the simplex
+      ASSERT_GE(Dist2(w, v), best - 1e-9);
+    }
+  }
+}
+
+TEST(SimplexProjectionProperty, FeasibleInputIsAFixedPoint) {
+  Rng rng(505);
+  for (int trial = 0; trial < 100; ++trial) {
+    const int n = 1 + static_cast<int>(rng.Uniform(0.0, 25.0));
+    Vector w(n);
+    double mass = 0.0;
+    for (auto& x : w) {
+      x = rng.Uniform(0.0, 1.0);
+      mass += x;
+    }
+    for (auto& x : w) x /= mass;
+    const Vector proj = SimplexProjection(w);
+    for (size_t i = 0; i < w.size(); ++i) {
+      ASSERT_NEAR(proj[i], w[i], 1e-9);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sel

@@ -8,14 +8,18 @@
 //   selcli evaluate <model.out> <workload.csv>
 //   selcli estimate <model.out> <schema-a,b,c> "<predicate>"
 //   selcli estimators
+//   selcli stats <workload.csv> [<estimator-spec>] [<metrics-out.csv>]
 //
 // Estimators come from the EstimatorRegistry; `<estimator-spec>` is a
 // registry spec string such as "quadhist:tau=0.002" (run
 // `selcli estimators` for the full table). The full loop: capture a
 // query log as a workload CSV, train offline, ship the model file,
-// evaluate or answer ad-hoc WHERE predicates.
+// evaluate or answer ad-hoc WHERE predicates. `stats` runs a
+// train-and-predict pass with the metrics registry enabled and dumps
+// every counter/gauge/histogram it produced (see DESIGN.md §10).
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <string>
 
 #include "sel/sel.h"
@@ -52,6 +56,8 @@ int Usage() {
       "  selcli evaluate <model.out> <workload.csv>\n"
       "  selcli estimate <model.out> <schema-a,b,c> \"<predicate>\"\n"
       "  selcli estimators\n"
+      "  selcli stats <workload.csv> [<estimator-spec>] "
+      "[<metrics-out.csv>]\n"
       "\n"
       "estimator specs are \"name[:key=value,...]\", e.g. "
       "\"quadhist:tau=0.002\";\n"
@@ -234,6 +240,49 @@ int Estimate(int argc, char** argv) {
   return 0;
 }
 
+int Stats(int argc, char** argv) {
+  if (argc < 1) return Usage();
+  auto workload = LoadWorkloadCsv(argv[0]);
+  if (!workload.ok()) return Fail(workload.status());
+  const Workload& w = workload.value();
+  if (w.empty()) {
+    return Fail(Status::InvalidArgument("workload is empty"));
+  }
+  const std::string spec_string = argc > 1 ? argv[1] : "quadhist";
+  auto spec = EstimatorSpec::Parse(spec_string);
+  if (!spec.ok()) return Fail(spec.status());
+  if (EstimatorRegistry::Global().Find(spec.value().name) == nullptr) {
+    return Fail(
+        EstimatorRegistry::Global().UnknownEstimatorError(spec.value().name));
+  }
+
+  // Instrument the whole train-and-predict pass regardless of SEL_METRICS:
+  // the point of this subcommand is to show the registry's output.
+  SetMetricsEnabled(true);
+  MetricsRegistry::Global().Reset();
+
+  auto built =
+      EstimatorRegistry::Build(spec.value(), w[0].query.dim(), w.size());
+  if (!built.ok()) return Fail(built.status());
+  SEL_RETURN_STATUS_AS_EXIT(built.value()->Train(w));
+  (void)EstimateBatch(*built.value(), w);
+
+  const MetricsSnapshot snap = MetricsRegistry::Global().Snapshot();
+  std::printf("%s", snap.ToText().c_str());
+  if (argc > 2) {
+    const std::string out = argv[2];
+    std::ofstream csv(out);
+    if (!csv.good()) {
+      return Fail(Status::IOError("cannot open: " + out));
+    }
+    csv << snap.ToCsv();
+    csv.flush();
+    if (!csv.good()) return Fail(Status::IOError("write failed: " + out));
+    std::printf("metrics csv written to %s\n", out.c_str());
+  }
+  return 0;
+}
+
 }  // namespace sel
 
 int main(int argc, char** argv) {
@@ -247,5 +296,6 @@ int main(int argc, char** argv) {
   if (cmd == "evaluate") return sel::Evaluate(argc, argv);
   if (cmd == "estimate") return sel::Estimate(argc, argv);
   if (cmd == "estimators") return sel::Estimators();
+  if (cmd == "stats") return sel::Stats(argc, argv);
   return sel::Usage();
 }
