@@ -170,7 +170,7 @@ inline void WriteSweepCsv(const std::string& path,
   csv.WriteRow(std::vector<std::string>{
       "model", "train_n", "buckets", "rms", "mae", "linf", "q50", "q95",
       "q99", "qmax", "train_seconds", "ok", "fallback_level", "converged",
-      "p95_predict_us", "solver_iters"});
+      "p95_predict_us", "solver_iters", "serve_path"});
   for (const auto& c : cells) {
     csv.WriteRow(std::vector<std::string>{
         c.model, std::to_string(c.train_size), std::to_string(c.buckets),
@@ -180,7 +180,7 @@ inline void WriteSweepCsv(const std::string& path,
         FormatDouble(c.errors.qmax), FormatDouble(c.train_seconds),
         c.ok ? "1" : "0", std::to_string(c.fallback_level),
         c.converged ? "1" : "0", FormatDouble(c.p95_predict_us),
-        std::to_string(c.solver_iterations)});
+        std::to_string(c.solver_iterations), c.serve_path});
   }
   csv.Close();
   std::printf("csv: %s\n\n", path.c_str());

@@ -1,7 +1,15 @@
 // Prediction time (§4.1's closing remark): all the compared models
 // estimate by aggregating per-bucket computations, so prediction time is
 // dictated by model complexity. This bench makes that relationship
-// explicit: per-query estimation latency vs bucket count per model.
+// explicit — per-query estimation latency vs bucket count per model —
+// and measures both serving paths side by side: the virtual
+// SelectivityModel::Estimate dispatch and the lowered CompiledPlan
+// kernel (DESIGN.md §11). tools/check_serve_speedup.sh parses the CSV
+// and enforces the plan path's speedup floor in CI.
+//
+// Methodology mirrors check_metrics_overhead.sh: alternating
+// virtual/plan rounds with a min-statistic per path, so one-sided cache
+// warmup or a scheduler hiccup cannot fake (or hide) a speedup.
 #include "bench_common.h"
 
 using namespace sel;
@@ -15,14 +23,16 @@ int main() {
 
   const std::vector<size_t> sizes = ScaledSizes({50, 200, 500, 1000});
   const size_t probe_count = 2000;
+  const int rounds = 3;
   WorkloadOptions probe_opts = wopts;
   probe_opts.seed = wopts.seed + 1;
   WorkloadGenerator probe_gen(&prep.data, prep.index.get(), probe_opts);
   const Workload probes = probe_gen.Generate(probe_count);
 
-  TablePrinter t({"model", "buckets", "us_per_estimate"});
+  TablePrinter t({"model", "buckets", "path", "us_per_estimate"});
   CsvWriter csv("bench_prediction_time.csv");
-  csv.WriteRow(std::vector<std::string>{"model", "buckets", "us_per_est"});
+  csv.WriteRow(
+      std::vector<std::string>{"model", "buckets", "path", "us_per_est"});
   for (size_t n : sizes) {
     WorkloadOptions train_opts = wopts;
     train_opts.seed = wopts.seed + n;
@@ -33,18 +43,41 @@ int main() {
       SEL_CHECK_MSG(built.ok(), "%s", built.status().ToString().c_str());
       auto& model = built.value();
       SEL_CHECK(model->Train(train).ok());
-      WallTimer timer;
+      // Warm the plan cache once up front; the rounds then only pay the
+      // serving cost, never the one-time lowering.
+      SetServePlanEnabled(true);
+      SEL_CHECK_MSG(model->shared_plan() != nullptr,
+                    "%s did not lower to a CompiledPlan", kind);
+
+      // Both paths run the identical EstimateBatch harness (same
+      // thread-pool fan-out, same per-query loop); only the serving path
+      // differs, toggled via the same SEL_SERVE_PLAN escape hatch users
+      // get. Rounds alternate virtual/plan with a min-statistic so
+      // one-sided warmup cannot bias either side.
+      double best_virtual_us = 0.0, best_plan_us = 0.0;
       double sink = 0.0;
-      for (const auto& z : probes) {
-        sink += model->Estimate(z.query);
+      for (int r = 0; r < rounds; ++r) {
+        SetServePlanEnabled(false);
+        WallTimer vt;
+        sink += EstimateBatch(*model, probes)[0];
+        const double virt_us = vt.Seconds() * 1e6 / probe_count;
+        SetServePlanEnabled(true);
+        WallTimer pt;
+        sink += EstimateBatch(*model, probes)[0];
+        const double plan_us = pt.Seconds() * 1e6 / probe_count;
+        if (r == 0 || virt_us < best_virtual_us) best_virtual_us = virt_us;
+        if (r == 0 || plan_us < best_plan_us) best_plan_us = plan_us;
       }
-      const double us = timer.Seconds() * 1e6 / probe_count;
       SEL_CHECK(sink >= 0.0);
-      t.AddRow({model->Name(), std::to_string(model->NumBuckets()),
-                FormatDouble(us, 2)});
+      const std::string buckets = std::to_string(model->NumBuckets());
+      t.AddRow({model->Name(), buckets, "virtual",
+                FormatDouble(best_virtual_us, 2)});
+      t.AddRow({model->Name(), buckets, "plan",
+                FormatDouble(best_plan_us, 2)});
       csv.WriteRow(std::vector<std::string>{
-          model->Name(), std::to_string(model->NumBuckets()),
-          FormatDouble(us)});
+          model->Name(), buckets, "virtual", FormatDouble(best_virtual_us)});
+      csv.WriteRow(std::vector<std::string>{
+          model->Name(), buckets, "plan", FormatDouble(best_plan_us)});
     }
   }
   csv.Close();
@@ -52,6 +85,9 @@ int main() {
   std::printf("\nExpected: latency grows ~linearly in bucket count for the "
               "flat models (PtsHist point tests, QuickSel kernel "
               "intersections) and sublinearly for QuadHist, whose tree "
-              "prunes subtrees fully inside/outside the query.\n");
+              "prunes subtrees fully inside/outside the query. The plan "
+              "path should beat the virtual path on every flat model: "
+              "same Eq. (6)/(7) sums, but over a pruned SoA layout with "
+              "precomputed 1/vol.\n");
   return 0;
 }

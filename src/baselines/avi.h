@@ -54,6 +54,14 @@ class AviHistogram : public SelectivityModel {
   }
   std::string Name() const override { return "AVI"; }
 
+  /// Non-lowerable: the product-of-marginals estimate multiplies
+  /// per-dimension masses, which no flat Eq. (6)/(7) bucket sum
+  /// reproduces. Serving stays on the virtual path.
+  Result<CompiledPlan> Compile() const override {
+    return Status::Unimplemented(
+        "AVI is non-lowerable: product form has no flat bucket sum");
+  }
+
   /// Marginal mass of [lo, hi] in dimension `j` (exposed for tests).
   double MarginalMass(int j, double lo, double hi) const;
 

@@ -239,6 +239,79 @@ double Isomer::Estimate(const Query& query) const {
 
 namespace {
 
+/// Subtracts `hole` from `piece` by slab cuts, appending the (pairwise
+/// disjoint) remainder boxes to `out`. Every emitted facet coordinate is
+/// copied verbatim from `piece` or `hole` — no arithmetic — so the
+/// disjointification introduces no rounding of its own.
+void SubtractBox(const Box& piece, const Box& hole,
+                 std::vector<Box>* out) {
+  const int d = piece.dim();
+  Point cur_lo = piece.lo();
+  Point cur_hi = piece.hi();
+  for (int j = 0; j < d; ++j) {
+    if (hole.lo(j) > cur_lo[j]) {
+      Point hi = cur_hi;
+      hi[j] = hole.lo(j);
+      out->emplace_back(cur_lo, std::move(hi));
+      cur_lo[j] = hole.lo(j);
+    }
+    if (hole.hi(j) < cur_hi[j]) {
+      Point lo = cur_lo;
+      lo[j] = hole.hi(j);
+      out->emplace_back(std::move(lo), cur_hi);
+      cur_hi[j] = hole.hi(j);
+    }
+  }
+  // What remains of `cur` lies inside the hole and is dropped.
+}
+
+}  // namespace
+
+Result<CompiledPlan> Isomer::Compile() const {
+  if (!trained_) {
+    return Status::FailedPrecondition("Isomer::Compile before Train");
+  }
+  std::vector<Box> entries;
+  std::vector<double> weights;
+  std::vector<Box> pieces, next;
+  for (const Bucket& b : buckets_) {
+    if (b.weight == 0.0 || b.effective_volume <= 0.0) continue;
+    // Effective region = box minus the child holes, as disjoint boxes.
+    pieces.clear();
+    pieces.push_back(b.box);
+    for (int ch : b.children) {
+      const Box& hole = buckets_[ch].box;
+      next.clear();
+      for (const Box& p : pieces) {
+        const auto inter = p.Intersection(hole);
+        if (!inter.has_value() || inter->Volume() <= 0.0) {
+          next.push_back(p);  // zero-volume overlap contributes nothing
+        } else {
+          SubtractBox(p, hole, &next);
+        }
+      }
+      pieces.swap(next);
+    }
+    // Each piece carries the bucket's density: the fraction formula
+    // Σ_P vol(P∩R)/eff_vol·w_b recovers EffectiveFraction exactly (the
+    // pieces tile the effective region).
+    for (const Box& p : pieces) {
+      const double pv = p.Volume();
+      if (pv <= 0.0) continue;
+      entries.push_back(p);
+      weights.push_back(b.weight * (pv / b.effective_volume));
+    }
+  }
+  if (entries.empty()) {
+    return Status::FailedPrecondition(
+        "Isomer::Compile: no effective regions with mass");
+  }
+  return CompiledPlan::FromBoxBuckets(entries, weights, options_.volume,
+                                      RegistryName());
+}
+
+namespace {
+
 Result<std::unique_ptr<SelectivityModel>> BuildIsomer(
     int dim, size_t train_size, const EstimatorSpec& spec) {
   (void)train_size;

@@ -44,6 +44,12 @@ class Isomer : public SelectivityModel {
   size_t NumBuckets() const override { return buckets_.size(); }
   std::string Name() const override { return "Isomer"; }
 
+  /// Lowers the STHoles tree to Eq. (6) box entries by rectilinear
+  /// disjointification: each bucket's effective region (box minus child
+  /// holes) is cut into axis-aligned pieces carrying the bucket's
+  /// density. Piece facets are exact copies of bucket/hole facets.
+  Result<CompiledPlan> Compile() const override;
+
  private:
   struct Bucket {
     Box box;

@@ -86,6 +86,12 @@ Status QuickSel::Train(const Workload& workload) {
   if (!weights.ok()) return weights.status();
   weights_ = std::move(weights.value());
 
+  for (const Box& k : kernels_) {
+    SEL_CHECK_MSG(k.Volume() > 0.0,
+                  "QuickSel: kernel construction produced a zero-volume box");
+  }
+  inv_vols_ = ComputeInverseVolumes(kernels_);
+
   trained_ = true;
   train_stats_.train_seconds = timer.Seconds();
   return Status::OK();
@@ -94,7 +100,16 @@ Status QuickSel::Train(const Workload& workload) {
 double QuickSel::Estimate(const Query& query) const {
   SEL_CHECK_MSG(trained_, "QuickSel::Estimate before Train");
   SEL_CHECK(query.dim() == dim_);
-  return EstimateFromBoxBuckets(query, kernels_, weights_, options_.volume);
+  return EstimateFromBoxBuckets(query, kernels_, weights_, inv_vols_,
+                                options_.volume);
+}
+
+Result<CompiledPlan> QuickSel::Compile() const {
+  if (!trained_) {
+    return Status::FailedPrecondition("QuickSel::Compile before Train");
+  }
+  return CompiledPlan::FromBoxBuckets(kernels_, weights_, options_.volume,
+                                      RegistryName());
 }
 
 namespace {

@@ -42,6 +42,9 @@ class QuickSel : public SelectivityModel {
   size_t NumBuckets() const override { return kernels_.size(); }
   std::string Name() const override { return "QuickSel"; }
 
+  /// Lowers the trained mixture to Eq. (6) box entries (the kernels).
+  Result<CompiledPlan> Compile() const override;
+
   /// The kernel boxes after training.
   const std::vector<Box>& Kernels() const { return kernels_; }
 
@@ -50,6 +53,7 @@ class QuickSel : public SelectivityModel {
   QuickSelOptions options_;
   std::vector<Box> kernels_;
   Vector weights_;
+  std::vector<double> inv_vols_;  // cached 1/vol(kernel), set at train
   bool trained_ = false;
 };
 

@@ -63,6 +63,13 @@ class GmmModel : public SelectivityModel {
   size_t NumBuckets() const override { return means_.size(); }
   std::string Name() const override { return "GMM"; }
 
+  /// Non-lowerable: Gaussian component masses are not finite unions of
+  /// Eq. (6)/(7) buckets. Serving stays on the virtual path.
+  Result<CompiledPlan> Compile() const override {
+    return Status::Unimplemented(
+        "GMM is non-lowerable: component masses have no flat bucket form");
+  }
+
   /// Component means after training.
   const std::vector<Point>& Means() const { return means_; }
   /// Per-dimension component standard deviations.

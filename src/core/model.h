@@ -6,12 +6,14 @@
 #define SEL_CORE_MODEL_H_
 
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
 #include "common/status.h"
 #include "geometry/query.h"
 #include "geometry/volume.h"
+#include "serve/compiled_plan.h"
 #include "solver/lp.h"
 #include "solver/qp.h"
 #include "solver/sparse.h"
@@ -66,11 +68,50 @@ class SelectivityModel {
   /// static forms) override it.
   virtual std::string RegistryName() const;
 
+  /// Lowers the trained model to its flat serving form (serve/ IR).
+  /// Distribution-backed models (quadhist/ptshist/static/staticpoints/
+  /// isomer/quicksel) override this; the default marks the model
+  /// non-lowerable (kUnimplemented) and serving falls back to the
+  /// virtual Estimate path. Calling before Train fails with
+  /// kFailedPrecondition.
+  virtual Result<CompiledPlan> Compile() const;
+
+  /// The model's serving plan, compiled once and cached: nullptr when
+  /// plan serving is disabled (SEL_SERVE_PLAN=0), the model is
+  /// non-lowerable, or compilation failed. A kUnimplemented Compile is
+  /// remembered permanently; any other failure (e.g. not yet trained) is
+  /// retried on the next call, so a post-train call still compiles.
+  /// Thread-safe; callers keep the shared_ptr alive for lock-free reads.
+  std::shared_ptr<const CompiledPlan> shared_plan() const;
+
   /// Statistics from the last Train call.
   const TrainStats& train_stats() const { return train_stats_; }
 
  protected:
+  SelectivityModel() = default;
+  // The plan cache (mutex + pointer) is per-object state that must not
+  // travel with copies/moves; only the training statistics do. Without
+  // these, the std::mutex member would delete the implicit move that
+  // by-value factories (GmmModel::FromParameters) rely on.
+  SelectivityModel(const SelectivityModel& other)
+      : train_stats_(other.train_stats_) {}
+  SelectivityModel(SelectivityModel&& other) noexcept
+      : train_stats_(std::move(other.train_stats_)) {}
+  SelectivityModel& operator=(const SelectivityModel& other) {
+    train_stats_ = other.train_stats_;
+    return *this;
+  }
+  SelectivityModel& operator=(SelectivityModel&& other) noexcept {
+    train_stats_ = std::move(other.train_stats_);
+    return *this;
+  }
+
   TrainStats train_stats_;
+
+ private:
+  mutable std::mutex plan_mu_;
+  mutable std::shared_ptr<const CompiledPlan> plan_cache_;
+  mutable bool plan_non_lowerable_ = false;
 };
 
 /// Assembles the Eq. (8) coefficient matrix for box buckets: row i holds
@@ -105,10 +146,23 @@ Result<Vector> SolveBucketWeights(const SparseMatrix& a, const Vector& s,
                                   const LpOptions& lp_options,
                                   TrainStats* stats);
 
+/// Precomputes 1/vol(B_j) for each bucket; 0 marks a degenerate
+/// (zero-volume) bucket, the sentinel BoxBucketTerm resolves via center
+/// containment. Compute once after bucket design, serve many times.
+std::vector<double> ComputeInverseVolumes(const std::vector<Box>& buckets);
+
 /// Histogram estimate (Eq. 6): sum_j w_j * vol(B_j ∩ R)/vol(B_j).
 double EstimateFromBoxBuckets(const Query& query,
                               const std::vector<Box>& buckets,
                               const Vector& weights,
+                              const VolumeOptions& volume_options);
+
+/// Eq. (6) with cached inverse volumes (no per-call vol(B_j) recompute).
+/// `inv_vols` must come from ComputeInverseVolumes over the same buckets.
+double EstimateFromBoxBuckets(const Query& query,
+                              const std::vector<Box>& buckets,
+                              const Vector& weights,
+                              const std::vector<double>& inv_vols,
                               const VolumeOptions& volume_options);
 
 /// Discrete-distribution estimate (Eq. 7): sum_j w_j * 1(B_j in R).

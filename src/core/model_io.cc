@@ -11,6 +11,7 @@
 #include "common/metrics.h"
 #include "common/string_util.h"
 #include "common/trace.h"
+#include "serve/plan_model.h"
 
 namespace sel {
 
@@ -216,6 +217,106 @@ Result<std::unique_ptr<SelectivityModel>> LoadGaussModel(
   return std::unique_ptr<SelectivityModel>(new GmmModel(
       GmmModel::FromParameters(std::move(means), std::move(stddevs),
                                std::move(weights))));
+}
+
+Status WritePlanModel(std::ostream& out, const CompiledPlan& plan) {
+  SEL_RETURN_IF_ERROR(WriteHeader(out, "plan", plan.dim(), plan.size()));
+  // Metadata records: the lowering source and the volume options the
+  // plan's non-box kernels evaluate with.
+  out << "psrc " << plan.source() << "\n";
+  out << "popts " << plan.volume_options().qmc_samples << ' '
+      << plan.volume_options().halfspace_exact_max_dim << "\n";
+  const size_t d = static_cast<size_t>(plan.dim());
+  const auto& lo = plan.box_lo();
+  const auto& hi = plan.box_hi();
+  for (size_t j = 0; j < plan.num_box_entries(); ++j) {
+    out << "pbox";
+    for (size_t c = 0; c < d; ++c) out << ' ' << FormatExact(lo[j * d + c]);
+    for (size_t c = 0; c < d; ++c) out << ' ' << FormatExact(hi[j * d + c]);
+    out << ' ' << FormatExact(plan.box_weight()[j]) << ' '
+        << FormatExact(plan.box_inv_vol()[j]) << "\n";
+  }
+  for (size_t j = 0; j < plan.num_point_entries(); ++j) {
+    out << "ppoint";
+    for (size_t c = 0; c < d; ++c) {
+      out << ' ' << FormatExact(plan.point_coord(j, static_cast<int>(c)));
+    }
+    out << ' ' << FormatExact(plan.point_weight()[j]) << "\n";
+  }
+  return out.good() ? Status::OK() : Status::IOError("write failed");
+}
+
+Result<std::unique_ptr<SelectivityModel>> LoadPlanModel(
+    ModelLoadContext& ctx) {
+  // Plans mix pbox and ppoint records (plus metadata), so this loader
+  // walks the lines itself instead of going through ForEachRecord's
+  // single-tag contract.
+  CompiledPlan::Parts parts;
+  parts.dim = ctx.dim;
+  parts.source = "plan";
+  std::string line;
+  size_t records = 0;
+  while (std::getline(*ctx.in, line)) {
+    const std::string t = Trim(line);
+    if (t.empty() || t[0] == '#') continue;
+    std::istringstream ls(t);
+    std::string tag;
+    ls >> tag;
+    if (tag == "psrc") {
+      std::string src;
+      if (ls >> src) parts.source = src;
+    } else if (tag == "popts") {
+      int qmc = 0, hmax = 0;
+      if (!(ls >> qmc >> hmax) || qmc < 1 || hmax < 0) {
+        return Status::IOError("malformed popts record in " + ctx.path);
+      }
+      parts.volume.qmc_samples = qmc;
+      parts.volume.halfspace_exact_max_dim = hmax;
+    } else if (tag == "pbox") {
+      Point lo, hi;
+      double w = 0.0, iv = 0.0;
+      if (!ReadDoubles(ls, ctx.dim, &lo) || !ReadDoubles(ls, ctx.dim, &hi) ||
+          !ReadWeight(ls, &w) || !ReadWeight(ls, &iv)) {
+        return Status::IOError("malformed pbox record in " + ctx.path);
+      }
+      for (int j = 0; j < ctx.dim; ++j) {
+        if (lo[j] > hi[j]) {
+          return Status::IOError("pbox with lo > hi in " + ctx.path);
+        }
+      }
+      if (iv <= 0.0) {
+        return Status::IOError("pbox with non-positive inv_vol in " +
+                               ctx.path);
+      }
+      parts.box_lo.insert(parts.box_lo.end(), lo.begin(), lo.end());
+      parts.box_hi.insert(parts.box_hi.end(), hi.begin(), hi.end());
+      parts.box_weight.push_back(w);
+      parts.box_inv_vol.push_back(iv);
+      ++records;
+    } else if (tag == "ppoint") {
+      Point p;
+      double w = 0.0;
+      if (!ReadDoubles(ls, ctx.dim, &p) || !ReadWeight(ls, &w)) {
+        return Status::IOError("malformed ppoint record in " + ctx.path);
+      }
+      parts.points.push_back(std::move(p));
+      parts.point_weight.push_back(w);
+      ++records;
+    } else {
+      return Status::IOError("unexpected record '" + tag + "' for kind '" +
+                             ctx.kind + "' in " + ctx.path);
+    }
+  }
+  if (records != ctx.num_buckets) {
+    return Status::IOError("record count mismatch in " + ctx.path);
+  }
+  auto plan = CompiledPlan::FromParts(std::move(parts));
+  if (!plan.ok()) {
+    return Status::IOError("invalid plan in " + ctx.path + ": " +
+                           plan.status().message());
+  }
+  return std::unique_ptr<SelectivityModel>(
+      new PlanModel(std::move(plan).value()));
 }
 
 Status SaveModel(const SelectivityModel& model, const std::string& path) {

@@ -8,6 +8,9 @@
 //   box <lo...> <hi...> <weight>         (box-bucket estimators)
 //   point <coords...> <weight>           (point-bucket estimators)
 //   gauss <mean...> <stddev...> <weight> (gmm)
+//   psrc <name> / popts <qmc> <hmax>     (plan metadata)
+//   pbox <lo...> <hi...> <weight> <inv_vol> (plan box entries)
+//   ppoint <coords...> <weight>          (plan point entries)
 //
 // The header carries the EstimatorRegistry name; SaveModel/LoadModel
 // dispatch through the registry's per-estimator save/load hooks, so an
@@ -65,6 +68,15 @@ Result<std::unique_ptr<SelectivityModel>> LoadPointModel(
 
 /// Reads gauss records and returns a GmmModel (FromParameters).
 Result<std::unique_ptr<SelectivityModel>> LoadGaussModel(
+    ModelLoadContext& ctx);
+
+/// Writes a complete compiled serving plan (header + metadata + mixed
+/// pbox/ppoint records) under the "plan" kind. Stored inverse volumes
+/// are reused verbatim on load, so the round-trip is arithmetic-exact.
+Status WritePlanModel(std::ostream& out, const CompiledPlan& plan);
+
+/// Reads a serialized plan and returns a PlanModel executing it.
+Result<std::unique_ptr<SelectivityModel>> LoadPlanModel(
     ModelLoadContext& ctx);
 
 /// Writes a histogram-form model (boxes + weights) to `path` under the

@@ -55,8 +55,10 @@ OnlineEstimator::OnlineEstimator(int domain_dim,
 
 double OnlineEstimator::Estimate(const Query& query) const {
   SEL_CHECK(query.dim() == dim_);
-  if (model_ == nullptr) return options_.prior_estimate;
-  return model_->Estimate(query);
+  const std::shared_ptr<const ServingState> state = LoadState();
+  if (state == nullptr) return options_.prior_estimate;
+  if (state->plan != nullptr) return state->plan->EstimateOne(query);
+  return state->model->Estimate(query);
 }
 
 Status OnlineEstimator::Feedback(const Query& query,
@@ -117,7 +119,20 @@ Status OnlineEstimator::RetrainNow() {
         EstimatorRegistry::Build(spec.value(), dim_, snapshot.size());
     SEL_RETURN_IF_ERROR(fresh.status());
     SEL_RETURN_IF_ERROR(fresh.value()->Train(snapshot));
-    model_ = std::move(fresh).value();
+    // Compile the plan BEFORE publishing: the expensive lowering happens
+    // here on the retrain thread, and the publish below is a single
+    // pointer swap under the narrow state lock. Readers never observe a
+    // model without its plan (or block on the compile). shared_plan()
+    // honours SEL_SERVE_PLAN and returns nullptr for non-lowerable
+    // estimators — the snapshot then serves through the virtual path.
+    auto next = std::make_shared<ServingState>();
+    next->model = std::move(fresh).value();
+    next->plan = next->model->shared_plan();
+    {
+      std::lock_guard<std::mutex> lock(state_mu_);
+      state_ = std::move(next);
+    }
+    SEL_METRIC_COUNTER_INC("online.plan_swaps_total");
     return Status::OK();
   };
 

@@ -14,17 +14,37 @@
 // last_error(), and the retrain interval backs off exponentially
 // (capped, reset on the next success) so a persistently bad window does
 // not burn a full retrain every `retrain_interval` queries.
+//
+// Serving never waits on retraining: the trained model and its
+// CompiledPlan travel together in an immutable ServingState snapshot.
+// RetrainNow() builds and compiles the fresh state entirely off to the
+// side and publishes it with a constant-time shared_ptr swap under a
+// narrow mutex — the same pointer-exchange std::atomic<shared_ptr>
+// performs behind its hidden spinlock (libstdc++'s is not lock-free,
+// and its relaxed reader unlock is formally racy under TSan), but
+// visible to the race detectors. Readers always see either the complete
+// old snapshot or the complete new one, and never block on the retrain
+// itself.
 #ifndef SEL_CORE_ONLINE_H_
 #define SEL_CORE_ONLINE_H_
 
 #include <deque>
 #include <memory>
+#include <mutex>
 #include <string>
 
 #include "core/model.h"
 #include "workload/workload.h"
 
 namespace sel {
+
+/// One immutable serving snapshot: the trained model plus its compiled
+/// plan (nullptr when the estimator is non-lowerable or SEL_SERVE_PLAN
+/// is off, in which case the virtual Estimate path serves).
+struct ServingState {
+  std::unique_ptr<SelectivityModel> model;
+  std::shared_ptr<const CompiledPlan> plan;
+};
 
 /// Tunables for the online loop.
 struct OnlineOptions {
@@ -64,7 +84,9 @@ class OnlineEstimator {
   OnlineEstimator(int domain_dim, const OnlineOptions& options);
 
   /// Current estimate for `query` (the prior before any training; the
-  /// previous model while retrains are failing).
+  /// previous model while retrains are failing). Concurrent retrains
+  /// never tear a read or stall it: the reader snapshots the published
+  /// state in constant time and serves entirely outside the lock.
   double Estimate(const Query& query) const;
 
   /// Absorbs one executed query's true selectivity; may trigger a
@@ -97,15 +119,35 @@ class OnlineEstimator {
   size_t current_retrain_interval() const { return current_interval_; }
 
   /// True once a model has been trained.
-  bool trained() const { return model_ != nullptr; }
+  bool trained() const { return LoadState() != nullptr; }
+
+  /// The plan currently serving, or nullptr before the first training
+  /// round / when the estimator is non-lowerable / when SEL_SERVE_PLAN
+  /// is off. Mostly for tests and introspection.
+  std::shared_ptr<const CompiledPlan> serving_plan() const {
+    const auto state = LoadState();
+    return state == nullptr ? nullptr : state->plan;
+  }
 
  private:
   Status RetrainNow();
 
+  /// Snapshots the published state under the narrow lock (one refcount
+  /// bump — constant time, never held across training or estimation).
+  std::shared_ptr<const ServingState> LoadState() const {
+    std::lock_guard<std::mutex> lock(state_mu_);
+    return state_;
+  }
+
   int dim_;
   OnlineOptions options_;
   std::deque<LabeledQuery> window_;
-  std::unique_ptr<SelectivityModel> model_;
+  /// The published snapshot; replaced wholesale by RetrainNow, copied by
+  /// readers. state_mu_ guards only the pointer copy/swap; shared_ptr
+  /// keeps a superseded snapshot alive until its last in-flight reader
+  /// drops it.
+  mutable std::mutex state_mu_;
+  std::shared_ptr<const ServingState> state_;
   size_t since_retrain_ = 0;
   size_t retrain_count_ = 0;
   size_t failed_retrain_count_ = 0;

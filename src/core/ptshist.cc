@@ -110,6 +110,13 @@ double PtsHist::Estimate(const Query& query) const {
   return EstimateFromPointBuckets(query, points_, weights_);
 }
 
+Result<CompiledPlan> PtsHist::Compile() const {
+  if (!trained_) {
+    return Status::FailedPrecondition("PtsHist::Compile before Train");
+  }
+  return CompiledPlan::FromPointBuckets(points_, weights_, RegistryName());
+}
+
 namespace {
 
 Result<std::unique_ptr<SelectivityModel>> BuildPtsHist(

@@ -43,6 +43,9 @@ class PtsHist : public SelectivityModel {
   size_t NumBuckets() const override { return points_.size(); }
   std::string Name() const override { return "PtsHist"; }
 
+  /// Lowers the trained point set to Eq. (7) point entries.
+  Result<CompiledPlan> Compile() const override;
+
   /// The bucket points (for visualization, cf. Fig. 7 right).
   const std::vector<Point>& BucketPoints() const { return points_; }
 

@@ -120,6 +120,8 @@ Status QuadHist::Train(const Workload& workload) {
   for (size_t u = 0; u < nodes_.size(); ++u) {
     if (IsLeaf(static_cast<int32_t>(u))) {
       leaf_index[u] = next++;
+      SEL_CHECK_MSG(nodes_[u].box.Volume() > 0.0,
+                    "QuadHist: bucket design produced a zero-volume leaf");
     }
   }
   SEL_CHECK(static_cast<size_t>(next) == num_leaves_);
@@ -199,6 +201,14 @@ std::vector<Box> QuadHist::LeafBoxes() const {
     if (IsLeaf(static_cast<int32_t>(u))) out.push_back(nodes_[u].box);
   }
   return out;
+}
+
+Result<CompiledPlan> QuadHist::Compile() const {
+  if (!trained_) {
+    return Status::FailedPrecondition("QuadHist::Compile before Train");
+  }
+  return CompiledPlan::FromBoxBuckets(LeafBoxes(), LeafWeights(),
+                                      options_.volume, RegistryName());
 }
 
 Vector QuadHist::LeafWeights() const {

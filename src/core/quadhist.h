@@ -51,6 +51,9 @@ class QuadHist : public SelectivityModel {
   size_t NumBuckets() const override { return num_leaves_; }
   std::string Name() const override { return "QuadHist"; }
 
+  /// Lowers the trained quadtree to Eq. (6) box entries (the leaves).
+  Result<CompiledPlan> Compile() const override;
+
   /// Total Algorithm-2 node visits across training (Lemma A.2 accounting).
   size_t total_refine_visits() const { return refine_visits_; }
 

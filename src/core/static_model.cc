@@ -14,6 +14,7 @@ StaticHistogram::StaticHistogram(std::vector<Box> buckets, Vector weights,
   SEL_CHECK(!buckets_.empty());
   const int d = buckets_[0].dim();
   for (const auto& b : buckets_) SEL_CHECK(b.dim() == d);
+  inv_vols_ = ComputeInverseVolumes(buckets_);
 }
 
 Status StaticHistogram::Train(const Workload&) {
@@ -22,7 +23,13 @@ Status StaticHistogram::Train(const Workload&) {
 }
 
 double StaticHistogram::Estimate(const Query& query) const {
-  return EstimateFromBoxBuckets(query, buckets_, weights_, volume_);
+  return EstimateFromBoxBuckets(query, buckets_, weights_, inv_vols_,
+                                volume_);
+}
+
+Result<CompiledPlan> StaticHistogram::Compile() const {
+  return CompiledPlan::FromBoxBuckets(buckets_, weights_, volume_,
+                                      RegistryName());
 }
 
 StaticPointModel::StaticPointModel(std::vector<Point> points, Vector weights)
@@ -40,6 +47,10 @@ Status StaticPointModel::Train(const Workload&) {
 
 double StaticPointModel::Estimate(const Query& query) const {
   return EstimateFromPointBuckets(query, points_, weights_);
+}
+
+Result<CompiledPlan> StaticPointModel::Compile() const {
+  return CompiledPlan::FromPointBuckets(points_, weights_, RegistryName());
 }
 
 namespace {

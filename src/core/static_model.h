@@ -28,12 +28,16 @@ class StaticHistogram : public SelectivityModel {
   std::string Name() const override { return "StaticHistogram"; }
   std::string RegistryName() const override { return "static"; }
 
+  /// Already in Eq. (6) form — lowers directly.
+  Result<CompiledPlan> Compile() const override;
+
   const std::vector<Box>& buckets() const { return buckets_; }
   const Vector& weights() const { return weights_; }
 
  private:
   std::vector<Box> buckets_;
   Vector weights_;
+  std::vector<double> inv_vols_;  // cached 1/vol(B_j), 0 when degenerate
   VolumeOptions volume_;
 };
 
@@ -47,6 +51,9 @@ class StaticPointModel : public SelectivityModel {
   size_t NumBuckets() const override { return points_.size(); }
   std::string Name() const override { return "StaticPointModel"; }
   std::string RegistryName() const override { return "staticpoints"; }
+
+  /// Already in Eq. (7) form — lowers directly.
+  Result<CompiledPlan> Compile() const override;
 
   const std::vector<Point>& points() const { return points_; }
   const Vector& weights() const { return weights_; }

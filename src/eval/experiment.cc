@@ -28,6 +28,7 @@ EvalCell TrainAndEvaluate(SelectivityModel* model, const Workload& train,
   cell.solver_retries = model->train_stats().solver_retries;
   cell.converged = model->train_stats().converged;
   cell.solver_status = model->train_stats().solver_status;
+  cell.serve_path = model->shared_plan() != nullptr ? "plan" : "virtual";
   WallTimer eval_timer;
   std::vector<double> latencies_us;
   const std::vector<double> est = EstimateBatch(*model, test, &latencies_us);

@@ -11,7 +11,7 @@
 
 #include "core/estimator_registry.h"
 #include "core/model.h"
-#include "metrics/metrics.h"
+#include "eval_metrics/metrics.h"
 
 namespace sel {
 
@@ -29,6 +29,7 @@ struct EvalCell {
   int solver_retries = 0;      ///< escalated-budget retries taken
   bool converged = true;       ///< accepted solve met its criterion
   std::string solver_status;   ///< per-stage solver trail (TrainStats)
+  std::string serve_path = "virtual";  ///< "plan" iff scored via CompiledPlan
   ErrorReport errors;
   bool ok = false;             ///< false if training failed
   std::string status_message;  ///< error detail when !ok

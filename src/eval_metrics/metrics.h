@@ -1,6 +1,6 @@
 // Error measures of §4: RMS error, Q-error quantiles, and L∞ error.
-#ifndef SEL_METRICS_METRICS_H_
-#define SEL_METRICS_METRICS_H_
+#ifndef SEL_EVAL_METRICS_METRICS_H_
+#define SEL_EVAL_METRICS_METRICS_H_
 
 #include <vector>
 
@@ -34,9 +34,12 @@ ErrorReport ComputeErrors(const std::vector<double>& estimates,
 
 /// Batched prediction: estimates[i] = model.Estimate(queries[i].query),
 /// computed in parallel on the shared pool (Estimate is const and
-/// side-effect free for every model in the library). When the metrics
-/// registry is enabled, per-query latencies land in the
-/// "predict.query_us" histogram.
+/// side-effect free for every model in the library). Lowerable models
+/// serve through their cached CompiledPlan (shared_plan()) unless
+/// SEL_SERVE_PLAN=0; everything else stays on the virtual path. When the
+/// metrics registry is enabled, per-query latencies land in the
+/// "predict.query_us" histogram and the plan path feeds the
+/// serve.plan.* instruments.
 std::vector<double> EstimateBatch(const SelectivityModel& model,
                                   const Workload& queries);
 
@@ -58,4 +61,4 @@ double Quantile(std::vector<double> values, double p);
 
 }  // namespace sel
 
-#endif  // SEL_METRICS_METRICS_H_
+#endif  // SEL_EVAL_METRICS_METRICS_H_

@@ -63,8 +63,10 @@
 #include "learning/sample_complexity.h"
 #include "learning/shattering.h"
 #include "learning/vc_dimension.h"
-#include "metrics/metrics.h"
+#include "eval_metrics/metrics.h"
 #include "parser/predicate_parser.h"
+#include "serve/compiled_plan.h"
+#include "serve/plan_model.h"
 #include "solver/lp.h"
 #include "solver/nnls.h"
 #include "solver/qp.h"

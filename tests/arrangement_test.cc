@@ -7,7 +7,7 @@
 #include "core/arrangement.h"
 #include "data/generators.h"
 #include "index/kdtree.h"
-#include "metrics/metrics.h"
+#include "eval_metrics/metrics.h"
 #include "workload/workload.h"
 
 namespace sel {

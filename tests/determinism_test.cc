@@ -122,12 +122,37 @@ TEST(SweepDeterminismTest, EvaluateModelMatchesSerialLoop) {
   QuadHist model(data.dim(), o);
   ASSERT_TRUE(model.Train(train).ok());
 
-  ThreadPool pool(8);
-  ScopedPoolOverride scope(&pool);
-  const std::vector<double> batched = EstimateBatch(model, test);
-  ASSERT_EQ(batched.size(), test.size());
-  for (size_t i = 0; i < test.size(); ++i) {
-    EXPECT_EQ(batched[i], model.Estimate(test[i].query)) << "query " << i;
+  // Pin the virtual path: the batched loop must match the serial
+  // Estimate calls bit for bit. (The compiled-plan path sums buckets in
+  // its own canonical order — its equivalence and determinism are
+  // covered below and in serve_plan_test.)
+  SetServePlanEnabled(false);
+  {
+    ThreadPool pool(8);
+    ScopedPoolOverride scope(&pool);
+    const std::vector<double> batched = EstimateBatch(model, test);
+    ASSERT_EQ(batched.size(), test.size());
+    for (size_t i = 0; i < test.size(); ++i) {
+      EXPECT_EQ(batched[i], model.Estimate(test[i].query)) << "query " << i;
+    }
+  }
+
+  // The plan path must itself be thread-count invariant.
+  SetServePlanEnabled(true);
+  std::vector<double> plan1, plan8;
+  {
+    ThreadPool pool(1);
+    ScopedPoolOverride scope(&pool);
+    plan1 = EstimateBatch(model, test);
+  }
+  {
+    ThreadPool pool(8);
+    ScopedPoolOverride scope(&pool);
+    plan8 = EstimateBatch(model, test);
+  }
+  ASSERT_EQ(plan1.size(), plan8.size());
+  for (size_t i = 0; i < plan1.size(); ++i) {
+    EXPECT_EQ(plan1[i], plan8[i]) << "query " << i;
   }
 }
 

@@ -141,10 +141,12 @@ TEST(EstimatorRegistryTest, BuildTrainEstimateEveryRegisteredName) {
     EXPECT_EQ(model.RegistryName(), name);
     EXPECT_EQ(model.Name(),
               EstimatorRegistry::Global().Find(name)->display_name);
-    // The static forms and data-driven AVI reject workload training by
-    // contract; everything else must train.
+    // The static forms, data-driven AVI, and the immutable compiled-plan
+    // wrapper reject workload training by contract; everything else must
+    // train.
     const Status trained = model.Train(train);
-    if (name == "static" || name == "staticpoints" || name == "avi") {
+    if (name == "static" || name == "staticpoints" || name == "avi" ||
+        name == "plan") {
       EXPECT_FALSE(trained.ok()) << name;
     } else {
       ASSERT_TRUE(trained.ok()) << name << ": " << trained.ToString();
@@ -158,7 +160,7 @@ TEST(EstimatorRegistryTest, BuildTrainEstimateEveryRegisteredName) {
 TEST(EstimatorRegistryTest, SaveCapabilityMatchesHooks) {
   const EstimatorRegistry& reg = EstimatorRegistry::Global();
   for (const char* savable :
-       {"quadhist", "ptshist", "gmm", "static", "staticpoints"}) {
+       {"quadhist", "ptshist", "gmm", "static", "staticpoints", "plan"}) {
     EXPECT_TRUE(reg.SupportsSave(savable)) << savable;
   }
   for (const char* transient : {"quicksel", "isomer", "avi"}) {

@@ -3,7 +3,7 @@
 
 #include <cmath>
 
-#include "metrics/metrics.h"
+#include "eval_metrics/metrics.h"
 
 namespace sel {
 namespace {

@@ -34,9 +34,11 @@ done
 
 for name in ${NAMES}; do
   savable="$(awk -v n="${name}" '$1 == n { print $4 }' estimators.txt)"
-  if [ "${name}" = "static" ] || [ "${name}" = "staticpoints" ]; then
-    # Static models are savable but immutable: training must fail with
-    # the model's own contract error, not a crash.
+  if [ "${name}" = "static" ] || [ "${name}" = "staticpoints" ] \
+      || [ "${name}" = "plan" ]; then
+    # Static models and compiled plans are savable but immutable:
+    # training must fail with the model's own contract error, not a
+    # crash.
     if "${SELCLI}" train train.csv "${name}.model" "${name}" \
         > out.txt 2> err.txt; then
       fail "train ${name} should have failed (immutable model)"
@@ -88,6 +90,34 @@ head -n 2 quadhist.model > truncated.model
 rc=$?
 [ "${rc}" -eq 10 ] \
   || fail "truncated model should exit 10 (IOError), got ${rc}"
+
+# --- Serving plans: selcli compile lowers a trained model file. ---
+
+# Lower the trained quadhist model to its flat serving form; the plan
+# file must load and serve like any model.
+run compile quadhist.model quadhist.plan
+[ -s quadhist.plan ] || fail "compile wrote no plan file"
+head -n 5 quadhist.plan | grep -q "selmodel 1 plan" \
+  || fail "plan file missing its header: $(head -n 5 quadhist.plan)"
+run evaluate quadhist.plan test.csv
+est_model="$("${SELCLI}" estimate quadhist.model c0,c1,c2,c3,c4,c5,c6 \
+      'c0 < 0.5 AND c1 < 0.5')" || fail "estimate via model failed"
+est_plan="$("${SELCLI}" estimate quadhist.plan c0,c1,c2,c3,c4,c5,c6 \
+      'c0 < 0.5 AND c1 < 0.5')" || fail "estimate via plan failed"
+# The two paths may differ in summation order only; at %.6f printing
+# they must agree to the last printed digit (tolerance one ulp there).
+awk -v a="${est_model}" -v b="${est_plan}" \
+  'BEGIN { d = a - b; if (d < 0) d = -d; exit !(d <= 1e-6) }' \
+  || fail "plan estimate ${est_plan} != model estimate ${est_model}"
+
+# Compiling a non-lowerable model is Unimplemented (exit 8), not a crash.
+run train train.csv gmm_c.model gmm
+"${SELCLI}" compile gmm_c.model gmm.plan > out.txt 2> err.txt
+rc=$?
+[ "${rc}" -eq 8 ] \
+  || fail "compiling gmm should exit 8 (Unimplemented), got ${rc}"
+grep -q "non-lowerable" err.txt \
+  || fail "gmm compile missing non-lowerable error: $(cat err.txt)"
 
 # --- Observability: the stats subcommand and the SEL_TRACE knob. ---
 

@@ -10,7 +10,7 @@
 #include "core/gmm.h"
 #include "core/quadhist.h"
 #include "index/kdtree.h"
-#include "metrics/metrics.h"
+#include "eval_metrics/metrics.h"
 #include "workload/workload.h"
 
 namespace sel {

@@ -12,7 +12,7 @@
 #include "geometry/semialgebraic.h"
 #include "geometry/volume.h"
 #include "index/kdtree.h"
-#include "metrics/metrics.h"
+#include "eval_metrics/metrics.h"
 #include "workload/workload.h"
 
 namespace sel {

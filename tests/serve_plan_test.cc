@@ -1,0 +1,329 @@
+// Plan-equivalence suite for the serving layer (DESIGN.md §11): every
+// lowerable estimator's CompiledPlan must reproduce the virtual
+// Estimate path within 1e-12 across query shapes, seeds, and thread
+// counts; plans must survive the model_io round-trip bit-identically;
+// and OnlineEstimator's plan hand-off must keep serving during a
+// retrain (the TSAN lane checks the hand-off is race-free).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+#include "sel/sel.h"
+
+namespace sel {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+SemiAlgebraicSet Disc(double cx, double cy, double r) {
+  const int d = 2;
+  const Polynomial x = Polynomial::Variable(d, 0);
+  const Polynomial y = Polynomial::Variable(d, 1);
+  const Polynomial p = (x - Polynomial::Constant(d, cx)) *
+                           (x - Polynomial::Constant(d, cx)) +
+                       (y - Polynomial::Constant(d, cy)) *
+                           (y - Polynomial::Constant(d, cy)) -
+                       Polynomial::Constant(d, r * r);
+  return SemiAlgebraicSet::Atom(p);
+}
+
+struct Fixture {
+  Fixture()
+      : data(MakePowerLike(3000, 1300).Project({0, 1})),
+        index(data.rows()) {}
+
+  Workload MakeTrain(size_t n, uint64_t seed) const {
+    WorkloadOptions opts;
+    opts.seed = seed;
+    WorkloadGenerator gen(&data, &index, opts);
+    return gen.Generate(n);
+  }
+
+  std::vector<Query> MakeProbes(QueryType type, size_t n,
+                                uint64_t seed) const {
+    if (type == QueryType::kSemiAlgebraic) {
+      Rng rng(seed);
+      std::vector<Query> qs;
+      for (size_t i = 0; i < n; ++i) {
+        const double cx = rng.Uniform(0.2, 0.8);
+        const double cy = rng.Uniform(0.2, 0.8);
+        const double r = rng.Uniform(0.15, 0.45);
+        qs.push_back(SemiAlgebraicSet::And(
+            Disc(cx, cy, r),
+            SemiAlgebraicSet::Not(Disc(cx + r / 2, cy, r * 0.7))));
+      }
+      return qs;
+    }
+    WorkloadOptions opts;
+    opts.query_type = type;
+    opts.seed = seed;
+    WorkloadGenerator gen(&data, &index, opts);
+    std::vector<Query> qs;
+    for (const auto& z : gen.Generate(n)) qs.push_back(z.query);
+    return qs;
+  }
+
+  Dataset data;
+  CountingKdTree index;
+};
+
+// Every lowerable estimator, every query shape its virtual path serves,
+// two training seeds: |plan - virtual| <= 1e-12 per query, and the
+// batch kernel agrees with EstimateOne bit for bit at 1 and 8 threads.
+TEST(ServePlanTest, PlanMatchesVirtualPathEverywhere) {
+  Fixture f;
+  struct Case {
+    const char* name;
+    std::vector<QueryType> shapes;
+  };
+  // ISOMER's and QuickSel's paper scope is orthogonal ranges; the
+  // learners serve every shape in the library.
+  const std::vector<Case> cases = {
+      {"quadhist",
+       {QueryType::kBox, QueryType::kHalfspace, QueryType::kBall,
+        QueryType::kSemiAlgebraic}},
+      {"ptshist",
+       {QueryType::kBox, QueryType::kHalfspace, QueryType::kBall,
+        QueryType::kSemiAlgebraic}},
+      {"quicksel", {QueryType::kBox}},
+      {"isomer", {QueryType::kBox}},
+  };
+  for (const Case& c : cases) {
+    for (uint64_t seed : {901u, 902u}) {
+      const Workload train = f.MakeTrain(80, seed);
+      auto built = EstimatorRegistry::Build(c.name, 2, train.size());
+      ASSERT_TRUE(built.ok()) << c.name << ": "
+                              << built.status().ToString();
+      SelectivityModel& model = *built.value();
+      ASSERT_TRUE(model.Train(train).ok()) << c.name;
+      auto plan = model.Compile();
+      ASSERT_TRUE(plan.ok()) << c.name << ": " << plan.status().ToString();
+      EXPECT_EQ(plan.value().dim(), 2) << c.name;
+      EXPECT_EQ(plan.value().source(), c.name);
+      EXPECT_GT(plan.value().size(), 0u) << c.name;
+
+      for (QueryType shape : c.shapes) {
+        const std::vector<Query> probes =
+            f.MakeProbes(shape, 25, seed + 17);
+        std::vector<double> one(probes.size());
+        for (size_t i = 0; i < probes.size(); ++i) {
+          one[i] = plan.value().EstimateOne(probes[i]);
+          const double virt = model.Estimate(probes[i]);
+          EXPECT_NEAR(one[i], virt, 1e-12)
+              << c.name << " seed=" << seed << " shape "
+              << QueryTypeName(shape) << " query " << i;
+          EXPECT_GE(one[i], 0.0);
+          EXPECT_LE(one[i], 1.0);
+        }
+        // The batch kernel is the same arithmetic, any thread count.
+        for (int threads : {1, 8}) {
+          ThreadPool pool(threads);
+          ScopedPoolOverride scope(&pool);
+          const std::vector<double> many =
+              plan.value().EstimateMany(probes);
+          ASSERT_EQ(many.size(), one.size());
+          for (size_t i = 0; i < many.size(); ++i) {
+            EXPECT_EQ(many[i], one[i])
+                << c.name << " shape " << QueryTypeName(shape)
+                << " threads=" << threads << " query " << i;
+          }
+        }
+      }
+    }
+  }
+}
+
+// The always-fitted static forms lower directly.
+TEST(ServePlanTest, StaticFormsLower) {
+  StaticHistogram h({Box({0.0, 0.0}, {0.5, 1.0}), Box({0.5, 0.0}, {1.0, 1.0})},
+                    {0.8, 0.2});
+  auto hp = h.Compile();
+  ASSERT_TRUE(hp.ok()) << hp.status().ToString();
+  StaticPointModel p({{0.25, 0.25}, {0.75, 0.75}}, {0.3, 0.7});
+  auto pp = p.Compile();
+  ASSERT_TRUE(pp.ok()) << pp.status().ToString();
+  for (const Query& q :
+       {Query(Box({0.0, 0.0}, {0.5, 1.0})), Query(Box({0.1, 0.2}, {0.9, 0.7})),
+        Query(Box::Unit(2))}) {
+    EXPECT_NEAR(hp.value().EstimateOne(q), h.Estimate(q), 1e-12);
+    EXPECT_NEAR(pp.value().EstimateOne(q), p.Estimate(q), 1e-12);
+  }
+}
+
+// GMM and AVI have no flat bucket form; Compile says so instead of
+// silently mis-lowering.
+TEST(ServePlanTest, NonLowerableEstimatorsReportUnimplemented) {
+  GmmModel gmm(2, GmmOptions{});
+  EXPECT_EQ(gmm.Compile().status().code(), StatusCode::kUnimplemented);
+  AviHistogram avi(2, AviOptions{});
+  EXPECT_EQ(avi.Compile().status().code(), StatusCode::kUnimplemented);
+  // Untrained lowerable models fail with FailedPrecondition, and the
+  // failure is NOT cached: training afterwards makes Compile succeed.
+  QuadHist qh(2, QuadHistOptions{});
+  EXPECT_EQ(qh.Compile().status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(qh.shared_plan(), nullptr);
+  Fixture f;
+  ASSERT_TRUE(qh.Train(f.MakeTrain(40, 1401)).ok());
+  EXPECT_NE(qh.shared_plan(), nullptr);
+}
+
+// Zero-volume buckets lower to point entries at their centers and
+// zero-weight buckets are dropped — the plan still reproduces
+// QueryBoxFraction's degenerate limit.
+TEST(ServePlanTest, DegenerateAndZeroWeightBuckets) {
+  const std::vector<Box> buckets = {
+      Box({0.0, 0.0}, {0.5, 1.0}),   // proper
+      Box({0.7, 0.2}, {0.7, 0.4}),   // zero volume -> point at center
+      Box({0.2, 0.2}, {0.4, 0.4}),   // zero weight -> dropped
+  };
+  auto plan = CompiledPlan::FromBoxBuckets(buckets, {0.5, 0.3, 0.0},
+                                           VolumeOptions{}, "test");
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  EXPECT_EQ(plan.value().num_box_entries(), 1u);
+  EXPECT_EQ(plan.value().num_point_entries(), 1u);
+  // Query containing the degenerate bucket's center picks up its weight.
+  EXPECT_NEAR(plan.value().EstimateOne(Box({0.6, 0.1}, {0.8, 0.5})), 0.3,
+              1e-15);
+  // Full domain: 0.5 + 0.3 (the zero-weight bucket contributes nothing).
+  EXPECT_NEAR(plan.value().EstimateOne(Box::Unit(2)), 0.8, 1e-15);
+}
+
+// Compiled plans survive save -> load with bit-identical estimates and
+// save -> load -> save with bit-identical bytes (the canonical tree
+// build is a pure function of the entry multiset).
+TEST(ServePlanTest, ModelIoRoundTripIsExact) {
+  Fixture f;
+  const Workload train = f.MakeTrain(80, 905);
+  for (const char* name : {"quadhist", "ptshist"}) {
+    auto built = EstimatorRegistry::Build(name, 2, train.size());
+    ASSERT_TRUE(built.ok());
+    ASSERT_TRUE(built.value()->Train(train).ok()) << name;
+    auto plan = built.value()->Compile();
+    ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+    PlanModel original(std::move(plan).value());
+
+    const std::string path = TempPath(std::string("sel_plan_") + name +
+                                      ".model");
+    ASSERT_TRUE(SaveModel(original, path).ok()) << name;
+    auto loaded = LoadModel(path);
+    ASSERT_TRUE(loaded.ok()) << name << ": " << loaded.status().ToString();
+    EXPECT_EQ(loaded.value()->RegistryName(), "plan");
+    EXPECT_EQ(loaded.value()->NumBuckets(), original.NumBuckets()) << name;
+
+    for (const Query& q : f.MakeProbes(QueryType::kBox, 40, 906)) {
+      EXPECT_EQ(loaded.value()->Estimate(q), original.Estimate(q)) << name;
+    }
+
+    const std::string path2 = TempPath(std::string("sel_plan_") + name +
+                                       "_2.model");
+    ASSERT_TRUE(SaveModel(*loaded.value(), path2).ok()) << name;
+    auto slurp = [](const std::string& p) {
+      std::ifstream in(p);
+      std::stringstream ss;
+      ss << in.rdbuf();
+      return ss.str();
+    };
+    EXPECT_EQ(slurp(path), slurp(path2))
+        << name << ": save->load->save is not byte-stable";
+    std::filesystem::remove(path);
+    std::filesystem::remove(path2);
+  }
+}
+
+// The pruning tree must actually prune: a tiny query visits far fewer
+// entries than the plan holds, and the accounting is aggregated across
+// a batch.
+TEST(ServePlanTest, PruningStatsShowSkippedEntries) {
+  Fixture f;
+  const Workload train = f.MakeTrain(150, 907);
+  auto built = EstimatorRegistry::Build("ptshist", 2, train.size());
+  ASSERT_TRUE(built.ok());
+  ASSERT_TRUE(built.value()->Train(train).ok());
+  auto plan = built.value()->Compile();
+  ASSERT_TRUE(plan.ok());
+  ASSERT_GT(plan.value().size(), 64u) << "fixture too small to prune";
+
+  PlanEvalStats tiny;
+  (void)plan.value().EstimateOne(Box({0.4, 0.4}, {0.41, 0.41}), &tiny);
+  EXPECT_EQ(tiny.entries_total, plan.value().size());
+  EXPECT_LT(tiny.entries_visited, tiny.entries_total);
+  EXPECT_GT(tiny.PruneRatio(), 0.0);
+
+  const std::vector<Query> probes = f.MakeProbes(QueryType::kBox, 20, 908);
+  PlanEvalStats batch;
+  (void)plan.value().EstimateMany(probes, &batch);
+  EXPECT_EQ(batch.entries_total, plan.value().size() * probes.size());
+  EXPECT_LE(batch.entries_visited, batch.entries_total);
+}
+
+// SEL_SERVE_PLAN / SetServePlanEnabled gates the automatic serving path
+// (shared_plan), never the explicit Compile.
+TEST(ServePlanTest, ServePlanKnobGatesSharedPlanOnly) {
+  Fixture f;
+  QuadHist model(2, QuadHistOptions{});
+  ASSERT_TRUE(model.Train(f.MakeTrain(40, 909)).ok());
+  SetServePlanEnabled(false);
+  EXPECT_EQ(model.shared_plan(), nullptr);
+  EXPECT_TRUE(model.Compile().ok()) << "knob must not gate Compile()";
+  SetServePlanEnabled(true);
+  const auto plan = model.shared_plan();
+  ASSERT_NE(plan, nullptr);
+  // The cache hands out the same plan every time.
+  EXPECT_EQ(model.shared_plan().get(), plan.get());
+}
+
+// Serving never blocks on retraining: readers hammer Estimate while the
+// feedback loop forces several retrains; every observed estimate is
+// valid and the hand-off lands a fresh plan. The TSAN lane turns any
+// torn or unsynchronized hand-off into a hard failure.
+TEST(ServePlanTest, OnlineServingUninterruptedAcrossRetrain) {
+  SetServePlanEnabled(true);
+  Fixture f;
+  OnlineOptions opts;
+  opts.retrain_interval = 25;
+  opts.estimator = "quadhist";
+  auto online = OnlineEstimator::Create(2, opts);
+  ASSERT_TRUE(online.ok()) << online.status().ToString();
+  OnlineEstimator& est = *online.value();
+
+  const Workload feed = f.MakeTrain(150, 910);
+  const Query probe = Box({0.2, 0.2}, {0.7, 0.7});
+
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> reads{0};
+  std::atomic<bool> bad{false};
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 4; ++t) {
+    readers.emplace_back([&] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        const double v = est.Estimate(probe);
+        if (!(v >= 0.0 && v <= 1.0)) bad.store(true);
+        reads.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  for (const auto& z : feed) {
+    ASSERT_TRUE(est.Feedback(z.query, z.selectivity).ok());
+  }
+  ASSERT_TRUE(est.Retrain().ok());
+  stop.store(true);
+  for (auto& t : readers) t.join();
+
+  EXPECT_FALSE(bad.load()) << "a reader saw an out-of-range estimate";
+  EXPECT_GT(reads.load(), 0u);
+  EXPECT_GE(est.retrain_count(), 5u);
+  EXPECT_TRUE(est.trained());
+  // quadhist lowers, so the swapped-in state carries a plan (the knob
+  // defaults to on; earlier tests restore it).
+  EXPECT_NE(est.serving_plan(), nullptr);
+}
+
+}  // namespace
+}  // namespace sel

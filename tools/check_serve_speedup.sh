@@ -1,0 +1,89 @@
+#!/usr/bin/env bash
+# CI guard: the compiled serving path must actually pay off.
+#
+# Runs bench_prediction_time several times (the binary itself alternates
+# virtual/plan rounds in-process and reports a per-path min), keeps the
+# per-(model,buckets,path) minimum across runs — the min is the standard
+# noise-robust statistic for "how fast can this go" — and fails unless
+# the aggregate plan-path time beats the virtual path by at least the
+# floor (default 1.5x). Aggregate, not per-cell: QuadHist's virtual path
+# already tree-prunes, so its margin is structurally thinner than the
+# flat models'; the guard protects the overall serving win without
+# flaking on the one near-parity cell.
+#
+#   usage: check_serve_speedup.sh <path-to-bench_prediction_time>
+#
+# Knobs: SEL_SERVE_MIN_SPEEDUP (default 1.5), SEL_SERVE_ROUNDS
+# (default 2), REPRO_SCALE (default 0.05 here — the guard wants model
+# sizes, not dataset scale, and small keeps CI fast).
+set -u
+
+BENCH="${1:?usage: check_serve_speedup.sh <path-to-bench_prediction_time>}"
+MIN_SPEEDUP="${SEL_SERVE_MIN_SPEEDUP:-1.5}"
+ROUNDS="${SEL_SERVE_ROUNDS:-2}"
+export REPRO_SCALE="${REPRO_SCALE:-0.05}"
+WORKDIR="$(mktemp -d)"
+trap 'rm -rf "${WORKDIR}"' EXIT
+
+fail() {
+  echo "FAIL: $*" >&2
+  exit 1
+}
+
+[ -f "${BENCH}" ] || fail "no such benchmark binary: ${BENCH}"
+BENCH_ABS="$(cd "$(dirname "${BENCH}")" && pwd)/$(basename "${BENCH}")"
+
+# The binary writes bench_prediction_time.csv into its working
+# directory; run each round from the scratch dir and keep every round's
+# CSV for the min-statistic below.
+for round in $(seq "${ROUNDS}"); do
+  (cd "${WORKDIR}" && "${BENCH_ABS}" > /dev/null) \
+    || fail "bench_prediction_time exited non-zero"
+  mv "${WORKDIR}/bench_prediction_time.csv" "${WORKDIR}/round.${round}.csv" \
+    || fail "round ${round} produced no CSV"
+done
+
+python3 - "${WORKDIR}" "${MIN_SPEEDUP}" <<'EOF' || exit 1
+import csv
+import glob
+import sys
+
+workdir, floor = sys.argv[1], float(sys.argv[2])
+
+best = {}  # (model, buckets, path) -> min us_per_est across rounds
+for path in sorted(glob.glob(workdir + "/round.*.csv")):
+    with open(path) as f:
+        for row in csv.DictReader(f):
+            key = (row["model"], row["buckets"], row["path"])
+            t = float(row["us_per_est"])
+            if key not in best or t < best[key]:
+                best[key] = t
+
+cells = sorted({(m, b) for (m, b, _) in best})
+if not cells:
+    print("FAIL: no benchmark rows parsed", file=sys.stderr)
+    sys.exit(1)
+
+virt_sum = plan_sum = 0.0
+for m, b in cells:
+    tv = best.get((m, b, "virtual"))
+    tp = best.get((m, b, "plan"))
+    if tv is None or tp is None:
+        print(f"FAIL: {m} buckets={b} missing a serving path",
+              file=sys.stderr)
+        sys.exit(1)
+    ratio = tv / tp if tp > 0 else float("inf")
+    print(f"{m} buckets={b}: virtual={tv:.3f}us plan={tp:.3f}us "
+          f"speedup={ratio:.2f}x")
+    virt_sum += tv
+    plan_sum += tp
+
+agg = virt_sum / plan_sum if plan_sum > 0 else float("inf")
+print(f"aggregate: virtual={virt_sum:.3f}us plan={plan_sum:.3f}us "
+      f"speedup={agg:.2f}x (floor {floor:.2f}x)")
+if agg < floor:
+    print(f"FAIL: aggregate plan speedup {agg:.2f}x is below the "
+          f"{floor:.2f}x floor", file=sys.stderr)
+    sys.exit(1)
+print(f"compiled plan serving is {agg:.2f}x faster than virtual dispatch")
+EOF

@@ -5,6 +5,7 @@
 //   selcli gen-workload <data.csv> <count> <out.csv>
 //          [box|ball|halfspace] [data|random|gaussian] [seed]
 //   selcli train <workload.csv> <model.out> [<estimator-spec>]
+//   selcli compile <model.in> <plan.out>
 //   selcli evaluate <model.out> <workload.csv>
 //   selcli estimate <model.out> <schema-a,b,c> "<predicate>"
 //   selcli estimators
@@ -14,9 +15,12 @@
 // registry spec string such as "quadhist:tau=0.002" (run
 // `selcli estimators` for the full table). The full loop: capture a
 // query log as a workload CSV, train offline, ship the model file,
-// evaluate or answer ad-hoc WHERE predicates. `stats` runs a
-// train-and-predict pass with the metrics registry enabled and dumps
-// every counter/gauge/histogram it produced (see DESIGN.md §10).
+// evaluate or answer ad-hoc WHERE predicates. `compile` lowers a
+// trained model file to its flat CompiledPlan serving form (DESIGN.md
+// §11) — the plan file loads like any model and serves without the
+// training-side code. `stats` runs a train-and-predict pass with the
+// metrics registry enabled and dumps every counter/gauge/histogram it
+// produced (see DESIGN.md §10).
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -53,6 +57,7 @@ int Usage() {
       "  selcli gen-workload <data.csv> <count> <out.csv> "
       "[box|ball|halfspace] [data|random|gaussian] [seed]\n"
       "  selcli train <workload.csv> <model.out> [<estimator-spec>]\n"
+      "  selcli compile <model.in> <plan.out>\n"
       "  selcli evaluate <model.out> <workload.csv>\n"
       "  selcli estimate <model.out> <schema-a,b,c> \"<predicate>\"\n"
       "  selcli estimators\n"
@@ -209,6 +214,23 @@ int Train(int argc, char** argv) {
   return 0;
 }
 
+int Compile(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  auto model = LoadModel(argv[0]);
+  if (!model.ok()) return Fail(model.status());
+  auto plan = model.value()->Compile();
+  if (!plan.ok()) return Fail(plan.status());
+  PlanModel compiled(std::move(plan).value());
+  const Status save = SaveModel(compiled, argv[1]);
+  if (!save.ok()) return Fail(save);
+  const CompiledPlan& p = *compiled.plan();
+  std::printf("compiled %s -> plan: %zu entries (%zu box, %zu point), "
+              "dim %d\nplan written to %s\n",
+              model.value()->Name().c_str(), p.size(), p.num_box_entries(),
+              p.num_point_entries(), p.dim(), argv[1]);
+  return 0;
+}
+
 int Evaluate(int argc, char** argv) {
   if (argc < 2) return Usage();
   auto model = LoadModel(argv[0]);
@@ -293,6 +315,7 @@ int main(int argc, char** argv) {
   if (cmd == "gen-data") return sel::GenData(argc, argv);
   if (cmd == "gen-workload") return sel::GenWorkload(argc, argv);
   if (cmd == "train") return sel::Train(argc, argv);
+  if (cmd == "compile") return sel::Compile(argc, argv);
   if (cmd == "evaluate") return sel::Evaluate(argc, argv);
   if (cmd == "estimate") return sel::Estimate(argc, argv);
   if (cmd == "estimators") return sel::Estimators();
