@@ -18,11 +18,12 @@ bool SameMatrix(const SparseMatrix& a, const SparseMatrix& b) {
     return false;
   }
   for (int i = 0; i < a.rows(); ++i) {
-    const SparseMatrix::Entry* ea = a.RowBegin(i);
-    const SparseMatrix::Entry* eb = b.RowBegin(i);
-    if (a.RowEnd(i) - ea != b.RowEnd(i) - eb) return false;
-    for (; ea != a.RowEnd(i); ++ea, ++eb) {
-      if (ea->col != eb->col || ea->value != eb->value) return false;
+    if (a.RowSize(i) != b.RowSize(i)) return false;
+    for (size_t k = 0; k < a.RowSize(i); ++k) {
+      if (a.RowCols(i)[k] != b.RowCols(i)[k] ||
+          a.RowVals(i)[k] != b.RowVals(i)[k]) {
+        return false;
+      }
     }
   }
   return true;

@@ -29,10 +29,10 @@ int main() {
   WorkloadGenerator probe_gen(&prep.data, prep.index.get(), probe_opts);
   const Workload probes = probe_gen.Generate(probe_count);
 
-  TablePrinter t({"model", "buckets", "path", "us_per_estimate"});
+  TablePrinter t({"model", "buckets", "path", "simd", "us_per_estimate"});
   CsvWriter csv("bench_prediction_time.csv");
-  csv.WriteRow(
-      std::vector<std::string>{"model", "buckets", "path", "us_per_est"});
+  csv.WriteRow(std::vector<std::string>{"model", "buckets", "path", "simd",
+                                        "us_per_est"});
   for (size_t n : sizes) {
     WorkloadOptions train_opts = wopts;
     train_opts.seed = wopts.seed + n;
@@ -52,32 +52,41 @@ int main() {
       // Both paths run the identical EstimateBatch harness (same
       // thread-pool fan-out, same per-query loop); only the serving path
       // differs, toggled via the same SEL_SERVE_PLAN escape hatch users
-      // get. Rounds alternate virtual/plan with a min-statistic so
+      // get. The simd axis pins the kernel dispatch the way SEL_SIMD
+      // would. Rounds alternate virtual/plan with a min-statistic so
       // one-sided warmup cannot bias either side.
-      double best_virtual_us = 0.0, best_plan_us = 0.0;
-      double sink = 0.0;
-      for (int r = 0; r < rounds; ++r) {
-        SetServePlanEnabled(false);
-        WallTimer vt;
-        sink += EstimateBatch(*model, probes)[0];
-        const double virt_us = vt.Seconds() * 1e6 / probe_count;
-        SetServePlanEnabled(true);
-        WallTimer pt;
-        sink += EstimateBatch(*model, probes)[0];
-        const double plan_us = pt.Seconds() * 1e6 / probe_count;
-        if (r == 0 || virt_us < best_virtual_us) best_virtual_us = virt_us;
-        if (r == 0 || plan_us < best_plan_us) best_plan_us = plan_us;
+      for (const char* simd : {"auto", "scalar"}) {
+        SetSimdLevel(std::string(simd) == "scalar"
+                         ? SimdLevel::kScalar
+                         : MaxSupportedSimdLevel());
+        double best_virtual_us = 0.0, best_plan_us = 0.0;
+        double sink = 0.0;
+        for (int r = 0; r < rounds; ++r) {
+          SetServePlanEnabled(false);
+          WallTimer vt;
+          sink += EstimateBatch(*model, probes)[0];
+          const double virt_us = vt.Seconds() * 1e6 / probe_count;
+          SetServePlanEnabled(true);
+          WallTimer pt;
+          sink += EstimateBatch(*model, probes)[0];
+          const double plan_us = pt.Seconds() * 1e6 / probe_count;
+          if (r == 0 || virt_us < best_virtual_us) best_virtual_us = virt_us;
+          if (r == 0 || plan_us < best_plan_us) best_plan_us = plan_us;
+        }
+        SEL_CHECK(sink >= 0.0);
+        const std::string buckets = std::to_string(model->NumBuckets());
+        t.AddRow({model->Name(), buckets, "virtual", simd,
+                  FormatDouble(best_virtual_us, 2)});
+        t.AddRow({model->Name(), buckets, "plan", simd,
+                  FormatDouble(best_plan_us, 2)});
+        csv.WriteRow(std::vector<std::string>{model->Name(), buckets,
+                                              "virtual", simd,
+                                              FormatDouble(best_virtual_us)});
+        csv.WriteRow(std::vector<std::string>{model->Name(), buckets, "plan",
+                                              simd,
+                                              FormatDouble(best_plan_us)});
       }
-      SEL_CHECK(sink >= 0.0);
-      const std::string buckets = std::to_string(model->NumBuckets());
-      t.AddRow({model->Name(), buckets, "virtual",
-                FormatDouble(best_virtual_us, 2)});
-      t.AddRow({model->Name(), buckets, "plan",
-                FormatDouble(best_plan_us, 2)});
-      csv.WriteRow(std::vector<std::string>{
-          model->Name(), buckets, "virtual", FormatDouble(best_virtual_us)});
-      csv.WriteRow(std::vector<std::string>{
-          model->Name(), buckets, "plan", FormatDouble(best_plan_us)});
+      SetSimdLevel(MaxSupportedSimdLevel());
     }
   }
   csv.Close();

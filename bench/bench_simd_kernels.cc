@@ -1,0 +1,159 @@
+// Microbenchmark of the raw SIMD kernels (DESIGN.md §12), one row per
+// (kernel, dispatch level). The serving-shaped kernels run over a
+// padded coordinate-major SoA exactly like a CompiledPlan leaf; the
+// solver-shaped kernels run over plain unpadded vectors like FISTA.
+//
+// Methodology follows check_metrics_overhead.sh: every round measures
+// EVERY level back to back (alternating), and each (kernel, level)
+// keeps its minimum, so one-sided cache warmup or a scheduler hiccup
+// cannot fake (or hide) a speedup. tools/check_simd_speedup.sh parses
+// the CSV and enforces the widest level's box-kernel speedup floor
+// over forced-scalar in the release CI lane.
+#include "bench_common.h"
+
+using namespace sel;
+using namespace sel::bench;
+
+namespace {
+
+struct KernelTimes {
+  std::string kernel;
+  std::vector<double> best_ns;  // per entry, indexed like levels
+};
+
+std::vector<SimdLevel> SupportedLevels() {
+  std::vector<SimdLevel> levels = {SimdLevel::kScalar};
+  if (MaxSupportedSimdLevel() >= SimdLevel::kSse2) {
+    levels.push_back(SimdLevel::kSse2);
+  }
+  if (MaxSupportedSimdLevel() >= SimdLevel::kAvx2) {
+    levels.push_back(SimdLevel::kAvx2);
+  }
+  return levels;
+}
+
+}  // namespace
+
+int main() {
+  const std::vector<SimdLevel> levels = SupportedLevels();
+  const int dim = 4;
+  const size_t n = 4096;           // entries per kernel invocation
+  const size_t queries = 64;       // invocations per timed pass
+  const int rounds = 7;
+  Rng rng(8100);
+
+  std::printf("== SIMD kernel microbench ==\n");
+  std::printf("dim=%d entries=%zu queries/pass=%zu rounds=%d "
+              "max level=%s\n\n",
+              dim, n, queries, rounds,
+              SimdLevelName(MaxSupportedSimdLevel()));
+
+  // Serving-shaped inputs: padded coordinate-major box and point SoA
+  // with the CompiledPlan sentinels.
+  const size_t stride = SimdPaddedCount(n);
+  AlignedVector lo(static_cast<size_t>(dim) * stride, 2.0);
+  AlignedVector hi(static_cast<size_t>(dim) * stride, -2.0);
+  AlignedVector weight(stride, 0.0);
+  AlignedVector inv_vol(stride, 0.0);
+  AlignedVector coords(static_cast<size_t>(dim) * stride, 0.0);
+  for (size_t j = 0; j < n; ++j) {
+    double vol = 1.0;
+    for (int c = 0; c < dim; ++c) {
+      const double a = rng.Uniform(0.0, 0.8);
+      const double b = a + rng.Uniform(0.01, 0.2);
+      lo[static_cast<size_t>(c) * stride + j] = a;
+      hi[static_cast<size_t>(c) * stride + j] = b;
+      coords[static_cast<size_t>(c) * stride + j] = rng.Uniform(0.0, 1.0);
+      vol *= b - a;
+    }
+    weight[j] = rng.Uniform(0.0, 1.0);
+    inv_vol[j] = 1.0 / vol;
+  }
+  std::vector<std::vector<double>> qlo(queries), qhi(queries);
+  for (size_t q = 0; q < queries; ++q) {
+    qlo[q].resize(dim);
+    qhi[q].resize(dim);
+    for (int c = 0; c < dim; ++c) {
+      qlo[q][c] = rng.Uniform(0.0, 0.5);
+      qhi[q][c] = qlo[q][c] + rng.Uniform(0.1, 0.5);
+    }
+  }
+
+  // Solver-shaped inputs.
+  std::vector<double> va(n), vb(n);
+  for (size_t j = 0; j < n; ++j) {
+    va[j] = rng.Uniform(-1.0, 1.0);
+    vb[j] = rng.Uniform(-1.0, 1.0);
+  }
+
+  double sink = 0.0;
+  std::vector<KernelTimes> results = {
+      {"box_leaf_sum", std::vector<double>(levels.size(), 0.0)},
+      {"point_leaf_sum", std::vector<double>(levels.size(), 0.0)},
+      {"dot", std::vector<double>(levels.size(), 0.0)},
+  };
+  const double per_pass_entries =
+      static_cast<double>(n) * static_cast<double>(queries);
+  for (int r = 0; r < rounds; ++r) {
+    for (size_t li = 0; li < levels.size(); ++li) {
+      SetSimdLevel(levels[li]);
+      const SimdOps& ops = Simd();
+
+      WallTimer bt;
+      for (size_t q = 0; q < queries; ++q) {
+        sink += ops.box_leaf_sum(qlo[q].data(), qhi[q].data(), dim,
+                                 lo.data(), hi.data(), weight.data(),
+                                 inv_vol.data(), stride, 0, n);
+      }
+      const double box_ns = bt.Seconds() * 1e9 / per_pass_entries;
+
+      WallTimer pt;
+      for (size_t q = 0; q < queries; ++q) {
+        sink += ops.point_leaf_sum(qlo[q].data(), qhi[q].data(), dim,
+                                   coords.data(), weight.data(), stride, 0,
+                                   n);
+      }
+      const double point_ns = pt.Seconds() * 1e9 / per_pass_entries;
+
+      WallTimer dt;
+      for (size_t q = 0; q < queries; ++q) {
+        sink += ops.dot(va.data(), vb.data(), n);
+      }
+      const double dot_ns = dt.Seconds() * 1e9 / per_pass_entries;
+
+      auto keep_min = [&](KernelTimes& k, double ns) {
+        if (r == 0 || ns < k.best_ns[li]) k.best_ns[li] = ns;
+      };
+      keep_min(results[0], box_ns);
+      keep_min(results[1], point_ns);
+      keep_min(results[2], dot_ns);
+    }
+  }
+  SetSimdLevel(MaxSupportedSimdLevel());
+  SEL_CHECK(sink == sink);  // keep the kernel calls observable
+
+  TablePrinter t({"kernel", "level", "ns_per_entry", "speedup_vs_scalar"});
+  CsvWriter csv("bench_simd_kernels.csv");
+  csv.WriteRow(std::vector<std::string>{"kernel", "level", "ns_per_entry"});
+  for (const KernelTimes& k : results) {
+    for (size_t li = 0; li < levels.size(); ++li) {
+      const double speedup = k.best_ns[li] > 0.0
+                                 ? k.best_ns[0] / k.best_ns[li]
+                                 : 0.0;
+      t.AddRow({k.kernel, SimdLevelName(levels[li]),
+                FormatDouble(k.best_ns[li], 3), FormatDouble(speedup, 2)});
+      csv.WriteRow(std::vector<std::string>{k.kernel,
+                                            SimdLevelName(levels[li]),
+                                            FormatDouble(k.best_ns[li])});
+    }
+  }
+  csv.Close();
+  t.Print();
+  std::printf("\nExpected: the vector variants beat scalar on every "
+              "kernel; the AVX2 box kernel clears the 1.8x floor that "
+              "tools/check_simd_speedup.sh enforces. Results are "
+              "bit-identical across levels by construction (the blocked "
+              "reduction order is fixed), so the speedup is free of "
+              "accuracy trade-offs.\n");
+  return 0;
+}

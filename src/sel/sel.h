@@ -28,6 +28,7 @@
 #include "common/env.h"
 #include "common/metrics.h"
 #include "common/rng.h"
+#include "common/simd.h"
 #include "common/status.h"
 #include "common/string_util.h"
 #include "common/thread_pool.h"

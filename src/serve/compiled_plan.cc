@@ -310,6 +310,18 @@ Result<CompiledPlan> CompiledPlan::FromParts(Parts parts) {
   return plan;
 }
 
+namespace {
+
+/// The padded kernel stores must start on a cache line — the SIMD leaf
+/// kernels and SimdPaddedCount's no-tail-loop guarantee assume it.
+void CheckKernelStoreAlignment(const AlignedVector& v) {
+  SEL_CHECK_MSG(reinterpret_cast<uintptr_t>(v.data()) % kSimdAlign == 0,
+                "CompiledPlan: kernel store is not %zu-byte aligned",
+                kSimdAlign);
+}
+
+}  // namespace
+
 void CompiledPlan::BuildBoxTree() {
   const size_t d = static_cast<size_t>(dim_);
   std::vector<uint32_t> order;
@@ -333,6 +345,28 @@ void CompiledPlan::BuildBoxTree() {
     std::copy_n(box_hi_.begin() + i * d, d, bhi.begin());
     box_entries_.emplace_back(std::move(blo), std::move(bhi));
   }
+  // Coordinate-major kernel mirror, over-allocated to a block multiple
+  // with never-intersecting sentinel boxes (any query clamps their
+  // width to <= -4 < 0, so over-read lanes are dead before the tail
+  // mask even applies) — the leaf kernels never run a scalar tail.
+  const size_t n = order.size();
+  box_stride_ = SimdPaddedCount(n);
+  box_lo_cm_.assign(d * box_stride_, 2.0);
+  box_hi_cm_.assign(d * box_stride_, -2.0);
+  box_weight_pad_.assign(box_stride_, 0.0);
+  box_inv_vol_pad_.assign(box_stride_, 0.0);
+  for (size_t j = 0; j < n; ++j) {
+    for (size_t c = 0; c < d; ++c) {
+      box_lo_cm_[c * box_stride_ + j] = box_lo_[j * d + c];
+      box_hi_cm_[c * box_stride_ + j] = box_hi_[j * d + c];
+    }
+    box_weight_pad_[j] = box_weight_[j];
+    box_inv_vol_pad_[j] = box_inv_vol_[j];
+  }
+  CheckKernelStoreAlignment(box_lo_cm_);
+  CheckKernelStoreAlignment(box_hi_cm_);
+  CheckKernelStoreAlignment(box_weight_pad_);
+  CheckKernelStoreAlignment(box_inv_vol_pad_);
 }
 
 void CompiledPlan::BuildPointTree() {
@@ -349,14 +383,21 @@ void CompiledPlan::BuildPointTree() {
                     &point_nodes_);
   point_weight_ = Permute(point_weight_, order);
   point_entries_ = Permute(point_entries_, order);
-  // Coordinate-major: run c holds coordinate c of every point, so the
-  // box kernel filters a leaf one contiguous dimension at a time.
-  point_coords_.resize(n * d);
+  // Padded coordinate-major kernel store: run c holds coordinate c of
+  // every point, so the box kernel mask-filters a leaf one contiguous
+  // dimension at a time. Sentinel entries carry weight 0, so over-read
+  // lanes beyond the last entry contribute exactly +0.0.
+  point_stride_ = SimdPaddedCount(n);
+  point_coords_.assign(d * point_stride_, 0.0);
+  point_weight_pad_.assign(point_stride_, 0.0);
   for (size_t j = 0; j < n; ++j) {
     for (size_t c = 0; c < d; ++c) {
-      point_coords_[c * n + j] = point_entries_[j][c];
+      point_coords_[c * point_stride_ + j] = point_entries_[j][c];
     }
+    point_weight_pad_[j] = point_weight_[j];
   }
+  CheckKernelStoreAlignment(point_coords_);
+  CheckKernelStoreAlignment(point_weight_pad_);
 }
 
 double CompiledPlan::EvalBoxNode(int32_t id, const Query& query,
@@ -370,29 +411,15 @@ double CompiledPlan::EvalBoxNode(int32_t id, const Query& query,
     if (BoxContains(qlo, qhi, n.bbox)) return n.weight_sum;
     if (n.left < 0) {
       if (stats != nullptr) stats->entries_visited += n.end - n.begin;
-      const size_t d = static_cast<size_t>(dim_);
-      double sum = 0.0;
-      for (uint32_t j = n.begin; j < n.end; ++j) {
-        // Mirrors BoxBoxIntersectionVolume exactly, with the division
-        // replaced by the precomputed inverse volume.
-        const double* blo = &box_lo_[j * d];
-        const double* bhi = &box_hi_[j * d];
-        double inter = 1.0;
-        for (size_t c = 0; c < d; ++c) {
-          const double lo = std::max(qlo[c], blo[c]);
-          const double hi = std::min(qhi[c], bhi[c]);
-          if (hi <= lo) {
-            inter = 0.0;
-            break;
-          }
-          inter *= hi - lo;
-        }
-        if (inter != 0.0) {
-          sum += box_weight_[j] *
-                 std::clamp(inter * box_inv_vol_[j], 0.0, 1.0);
-        }
-      }
-      return sum;
+      // Vectorized clamp/intersect over the padded coordinate-major
+      // mirror: per entry the same arithmetic as
+      // BoxBoxIntersectionVolume with the division replaced by the
+      // precomputed inverse volume, branchless, dispatched per
+      // SEL_SIMD (common/simd.h).
+      return SimdBoxLeafSum(qlo.data(), qhi.data(), dim_, box_lo_cm_.data(),
+                            box_hi_cm_.data(), box_weight_pad_.data(),
+                            box_inv_vol_pad_.data(), box_stride_, n.begin,
+                            n.end);
     }
   } else {
     if (query.DisjointFromBox(n.bbox)) return 0.0;
@@ -422,26 +449,12 @@ double CompiledPlan::EvalPointNode(int32_t id, const Query& query,
     if (BoxContains(qlo, qhi, n.bbox)) return n.weight_sum;
     if (n.left < 0) {
       if (stats != nullptr) stats->entries_visited += n.end - n.begin;
-      // Dimension-at-a-time filtering over the coordinate-major runs.
-      const size_t npts = point_weight_.size();
-      const uint32_t count = n.end - n.begin;
-      bool alive[kLeafSize];
-      for (uint32_t i = 0; i < count; ++i) alive[i] = true;
-      for (size_t c = 0; c < static_cast<size_t>(dim_); ++c) {
-        const double lo = qlo[c];
-        const double hi = qhi[c];
-        const double* run = &point_coords_[c * npts];
-        for (uint32_t i = 0; i < count; ++i) {
-          if (!alive[i]) continue;
-          const double x = run[n.begin + i];
-          if (x < lo || x > hi) alive[i] = false;
-        }
-      }
-      double sum = 0.0;
-      for (uint32_t i = 0; i < count; ++i) {
-        if (alive[i]) sum += point_weight_[n.begin + i];
-      }
-      return sum;
+      // Dimension-at-a-time alive-mask filtering over the padded
+      // coordinate-major runs — real vector bitmask operations under
+      // SSE2/AVX2 dispatch (common/simd.h).
+      return SimdPointLeafSum(qlo.data(), qhi.data(), dim_,
+                              point_coords_.data(), point_weight_pad_.data(),
+                              point_stride_, n.begin, n.end);
     }
   } else {
     if (query.DisjointFromBox(n.bbox)) return 0.0;

@@ -5,11 +5,13 @@
 // flattened lowering of a trained model to exactly those two forms:
 //
 //  * box buckets as structure-of-arrays `lo[]`/`hi[]`/`weight[]`/
-//    `inv_vol[]` (dim-major, inverse volumes precomputed once at compile
-//    time instead of per call),
-//  * point buckets as coordinate-major arrays (one contiguous run per
-//    dimension, so the box fast path filters a leaf one dimension at a
-//    time),
+//    `inv_vol[]` (inverse volumes precomputed once at compile time
+//    instead of per call), mirrored into 64-byte-aligned, padded
+//    coordinate-major runs that the runtime-dispatched SIMD leaf
+//    kernels (common/simd.h) scan full-width with no scalar tails,
+//  * point buckets as padded coordinate-major arrays (one contiguous
+//    run per dimension, so the box fast path mask-filters a leaf one
+//    dimension at a time),
 //  * a bucket-pruning kd-tree per segment (median split over bucket
 //    bounding boxes, the CountingKdTree machinery): nodes cache their
 //    bbox and subtree weight sum, so a query skips disjoint subtrees
@@ -28,6 +30,7 @@
 #include <string>
 #include <vector>
 
+#include "common/simd.h"
 #include "common/status.h"
 #include "geometry/box.h"
 #include "geometry/query.h"
@@ -140,10 +143,10 @@ class CompiledPlan {
   const std::vector<double>& box_hi() const { return box_hi_; }
   const std::vector<double>& box_weight() const { return box_weight_; }
   const std::vector<double>& box_inv_vol() const { return box_inv_vol_; }
-  /// Point coordinate c of point entry j (backed by coordinate-major
-  /// storage: one contiguous run per dimension).
+  /// Point coordinate c of point entry j (backed by the padded
+  /// coordinate-major kernel store: one contiguous run per dimension).
   double point_coord(size_t j, int c) const {
-    return point_coords_[static_cast<size_t>(c) * num_point_entries() + j];
+    return point_coords_[static_cast<size_t>(c) * point_stride_ + j];
   }
   const std::vector<double>& point_weight() const { return point_weight_; }
 
@@ -172,9 +175,10 @@ class CompiledPlan {
   std::string source_;
   VolumeOptions volume_;
 
-  // Box segment: dim-major SoA plus materialized Box objects (same
-  // order) for the non-box query kernels, which reuse the exact
-  // QueryBoxIntersectionVolume arithmetic of the virtual path.
+  // Box segment: entry-major SoA (serialization order) plus
+  // materialized Box objects (same order) for the non-box query
+  // kernels, which reuse the exact QueryBoxIntersectionVolume
+  // arithmetic of the virtual path.
   std::vector<double> box_lo_;
   std::vector<double> box_hi_;
   std::vector<double> box_weight_;
@@ -182,9 +186,23 @@ class CompiledPlan {
   std::vector<Box> box_entries_;
   std::vector<Node> box_nodes_;
 
-  // Point segment: coordinate-major coords (run c holds coordinate c of
-  // every point) plus materialized Points for Query::Contains.
-  std::vector<double> point_coords_;
+  // Box kernel store: coordinate-major mirrors (run c of lo/hi starts
+  // at c * box_stride_), 64-byte aligned and padded to box_stride_ =
+  // SimdPaddedCount(n) with never-intersecting sentinel boxes
+  // (lo=+2, hi=-2, weight=0, inv_vol=0), so the SIMD leaf kernels run
+  // full-width blocks with no scalar tails (DESIGN.md §12).
+  AlignedVector box_lo_cm_;
+  AlignedVector box_hi_cm_;
+  AlignedVector box_weight_pad_;
+  AlignedVector box_inv_vol_pad_;
+  size_t box_stride_ = 0;
+
+  // Point segment: padded coordinate-major coords (run c holds
+  // coordinate c of every point, stride point_stride_, zero-weight
+  // sentinel tail) plus materialized Points for Query::Contains.
+  AlignedVector point_coords_;
+  AlignedVector point_weight_pad_;
+  size_t point_stride_ = 0;
   std::vector<double> point_weight_;
   std::vector<Point> point_entries_;
   std::vector<Node> point_nodes_;

@@ -1,16 +1,45 @@
 // Minimal dense linear algebra shared by the solvers. Row-major storage,
 // no expression templates — the problem sizes here (thousands of rows /
-// columns) do not justify a heavier substrate.
+// columns) do not justify a heavier substrate. Mat-vec rows and norms
+// run through the runtime-dispatched SIMD kernels (common/simd.h) with
+// the fixed blocked-reduction order, so results are identical under
+// every SEL_SIMD level.
 #ifndef SEL_SOLVER_DENSE_H_
 #define SEL_SOLVER_DENSE_H_
 
+#include <atomic>
 #include <vector>
 
 #include "common/check.h"
+#include "common/metrics.h"
+#include "common/simd.h"
 
 namespace sel {
 
 using Vector = std::vector<double>;
+
+/// Memoized power-iteration Lipschitz estimate (largest eigenvalue of
+/// A^T A), carried by the matrix so the FISTA solver does not re-run
+/// the estimation on every degradation-chain retry over the same A
+/// (see SolveBucketWeights). Negative means "not yet estimated".
+/// Mutation of a matrix after a solve is not a pattern in this codebase
+/// (matrices are assembled, then solved); copies carry the value along
+/// since the contents are copied with it.
+class LipschitzCache {
+ public:
+  LipschitzCache() = default;
+  LipschitzCache(const LipschitzCache& other) : value_(other.Get()) {}
+  LipschitzCache& operator=(const LipschitzCache& other) {
+    value_.store(other.Get(), std::memory_order_relaxed);
+    return *this;
+  }
+
+  double Get() const { return value_.load(std::memory_order_relaxed); }
+  void Set(double v) const { value_.store(v, std::memory_order_relaxed); }
+
+ private:
+  mutable std::atomic<double> value_{-1.0};
+};
 
 /// Row-major dense matrix.
 class DenseMatrix {
@@ -39,43 +68,45 @@ class DenseMatrix {
   }
   double* row(int i) { return data_.data() + static_cast<size_t>(i) * cols_; }
 
-  /// y = A x.
+  /// y = A x (SIMD row dots, blocked-reduction order).
   Vector Apply(const Vector& x) const {
     SEL_CHECK(static_cast<int>(x.size()) == cols_);
+    SEL_METRIC_COUNTER_INC("simd.kernel.dense_matvec");
+    const SimdOps& ops = Simd();
     Vector y(rows_, 0.0);
     for (int i = 0; i < rows_; ++i) {
-      const double* r = row(i);
-      double s = 0.0;
-      for (int j = 0; j < cols_; ++j) s += r[j] * x[j];
-      y[i] = s;
+      y[i] = ops.dot(row(i), x.data(), static_cast<size_t>(cols_));
     }
     return y;
   }
 
-  /// y = A^T x.
+  /// y = A^T x (SIMD row axpys; elementwise, so exact under any level).
   Vector ApplyTranspose(const Vector& x) const {
     SEL_CHECK(static_cast<int>(x.size()) == rows_);
+    SEL_METRIC_COUNTER_INC("simd.kernel.dense_matvec");
+    const SimdOps& ops = Simd();
     Vector y(cols_, 0.0);
     for (int i = 0; i < rows_; ++i) {
-      const double* r = row(i);
       const double xi = x[i];
       if (xi == 0.0) continue;
-      for (int j = 0; j < cols_; ++j) y[j] += r[j] * xi;
+      ops.axpy(xi, row(i), y.data(), static_cast<size_t>(cols_));
     }
     return y;
   }
+
+  /// Power-iteration memo for EstimateLipschitz (solver/qp.h).
+  const LipschitzCache& lipschitz_cache() const { return lipschitz_cache_; }
 
  private:
   int rows_ = 0;
   int cols_ = 0;
   std::vector<double> data_;
+  LipschitzCache lipschitz_cache_;
 };
 
-/// Squared Euclidean norm.
+/// Squared Euclidean norm (SIMD blocked reduction).
 inline double SquaredNorm(const Vector& v) {
-  double s = 0.0;
-  for (double x : v) s += x * x;
-  return s;
+  return Simd().squared_norm(v.data(), v.size());
 }
 
 /// Residual r = A x - b.
@@ -83,7 +114,7 @@ inline Vector Residual(const DenseMatrix& a, const Vector& x,
                        const Vector& b) {
   Vector r = a.Apply(x);
   SEL_CHECK(r.size() == b.size());
-  for (size_t i = 0; i < r.size(); ++i) r[i] -= b[i];
+  Simd().sub_inplace(r.data(), b.data(), r.size());
   return r;
 }
 

@@ -6,6 +6,7 @@
 
 #include "common/fault.h"
 #include "common/metrics.h"
+#include "common/simd.h"
 #include "common/trace.h"
 #include "solver/nnls.h"
 #include "solver/simplex_projection.h"
@@ -31,6 +32,23 @@ double EstimateLipschitzT(const Matrix& a, int iterations) {
   return lambda;
 }
 
+// Power-iteration estimate memoized on the matrix: the degradation
+// chain in SolveBucketWeights re-solves the SAME matrix several times
+// (escalated retry, L2 fallback), and the spectral norm does not change
+// between those attempts.
+template <typename Matrix>
+double CachedLipschitz(const Matrix& a) {
+  const double cached = a.lipschitz_cache().Get();
+  if (cached >= 0.0) {
+    SEL_METRIC_COUNTER_INC("solver.lipschitz.cache_hits_total");
+    return cached;
+  }
+  SEL_METRIC_COUNTER_INC("solver.lipschitz.estimates_total");
+  const double lip = EstimateLipschitzT(a, 50);
+  a.lipschitz_cache().Set(lip);
+  return lip;
+}
+
 template <typename Matrix>
 Result<SimplexLsqResult> SolveByProjectedGradient(
     const Matrix& a, const Vector& s, const SimplexLsqOptions& options) {
@@ -46,7 +64,8 @@ Result<SimplexLsqResult> SolveByProjectedGradient(
                                  ? std::min(1, options.max_iterations)
                                  : options.max_iterations;
   const int m = a.cols();
-  const double lip = EstimateLipschitzT(a, 50) + options.ridge;
+  const SimdOps& ops = Simd();
+  const double lip = CachedLipschitz(a) + options.ridge;
   const double step = 1.0 / std::max(lip * 1.05, 1e-12);
 
   Vector w(m, 1.0 / m);
@@ -59,18 +78,21 @@ Result<SimplexLsqResult> SolveByProjectedGradient(
   for (; it < max_iterations; ++it) {
     // gradient at y: A^T (A y - s) + ridge * y
     Vector r = a.Apply(y);
-    for (size_t i = 0; i < r.size(); ++i) r[i] -= s[i];
+    ops.sub_inplace(r.data(), s.data(), r.size());
     Vector g = a.ApplyTranspose(r);
     if (options.ridge > 0.0) {
-      for (int j = 0; j < m; ++j) g[j] += options.ridge * y[j];
+      ops.axpy(options.ridge, y.data(), g.data(), static_cast<size_t>(m));
     }
     w_prev = w;
-    for (int j = 0; j < m; ++j) w[j] = y[j] - step * g[j];
+    // w = y + (-step) * g, bit-identical to y[j] - step * g[j].
+    ops.axpby_out(y.data(), -step, g.data(), w.data(),
+                  static_cast<size_t>(m));
     ProjectToSimplex(&w);
 
     const double t_next = 0.5 * (1.0 + std::sqrt(1.0 + 4.0 * t * t));
     const double beta = (t - 1.0) / t_next;
-    for (int j = 0; j < m; ++j) y[j] = w[j] + beta * (w[j] - w_prev[j]);
+    ops.extrapolate(w.data(), w_prev.data(), beta, y.data(),
+                    static_cast<size_t>(m));
     t = t_next;
 
     if ((it + 1) % 10 == 0) {

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/check.h"
+#include "common/simd.h"
 
 namespace sel {
 
@@ -24,7 +25,7 @@ void ProjectToSimplex(Vector* v, double total) {
     }
   }
   SEL_CHECK(rho > 0);
-  for (auto& x : *v) x = std::max(0.0, x - tau);
+  Simd().shift_relu(v->data(), tau, v->size());
 }
 
 Vector SimplexProjection(Vector v, double total) {

@@ -1,10 +1,15 @@
 // CSR sparse matrix for the weight-estimation systems: most buckets do
 // not intersect most training ranges, so the fraction matrix of Eq. (8)
 // is sparse, and the projected-gradient solver only needs mat-vec.
+// Storage is structure-of-arrays (int32 column run + value run per row)
+// so the SIMD sparse-dot kernel can gather directly from the column
+// indices; row dots use the fixed blocked-reduction order of
+// common/simd.h and are therefore identical under every SEL_SIMD level.
 #ifndef SEL_SOLVER_SPARSE_H_
 #define SEL_SOLVER_SPARSE_H_
 
 #include <algorithm>
+#include <cstdint>
 #include <tuple>
 #include <utility>
 #include <vector>
@@ -37,7 +42,7 @@ class SparseMatrix {
 
   int rows() const { return rows_; }
   int cols() const { return cols_; }
-  size_t nnz() const { return values_.size(); }
+  size_t nnz() const { return vals_.size(); }
 
   /// y = A x.
   Vector Apply(const Vector& x) const;
@@ -48,22 +53,22 @@ class SparseMatrix {
   /// Dense copy (for tests and small NNLS fallback).
   DenseMatrix ToDense() const;
 
-  /// Iterates row i's entries: [RowBegin(i), RowEnd(i)).
-  struct Entry {
-    int col;
-    double value;
-  };
-  const Entry* RowBegin(int i) const { return entries_.data() + row_ptr_[i]; }
-  const Entry* RowEnd(int i) const {
-    return entries_.data() + row_ptr_[i + 1];
-  }
+  /// Row i's entries, column-sorted: columns RowCols(i)[k] with values
+  /// RowVals(i)[k] for k in [0, RowSize(i)).
+  const int32_t* RowCols(int i) const { return cols_idx_.data() + row_ptr_[i]; }
+  const double* RowVals(int i) const { return vals_.data() + row_ptr_[i]; }
+  size_t RowSize(int i) const { return row_ptr_[i + 1] - row_ptr_[i]; }
+
+  /// Power-iteration memo for EstimateLipschitz (solver/qp.h).
+  const LipschitzCache& lipschitz_cache() const { return lipschitz_cache_; }
 
  private:
   int rows_ = 0;
   int cols_ = 0;
   std::vector<size_t> row_ptr_;
-  std::vector<Entry> entries_;
-  std::vector<double> values_;  // kept to report nnz cheaply
+  std::vector<int32_t> cols_idx_;
+  std::vector<double> vals_;
+  LipschitzCache lipschitz_cache_;
 
   void Finalize(std::vector<Triplet> triplets);
 };
@@ -100,8 +105,8 @@ inline void SparseMatrix::Finalize(std::vector<Triplet> triplets) {
               return std::tie(a.row, a.col) < std::tie(b.row, b.col);
             });
   row_ptr_.assign(rows_ + 1, 0);
-  entries_.clear();
-  values_.clear();
+  cols_idx_.clear();
+  vals_.clear();
   for (size_t i = 0; i < triplets.size();) {
     size_t j = i;
     double sum = 0.0;
@@ -111,8 +116,8 @@ inline void SparseMatrix::Finalize(std::vector<Triplet> triplets) {
       ++j;
     }
     if (sum != 0.0) {
-      entries_.push_back(Entry{triplets[i].col, sum});
-      values_.push_back(sum);
+      cols_idx_.push_back(static_cast<int32_t>(triplets[i].col));
+      vals_.push_back(sum);
       ++row_ptr_[triplets[i].row + 1];
     }
     i = j;
@@ -122,13 +127,11 @@ inline void SparseMatrix::Finalize(std::vector<Triplet> triplets) {
 
 inline Vector SparseMatrix::Apply(const Vector& x) const {
   SEL_CHECK(static_cast<int>(x.size()) == cols_);
+  SEL_METRIC_COUNTER_INC("simd.kernel.sparse_matvec");
+  const SimdOps& ops = Simd();
   Vector y(rows_, 0.0);
   for (int i = 0; i < rows_; ++i) {
-    double s = 0.0;
-    for (const Entry* e = RowBegin(i); e != RowEnd(i); ++e) {
-      s += e->value * x[e->col];
-    }
-    y[i] = s;
+    y[i] = ops.sparse_dot(RowCols(i), RowVals(i), RowSize(i), x.data());
   }
   return y;
 }
@@ -139,8 +142,11 @@ inline Vector SparseMatrix::ApplyTranspose(const Vector& x) const {
   for (int i = 0; i < rows_; ++i) {
     const double xi = x[i];
     if (xi == 0.0) continue;
-    for (const Entry* e = RowBegin(i); e != RowEnd(i); ++e) {
-      y[e->col] += e->value * xi;
+    const int32_t* cols = RowCols(i);
+    const double* vals = RowVals(i);
+    const size_t n = RowSize(i);
+    for (size_t k = 0; k < n; ++k) {
+      y[cols[k]] += vals[k] * xi;
     }
   }
   return y;
@@ -149,8 +155,11 @@ inline Vector SparseMatrix::ApplyTranspose(const Vector& x) const {
 inline DenseMatrix SparseMatrix::ToDense() const {
   DenseMatrix d(rows_, cols_);
   for (int i = 0; i < rows_; ++i) {
-    for (const Entry* e = RowBegin(i); e != RowEnd(i); ++e) {
-      d.at(i, e->col) = e->value;
+    const int32_t* cols = RowCols(i);
+    const double* vals = RowVals(i);
+    const size_t n = RowSize(i);
+    for (size_t k = 0; k < n; ++k) {
+      d.at(i, cols[k]) = vals[k];
     }
   }
   return d;
@@ -161,7 +170,7 @@ inline Vector Residual(const SparseMatrix& a, const Vector& x,
                        const Vector& b) {
   Vector r = a.Apply(x);
   SEL_CHECK(r.size() == b.size());
-  for (size_t i = 0; i < r.size(); ++i) r[i] -= b[i];
+  Simd().sub_inplace(r.data(), b.data(), r.size());
   return r;
 }
 

@@ -79,13 +79,14 @@ void ExpectMatrixEqualsRows(
     const std::vector<std::vector<std::pair<int, double>>>& rows) {
   ASSERT_EQ(static_cast<size_t>(m.rows()), rows.size());
   for (int i = 0; i < m.rows(); ++i) {
-    const SparseMatrix::Entry* e = m.RowBegin(i);
-    ASSERT_EQ(m.RowEnd(i) - e, static_cast<long>(rows[i].size()))
-        << "row " << i;
+    ASSERT_EQ(m.RowSize(i), rows[i].size()) << "row " << i;
+    const int32_t* cols = m.RowCols(i);
+    const double* vals = m.RowVals(i);
+    size_t k = 0;
     for (const auto& [col, value] : rows[i]) {
-      EXPECT_EQ(e->col, col) << "row " << i;
-      EXPECT_EQ(e->value, value) << "row " << i << " col " << col;
-      ++e;
+      EXPECT_EQ(cols[k], col) << "row " << i;
+      EXPECT_EQ(vals[k], value) << "row " << i << " col " << col;
+      ++k;
     }
   }
 }

@@ -309,13 +309,23 @@ TEST(ServePlanTest, OnlineServingUninterruptedAcrossRetrain) {
       }
     });
   }
+  // Collect statuses and join the readers BEFORE asserting: a failed
+  // assertion returns from the test body, and destroying a joinable
+  // std::thread calls std::terminate — under fault injection (which
+  // legitimately fails Retrain) that would turn an ordinary test
+  // failure into an abort.
+  Status feed_status = Status::OK();
   for (const auto& z : feed) {
-    ASSERT_TRUE(est.Feedback(z.query, z.selectivity).ok());
+    feed_status = est.Feedback(z.query, z.selectivity);
+    if (!feed_status.ok()) break;
   }
-  ASSERT_TRUE(est.Retrain().ok());
+  const Status retrain_status =
+      feed_status.ok() ? est.Retrain() : Status::OK();
   stop.store(true);
   for (auto& t : readers) t.join();
 
+  ASSERT_TRUE(feed_status.ok()) << feed_status.ToString();
+  ASSERT_TRUE(retrain_status.ok()) << retrain_status.ToString();
   EXPECT_FALSE(bad.load()) << "a reader saw an out-of-range estimate";
   EXPECT_GT(reads.load(), 0u);
   EXPECT_GE(est.retrain_count(), 5u);

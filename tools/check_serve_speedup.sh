@@ -54,6 +54,11 @@ best = {}  # (model, buckets, path) -> min us_per_est across rounds
 for path in sorted(glob.glob(workdir + "/round.*.csv")):
     with open(path) as f:
         for row in csv.DictReader(f):
+            # The bench also reports a forced-scalar simd axis (guarded
+            # separately by check_simd_speedup.sh); this guard compares
+            # the serving paths under the production dispatch.
+            if row.get("simd", "auto") != "auto":
+                continue
             key = (row["model"], row["buckets"], row["path"])
             t = float(row["us_per_est"])
             if key not in best or t < best[key]:

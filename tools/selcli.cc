@@ -282,6 +282,10 @@ int Stats(int argc, char** argv) {
   // the point of this subcommand is to show the registry's output.
   SetMetricsEnabled(true);
   MetricsRegistry::Global().Reset();
+  // Re-publish the dispatch gauge: Reset() zeroed it, and the SIMD level
+  // was resolved before metrics were enabled.
+  SetSimdLevel(ActiveSimdLevel());
+  std::printf("simd path: %s\n", SimdLevelName(ActiveSimdLevel()));
 
   auto built =
       EstimatorRegistry::Build(spec.value(), w[0].query.dim(), w.size());
