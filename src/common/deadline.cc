@@ -1,0 +1,73 @@
+#include "common/deadline.h"
+
+#include "common/env.h"
+
+namespace sel {
+
+namespace deadline_internal {
+
+std::atomic<int> g_armed_scopes{0};
+
+namespace {
+thread_local const Frame* tl_frame = nullptr;
+}  // namespace
+
+bool ExpiredSlow() {
+  for (const Frame* f = tl_frame; f != nullptr; f = f->parent) {
+    if (f->deadline.expired() || f->token.cancelled()) return true;
+  }
+  return false;
+}
+
+const Frame* CurrentFrame() { return tl_frame; }
+
+}  // namespace deadline_internal
+
+ScopedDeadline::ScopedDeadline(Deadline deadline, CancelToken token) {
+  if (!deadline.armed() && !token.armed()) return;
+  frame_.deadline = deadline;
+  frame_.token = std::move(token);
+  frame_.parent = deadline_internal::tl_frame;
+  deadline_internal::tl_frame = &frame_;
+  deadline_internal::g_armed_scopes.fetch_add(1, std::memory_order_relaxed);
+  installed_ = true;
+}
+
+ScopedDeadline::~ScopedDeadline() {
+  if (!installed_) return;
+  deadline_internal::tl_frame = frame_.parent;
+  deadline_internal::g_armed_scopes.fetch_sub(1, std::memory_order_relaxed);
+}
+
+ScopedDeadlineInherit::ScopedDeadlineInherit(
+    const deadline_internal::Frame* frame) {
+  if (frame == nullptr) return;
+  saved_ = deadline_internal::tl_frame;
+  deadline_internal::tl_frame = frame;
+  installed_ = true;
+}
+
+ScopedDeadlineInherit::~ScopedDeadlineInherit() {
+  if (!installed_) return;
+  deadline_internal::tl_frame = saved_;
+}
+
+namespace {
+
+Deadline DeadlineFromMillis(long ms) {
+  return ms > 0 ? Deadline::AfterMillis(ms) : Deadline::Infinite();
+}
+
+}  // namespace
+
+Deadline SolveDeadlineFromEnv() {
+  static const long ms = GetEnvInt("SEL_SOLVE_DEADLINE_MS", 0);
+  return DeadlineFromMillis(ms);
+}
+
+Deadline TrainDeadlineFromEnv() {
+  static const long ms = GetEnvInt("SEL_TRAIN_DEADLINE_MS", 0);
+  return DeadlineFromMillis(ms);
+}
+
+}  // namespace sel

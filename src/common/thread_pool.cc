@@ -5,6 +5,7 @@
 #include <exception>
 
 #include "common/check.h"
+#include "common/deadline.h"
 #include "common/env.h"
 #include "common/metrics.h"
 #include "common/trace.h"
@@ -156,12 +157,21 @@ void ParallelForChunks(ThreadPool* pool, int64_t begin, int64_t end,
   // helper's future before returning.
   const int helpers =
       static_cast<int>(std::min<int64_t>(pool->size(), num_chunks - 1));
+  // Helpers inherit the caller's deadline/cancel chain so task bodies
+  // polling DeadlineExpired() observe the submitting thread's budget.
+  // The borrowed frames live on the caller's stack, which outlives every
+  // helper by the join below.
+  const deadline_internal::Frame* deadline_frame =
+      deadline_internal::CurrentFrame();
   std::vector<std::future<void>> done;
   done.reserve(helpers);
   for (int h = 0; h < helpers; ++h) {
-    done.push_back(pool->Submit([&state] {
+    done.push_back(pool->Submit([&state, deadline_frame] {
       tl_in_parallel_task = true;
-      RunChunks(&state);
+      {
+        ScopedDeadlineInherit inherit(deadline_frame);
+        RunChunks(&state);
+      }
       tl_in_parallel_task = false;
     }));
   }

@@ -6,6 +6,7 @@
 #include <limits>
 
 #include "common/check.h"
+#include "common/deadline.h"
 #include "common/fault.h"
 #include "common/metrics.h"
 #include "common/thread_pool.h"
@@ -24,6 +25,15 @@ std::string SelectivityModel::RegistryName() const {
 Result<CompiledPlan> SelectivityModel::Compile() const {
   return Status::Unimplemented(Name() +
                                " is non-lowerable: no CompiledPlan form");
+}
+
+Result<double> SelectivityModel::TryEstimate(const Query& query) const {
+  const Status st = ValidateQuery(query);
+  if (!st.ok()) {
+    SEL_METRIC_COUNTER_INC("serve.invalid_query_total");
+    return st;
+  }
+  return Estimate(query);
 }
 
 std::shared_ptr<const CompiledPlan> SelectivityModel::shared_plan() const {
@@ -61,6 +71,10 @@ SparseMatrix BuildBoxFractionMatrix(const Workload& workload,
     return SparseMatrix::FromRows(static_cast<int>(buckets.size()), rows);
   }
   ParallelFor(0, static_cast<int64_t>(workload.size()), 1, [&](int64_t i) {
+    // Deadline-truncated assembly leaves the remaining rows empty — a
+    // degraded but well-formed matrix the solver chain still handles
+    // (an all-zero row just contributes a constant residual).
+    if (DeadlineExpired()) return;
     const Query& q = workload[i].query;
     for (size_t j = 0; j < buckets.size(); ++j) {
       if (q.DisjointFromBox(buckets[j])) continue;
@@ -84,6 +98,7 @@ SparseMatrix BuildPointIndicatorMatrix(const Workload& workload,
     return SparseMatrix::FromRows(static_cast<int>(buckets.size()), rows);
   }
   ParallelFor(0, static_cast<int64_t>(workload.size()), 16, [&](int64_t i) {
+    if (DeadlineExpired()) return;
     const Query& q = workload[i].query;
     for (size_t j = 0; j < buckets.size(); ++j) {
       if (q.Contains(buckets[j])) {
@@ -209,6 +224,11 @@ Result<Vector> SolveBucketWeights(const SparseMatrix& a, const Vector& s,
                                   TrainStats* stats) {
   SEL_TRACE_SPAN("train.solve_weights");
   SEL_METRIC_SCOPED_LATENCY("train.solve_us");
+  // One SEL_SOLVE_DEADLINE_MS budget spans the whole degradation chain:
+  // once it expires, every remaining stage short-circuits at its entry
+  // check and the chain settles on the best iterate collected so far
+  // (uniform at worst) — a deadline is a fallback trigger, not an error.
+  ScopedDeadline solve_scope(SolveDeadlineFromEnv());
   auto result =
       SolveBucketWeightsImpl(a, s, objective, qp_options, lp_options, stats);
   if (result.ok()) RecordSolveMetrics(*stats);

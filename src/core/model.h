@@ -76,6 +76,14 @@ class SelectivityModel {
   /// kFailedPrecondition.
   virtual Result<CompiledPlan> Compile() const;
 
+  /// Validating front door over the virtual Estimate path: rejects
+  /// malformed queries (non-finite parameters, inverted intervals —
+  /// see ValidateQuery) with InvalidArgument, counted under
+  /// serve.invalid_query_total, instead of feeding them into estimator
+  /// arithmetic. Request-handling edges call this; trusted internal
+  /// callers keep the raw virtual Estimate.
+  Result<double> TryEstimate(const Query& query) const;
+
   /// The model's serving plan, compiled once and cached: nullptr when
   /// plan serving is disabled (SEL_SERVE_PLAN=0), the model is
   /// non-lowerable, or compilation failed. A kUnimplemented Compile is

@@ -1,5 +1,8 @@
 #include "core/model_io.h"
 
+#include <unistd.h>
+
+#include <array>
 #include <cinttypes>
 #include <cmath>
 #include <cstdio>
@@ -58,6 +61,94 @@ bool ReadDoubles(std::istringstream& is, int n, Point* out) {
 /// Reads the trailing weight of a record; NaN/inf weights are corrupt.
 bool ReadWeight(std::istringstream& is, double* w) {
   return static_cast<bool>(is >> *w) && std::isfinite(*w);
+}
+
+/// CRC-32 (IEEE 802.3, polynomial 0xEDB88320) over the payload bytes.
+uint32_t Crc32(const std::string& data) {
+  static const std::array<uint32_t, 256> table = [] {
+    std::array<uint32_t, 256> t{};
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1u) != 0 ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  uint32_t crc = 0xFFFFFFFFu;
+  for (const char ch : data) {
+    crc = table[(crc ^ static_cast<unsigned char>(ch)) & 0xFFu] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+/// Crash-safe publication of a rendered model file: the payload plus its
+/// CRC trailer land in a same-directory temp file, are fsynced, and only
+/// then renamed over `path`. A crash at any point leaves either the old
+/// complete file or the new complete file on disk, never a torn mix —
+/// rename(2) within one directory is atomic on POSIX filesystems.
+Status CommitModelFile(const std::string& path, const std::string& payload) {
+  char trailer[32];
+  std::snprintf(trailer, sizeof(trailer), "#crc32 %08x\n", Crc32(payload));
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) return Status::IOError("cannot open: " + tmp);
+  bool ok =
+      std::fwrite(payload.data(), 1, payload.size(), f) == payload.size();
+  ok = ok && std::fputs(trailer, f) >= 0;
+  ok = ok && std::fflush(f) == 0;
+  ok = ok && ::fsync(fileno(f)) == 0;
+  ok = std::fclose(f) == 0 && ok;
+  if (!ok) {
+    std::remove(tmp.c_str());
+    return Status::IOError("write failed: " + tmp);
+  }
+  if (SEL_FAULT_POINT("io.save.rename")) {
+    std::remove(tmp.c_str());
+    return Status::IOError("rename failed (injected fault): " + path);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Status::IOError("rename failed: " + path);
+  }
+  return Status::OK();
+}
+
+/// Verifies the "#crc32 <hex>" trailer when `contents` ends with one.
+/// Files written before the trailer existed (no trailer line) load
+/// unverified — legacy-compatible; a present-but-wrong trailer means the
+/// payload was torn or bit-rotted and is rejected as corrupt.
+Status VerifyCrcTrailer(const std::string& contents,
+                        const std::string& path) {
+  size_t start = std::string::npos;
+  const size_t pos = contents.rfind("\n#crc32 ");
+  if (pos != std::string::npos) {
+    start = pos + 1;
+  } else if (contents.rfind("#crc32 ", 0) == 0) {
+    start = 0;
+  }
+  if (start == std::string::npos) return Status::OK();
+  const size_t eol = contents.find('\n', start);
+  const std::string line = contents.substr(
+      start, eol == std::string::npos ? std::string::npos : eol - start);
+  if (eol != std::string::npos &&
+      !Trim(contents.substr(eol + 1)).empty()) {
+    // A "#crc32" comment mid-payload is not the trailer; nothing to check.
+    return Status::OK();
+  }
+  uint32_t stored = 0;
+  if (std::sscanf(line.c_str(), "#crc32 %8" SCNx32, &stored) != 1) {
+    return Status::IOError("malformed crc32 trailer in " + path);
+  }
+  const uint32_t actual = Crc32(contents.substr(0, start));
+  if (actual != stored) {
+    char msg[64];
+    std::snprintf(msg, sizeof(msg), "crc32 mismatch (stored %08x, got %08x)",
+                  stored, actual);
+    return Status::IOError(std::string(msg) + ": corrupt model file " + path);
+  }
+  return Status::OK();
 }
 
 /// Iterates the non-comment record lines of `ctx`, enforcing the
@@ -330,25 +421,23 @@ Status SaveModel(const SelectivityModel& model, const std::string& path) {
         "estimator '" + name + "' does not support serialization; savable "
         "estimators: " + Join(registry.SavableNames(), ", "));
   }
-  std::ofstream out(path);
-  if (!out.good()) {
-    SEL_METRIC_COUNTER_INC("io.model.errors_total");
-    return Status::IOError("cannot open: " + path);
-  }
+  // Render in memory first: only a complete, CRC-stamped payload ever
+  // reaches the filesystem, via temp-file + fsync + atomic rename.
+  std::ostringstream out;
   const Status st = entry->save(model, out);
   if (!st.ok()) {
     SEL_METRIC_COUNTER_INC("io.model.errors_total");
     return st;
   }
-  out.flush();
-  if (!out.good()) {
+  const std::string payload = out.str();
+  const Status committed = CommitModelFile(path, payload);
+  if (!committed.ok()) {
     SEL_METRIC_COUNTER_INC("io.model.errors_total");
-    return Status::IOError("write failed: " + path);
+    return committed;
   }
-  const auto pos = out.tellp();
-  if (pos > 0) {
+  if (!payload.empty()) {
     SEL_METRIC_COUNTER_ADD("io.model.write_bytes",
-                           static_cast<uint64_t>(pos));
+                           static_cast<uint64_t>(payload.size()));
   }
   return Status::OK();
 }
@@ -357,14 +446,18 @@ namespace {
 
 Result<std::unique_ptr<SelectivityModel>> LoadModelImpl(
     const std::string& path) {
-  std::ifstream in(path);
-  if (!in.good()) return Status::IOError("cannot open: " + path);
+  std::ifstream file(path, std::ios::binary);
+  if (!file.good()) return Status::IOError("cannot open: " + path);
   if (SEL_FAULT_POINT("io.model_short_read")) {
     return Status::IOError("short read (injected fault): " + path);
   }
-  in.seekg(0, std::ios::end);
-  const std::streamoff file_size = in.tellg();
-  in.seekg(0, std::ios::beg);
+  std::ostringstream slurp;
+  slurp << file.rdbuf();
+  if (file.bad()) return Status::IOError("read failed: " + path);
+  const std::string contents = slurp.str();
+  const size_t file_size = contents.size();
+  SEL_RETURN_IF_ERROR(VerifyCrcTrailer(contents, path));
+  std::istringstream in(contents);
 
   std::string line;
   std::string kind;
@@ -418,17 +511,34 @@ Result<std::unique_ptr<SelectivityModel>> LoadModel(const std::string& path) {
   return result;
 }
 
+Result<int> PeekModelDim(const std::string& path) {
+  std::ifstream file(path, std::ios::binary);
+  if (!file.good()) return Status::IOError("cannot open: " + path);
+  std::string line;
+  while (std::getline(file, line)) {
+    const std::string t = Trim(line);
+    if (t.empty() || t[0] == '#') continue;
+    std::istringstream hs(t);
+    std::string magic, kind;
+    int version = 0, dim = 0;
+    hs >> magic >> version >> kind >> dim;
+    if (magic != "selmodel" || hs.fail() || dim < 1) {
+      return Status::IOError("bad model header in " + path);
+    }
+    return dim;
+  }
+  return Status::IOError("missing model header: " + path);
+}
+
 Status SaveHistogramModel(const std::vector<Box>& buckets,
                           const Vector& weights, const std::string& path) {
   if (buckets.empty() || buckets.size() != weights.size()) {
     return Status::InvalidArgument(
         "SaveHistogramModel: buckets/weights empty or misaligned");
   }
-  std::ofstream out(path);
-  if (!out.good()) return Status::IOError("cannot open: " + path);
+  std::ostringstream out;
   SEL_RETURN_IF_ERROR(WriteBoxModel(out, "histogram", buckets, weights));
-  out.flush();
-  return out.good() ? Status::OK() : Status::IOError("write failed: " + path);
+  return CommitModelFile(path, out.str());
 }
 
 Status SavePointModel(const std::vector<Point>& points,
@@ -437,23 +547,19 @@ Status SavePointModel(const std::vector<Point>& points,
     return Status::InvalidArgument(
         "SavePointModel: points/weights empty or misaligned");
   }
-  std::ofstream out(path);
-  if (!out.good()) return Status::IOError("cannot open: " + path);
+  std::ostringstream out;
   SEL_RETURN_IF_ERROR(WritePointModel(out, "points", points, weights));
-  out.flush();
-  return out.good() ? Status::OK() : Status::IOError("write failed: " + path);
+  return CommitModelFile(path, out.str());
 }
 
 Status SaveGmmModel(const GmmModel& model, const std::string& path) {
   if (model.Means().empty()) {
     return Status::FailedPrecondition("SaveGmmModel: model not trained");
   }
-  std::ofstream out(path);
-  if (!out.good()) return Status::IOError("cannot open: " + path);
+  std::ostringstream out;
   SEL_RETURN_IF_ERROR(WriteGaussModel(out, "gmm", model.Means(),
                                       model.Stddevs(), model.Weights()));
-  out.flush();
-  return out.good() ? Status::OK() : Status::IOError("write failed: " + path);
+  return CommitModelFile(path, out.str());
 }
 
 }  // namespace sel

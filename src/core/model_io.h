@@ -43,6 +43,12 @@ Status SaveModel(const SelectivityModel& model, const std::string& path);
 /// load as a fresh GmmModel equivalent).
 Result<std::unique_ptr<SelectivityModel>> LoadModel(const std::string& path);
 
+/// Reads only the header of a saved model and returns its dimension.
+/// Request-handling edges (e.g. selcli estimate) use this to reject a
+/// query whose schema does not match the model before touching the
+/// estimation path, which treats a dimension mismatch as API misuse.
+Result<int> PeekModelDim(const std::string& path);
+
 /// Writes a complete box-bucket model (header + records) under `kind`.
 /// Shared by the registry save hooks of every histogram-form estimator.
 Status WriteBoxModel(std::ostream& out, const std::string& kind,

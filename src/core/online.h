@@ -64,6 +64,24 @@ struct OnlineOptions {
   /// retrain_interval: the effective interval doubles per consecutive
   /// failure up to `retrain_interval * max_backoff_multiplier`.
   size_t max_backoff_multiplier = 16;
+  /// Publication quality gate: a candidate is rejected when its median
+  /// Q-error on the held-out slice exceeds gate_factor × the incumbent's
+  /// (floored at 1, the perfect score, so a sharp incumbent does not
+  /// make the gate impossibly tight). 0 disables the gate.
+  double gate_factor = 4.0;
+  /// Fraction of the window (its most recent records) reserved as the
+  /// held-out slice the gate scores on; the candidate trains on the
+  /// rest. Must lie in (0, 0.5].
+  double gate_holdout_fraction = 0.25;
+  /// Windows smaller than this train on everything and publish ungated
+  /// (a 4-record holdout gates on noise).
+  size_t gate_min_window = 16;
+  /// Capacity of the last-good snapshot ring behind RollbackLastGood().
+  size_t rollback_ring = 4;
+  /// Per-retrain wall-clock budget in milliseconds; a retrain that blows
+  /// it keeps the incumbent (the degraded candidate is rejected). 0
+  /// defers to SEL_TRAIN_DEADLINE_MS.
+  long train_deadline_ms = 0;
 
   /// Checks the options a construction time instead of at the first
   /// retrain: prior_estimate in [0,1], positive capacities, and an
@@ -100,14 +118,37 @@ class OnlineEstimator {
   /// empty). Returns — and records in last_error() — the actual outcome.
   Status Retrain();
 
+  /// Republishes the previous last-good snapshot (the operator escape
+  /// hatch for a bad model that slipped past the gate). The abandoned
+  /// snapshot is dropped from the ring, so repeated calls walk further
+  /// back. FailedPrecondition when no earlier snapshot exists.
+  Status RollbackLastGood();
+
   /// Number of feedback records currently in the window.
   size_t window_size() const { return window_.size(); }
 
   /// Number of completed retrains.
   size_t retrain_count() const { return retrain_count_; }
 
-  /// Number of failed retrain attempts since construction.
+  /// Number of failed retrain attempts since construction (training
+  /// errors and gate rejections both count).
   size_t failed_retrain_count() const { return failed_retrain_count_; }
+
+  /// Publication outcomes: candidates the gate accepted / rejected on
+  /// held-out quality / rejected because the train deadline expired.
+  size_t publish_accepted_count() const { return publish_accepted_; }
+  size_t publish_rejected_quality_count() const {
+    return publish_rejected_quality_;
+  }
+  size_t publish_rejected_deadline_count() const {
+    return publish_rejected_deadline_;
+  }
+
+  /// Consecutive rejections/failures since the last accepted publish.
+  size_t rejection_streak() const { return consecutive_failures_; }
+
+  /// Snapshots currently in the last-good ring (rollback depth + 1).
+  size_t rollback_ring_size() const { return last_good_.size(); }
 
   /// OK, or the error of the most recent failed retrain (cleared by the
   /// next successful one). Construction-time validation errors also
@@ -130,7 +171,18 @@ class OnlineEstimator {
   }
 
  private:
+  /// Why a finished retrain attempt did not publish.
+  enum class RejectReason { kNone, kError, kDeadline, kQuality };
+
   Status RetrainNow();
+
+  /// Validates a compiled candidate against the incumbent on the
+  /// held-out slice; OK means "publish it".
+  Status GateCandidate(const ServingState& candidate,
+                       const Workload& holdout) const;
+
+  /// Publishes `next` and pushes it onto the last-good ring.
+  void Publish(std::shared_ptr<const ServingState> next);
 
   /// Snapshots the published state under the narrow lock (one refcount
   /// bump — constant time, never held across training or estimation).
@@ -148,11 +200,18 @@ class OnlineEstimator {
   /// drops it.
   mutable std::mutex state_mu_;
   std::shared_ptr<const ServingState> state_;
+  /// Most recent accepted snapshots, oldest first; back() is the one
+  /// currently published. Shares ownership with state_ — entries are
+  /// cheap pointer copies. Guarded by state_mu_ alongside the swap.
+  std::deque<std::shared_ptr<const ServingState>> last_good_;
   size_t since_retrain_ = 0;
   size_t retrain_count_ = 0;
   size_t failed_retrain_count_ = 0;
   size_t consecutive_failures_ = 0;
   size_t current_interval_ = 0;
+  size_t publish_accepted_ = 0;
+  size_t publish_rejected_quality_ = 0;
+  size_t publish_rejected_deadline_ = 0;
   Status last_error_;
 };
 

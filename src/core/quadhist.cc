@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/check.h"
+#include "common/deadline.h"
 #include "common/metrics.h"
 #include "common/thread_pool.h"
 #include "common/timer.h"
@@ -106,8 +107,12 @@ Status QuadHist::Train(const Workload& workload) {
   WallTimer timer;
 
   // ---- Bucket design (Algorithm 1). ----
+  // Deadline-truncated design just refines on a prefix of the workload:
+  // fewer, coarser leaves, every one still positive-volume — weight
+  // estimation below proceeds on whatever tree exists.
   const Box domain = Box::Unit(dim_);
   for (const auto& z : workload) {
+    if (DeadlineExpired()) break;
     const double qvol =
         QueryBoxIntersectionVolume(z.query, domain, options_.volume);
     if (qvol <= 0.0) continue;  // range misses the domain entirely
@@ -135,6 +140,7 @@ Status QuadHist::Train(const Workload& workload) {
     SEL_TRACE_SPAN("train.assemble_matrix");
     SEL_METRIC_SCOPED_LATENCY("train.assemble_us");
     ParallelFor(0, static_cast<int64_t>(workload.size()), 1, [&](int64_t i) {
+      if (DeadlineExpired()) return;  // remaining rows stay empty
       CollectRow(0, workload[i].query, &rows[i], leaf_index);
     });
     a = SparseMatrix::FromRows(static_cast<int>(num_leaves_), rows);

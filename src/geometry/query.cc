@@ -1,8 +1,21 @@
 #include "geometry/query.h"
 
+#include <cmath>
+
 #include "common/check.h"
 
 namespace sel {
+
+namespace {
+
+bool AllFinite(const Point& p) {
+  for (const double x : p) {
+    if (!std::isfinite(x)) return false;
+  }
+  return true;
+}
+
+}  // namespace
 
 const char* QueryTypeName(QueryType t) {
   switch (t) {
@@ -75,6 +88,44 @@ Box Query::BoundingBox(const Box& domain) const {
 
 std::string Query::ToString() const {
   return std::visit([](const auto& r) { return r.ToString(); }, v_);
+}
+
+bool QueryIsValid(const Query& query) {
+  switch (query.type()) {
+    case QueryType::kBox: {
+      const Box& b = query.box();
+      if (!AllFinite(b.lo()) || !AllFinite(b.hi())) return false;
+      for (int j = 0; j < b.dim(); ++j) {
+        if (b.lo(j) > b.hi(j)) return false;  // inverted interval
+      }
+      return true;
+    }
+    case QueryType::kHalfspace: {
+      const Halfspace& h = query.halfspace();
+      if (!AllFinite(h.normal()) || !std::isfinite(h.offset())) return false;
+      for (const double a : h.normal()) {
+        if (a != 0.0) return true;
+      }
+      return false;  // zero normal: {x : 0 <= b} is not a range
+    }
+    case QueryType::kBall: {
+      const Ball& b = query.ball();
+      return AllFinite(b.center()) && std::isfinite(b.radius()) &&
+             b.radius() >= 0.0;
+    }
+    case QueryType::kSemiAlgebraic:
+      // Polynomial evaluators tolerate arbitrary coefficients; accept.
+      return true;
+  }
+  return false;
+}
+
+Status ValidateQuery(const Query& query) {
+  if (QueryIsValid(query)) return Status::OK();
+  return Status::InvalidArgument(
+      std::string("malformed ") + QueryTypeName(query.type()) +
+      " query (non-finite parameter, inverted interval, or degenerate "
+      "normal): " + query.ToString());
 }
 
 }  // namespace sel

@@ -7,6 +7,7 @@
 #include <string>
 #include <variant>
 
+#include "common/status.h"
 #include "geometry/ball.h"
 #include "geometry/box.h"
 #include "geometry/halfspace.h"
@@ -63,6 +64,17 @@ class Query {
  private:
   std::variant<Box, Halfspace, Ball, SemiAlgebraicSet> v_;
 };
+
+/// Fast admission check for externally-sourced queries: every geometric
+/// parameter finite, box intervals non-inverted, ball radius
+/// nonnegative, halfspace normal nonzero. O(d), allocation-free —
+/// cheap enough for the serving hot path. Semi-algebraic ranges are
+/// accepted conservatively (their evaluators tolerate any coefficients).
+bool QueryIsValid(const Query& query);
+
+/// Status-bearing form of QueryIsValid for request-rejecting edges:
+/// InvalidArgument naming the malformed parameter, OK otherwise.
+Status ValidateQuery(const Query& query);
 
 }  // namespace sel
 

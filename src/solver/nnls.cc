@@ -4,6 +4,7 @@
 #include <cmath>
 #include <vector>
 
+#include "common/deadline.h"
 #include "common/fault.h"
 #include "common/metrics.h"
 #include "common/trace.h"
@@ -95,7 +96,15 @@ Result<NnlsResult> SolveNnls(const DenseMatrix& a, const Vector& b,
   };
 
   int iterations = 0;
+  bool deadline_hit = false;
   while (iterations < max_iter) {
+    // Cooperative cancellation at the outer-pass boundary: x is a
+    // feasible (nonnegative) active-set iterate here, so stopping early
+    // degrades to an iteration-limit-style exit instead of an abort.
+    if (DeadlineExpired()) {
+      deadline_hit = true;
+      break;
+    }
     // Select the most violated dual coordinate among the active set.
     int best = -1;
     double best_w = options.tolerance;
@@ -176,8 +185,9 @@ Result<NnlsResult> SolveNnls(const DenseMatrix& a, const Vector& b,
   out.residual_norm = std::sqrt(SquaredNorm(Residual(a, out.x, b)));
   out.iterations = iterations;
   out.converged = kkt_satisfied;
-  out.termination = kkt_satisfied ? SolverTermination::kConverged
-                                  : SolverTermination::kIterationLimit;
+  out.termination = kkt_satisfied  ? SolverTermination::kConverged
+                    : deadline_hit ? SolverTermination::kDeadlineExceeded
+                                   : SolverTermination::kIterationLimit;
   return out;
 }
 

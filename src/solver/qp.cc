@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 
+#include "common/deadline.h"
 #include "common/fault.h"
 #include "common/metrics.h"
 #include "common/simd.h"
@@ -64,6 +65,18 @@ Result<SimplexLsqResult> SolveByProjectedGradient(
                                  ? std::min(1, options.max_iterations)
                                  : options.max_iterations;
   const int m = a.cols();
+  // Already-expired deadline: short-circuit before the Lipschitz power
+  // iteration and the first gradient step. The uniform start is on the
+  // simplex, so "best iterate so far" is always feasible.
+  if (DeadlineExpired()) {
+    SimplexLsqResult out;
+    out.w = Vector(m, 1.0 / m);
+    out.loss = MeanSquaredResidual(a, out.w, s);
+    out.iterations = 0;
+    out.converged = false;
+    out.termination = SolverTermination::kDeadlineExceeded;
+    return out;
+  }
   const SimdOps& ops = Simd();
   const double lip = CachedLipschitz(a) + options.ridge;
   const double step = 1.0 / std::max(lip * 1.05, 1e-12);
@@ -74,8 +87,17 @@ Result<SimplexLsqResult> SolveByProjectedGradient(
   double t = 1.0;
   double last_check_obj = std::numeric_limits<double>::infinity();
   bool converged = false;
+  bool deadline_hit = false;
   int it = 0;
   for (; it < max_iterations; ++it) {
+    // Cooperative cancellation: w is a projected (feasible) iterate at
+    // every loop boundary, so stopping here returns a valid simplex
+    // point — the degradation chain treats it like an iteration-limit
+    // exit with a distinguishable termination reason.
+    if (DeadlineExpired()) {
+      deadline_hit = true;
+      break;
+    }
     // gradient at y: A^T (A y - s) + ridge * y
     Vector r = a.Apply(y);
     ops.sub_inplace(r.data(), s.data(), r.size());
@@ -119,8 +141,9 @@ Result<SimplexLsqResult> SolveByProjectedGradient(
   out.loss = MeanSquaredResidual(a, out.w, s);
   out.iterations = it;
   out.converged = converged;
-  out.termination = converged ? SolverTermination::kConverged
-                              : SolverTermination::kIterationLimit;
+  out.termination = converged     ? SolverTermination::kConverged
+                    : deadline_hit ? SolverTermination::kDeadlineExceeded
+                                   : SolverTermination::kIterationLimit;
   return out;
 }
 

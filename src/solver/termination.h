@@ -9,14 +9,16 @@ namespace sel {
 
 /// How an iterative solve ended.
 enum class SolverTermination {
-  kConverged,       ///< optimality/tolerance criterion met
-  kIterationLimit,  ///< budget exhausted before the criterion
+  kConverged,         ///< optimality/tolerance criterion met
+  kIterationLimit,    ///< budget exhausted before the criterion
+  kDeadlineExceeded,  ///< cooperative deadline/cancel fired mid-iteration
 };
 
 inline const char* SolverTerminationName(SolverTermination t) {
   switch (t) {
     case SolverTermination::kConverged: return "converged";
     case SolverTermination::kIterationLimit: return "iteration_limit";
+    case SolverTermination::kDeadlineExceeded: return "deadline_exceeded";
   }
   return "unknown";
 }

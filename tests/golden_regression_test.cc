@@ -15,6 +15,7 @@
 #include <map>
 #include <string>
 
+#include "common/env.h"
 #include "common/metrics.h"
 #include "core/estimator_registry.h"
 #include "core/online.h"
@@ -48,6 +49,16 @@ const std::map<std::string, ToleranceBand>& GoldenBands() {
       {"quicksel", {0.11, 25.0}},
   };
   return *bands;
+}
+
+// The @deadline ctest lane reruns this suite with SEL_SOLVE_DEADLINE_MS=1:
+// solves degrade to their fallback stages by design, so the accuracy
+// bands and the happy-path counter invariants do not apply there. What
+// the lane DOES pin is that degradation stays graceful — no aborts, and
+// every non-converged solve engaged a fallback stage.
+bool DeadlineLaneActive() {
+  return GetEnvInt("SEL_SOLVE_DEADLINE_MS", 0) > 0 ||
+         GetEnvInt("SEL_TRAIN_DEADLINE_MS", 0) > 0;
 }
 
 struct GoldenFixture {
@@ -104,27 +115,42 @@ TEST(GoldenRegressionTest, EveryTrainableEstimatorStaysInsideItsBand) {
     ASSERT_TRUE(model.value()->Train(f.train).ok()) << name;
     ++trained;
 
+    // The degradation-chain contract holds in every lane: a solve that
+    // did not converge must have engaged a fallback stage — "primary
+    // accepted without convergence" is never a legal cell.
+    const TrainStats& ts = model.value()->train_stats();
+    if (!ts.converged) {
+      EXPECT_GT(ts.fallback_level, 0)
+          << name << ": non-converged solve accepted at the primary stage"
+          << " (trail: " << ts.solver_status << ")";
+    }
+
     const ErrorReport r = EvaluateModel(*model.value(), f.test, q_floor);
     // Observed values land in the log so band updates can be grounded in
     // a real run instead of guesswork.
     std::printf("golden %-10s rms=%.5f q50=%.3f q95=%.3f qmax=%.3f\n",
                 name.c_str(), r.rms, r.q50, r.q95, r.qmax);
-    EXPECT_LE(r.rms, band.max_rms)
-        << name << ": rms regressed (got " << r.rms << ", band "
-        << band.max_rms << ")";
-    EXPECT_LE(r.q95, band.max_q95)
-        << name << ": q95 regressed (got " << r.q95 << ", band "
-        << band.max_q95 << ")";
+    if (!DeadlineLaneActive()) {
+      EXPECT_LE(r.rms, band.max_rms)
+          << name << ": rms regressed (got " << r.rms << ", band "
+          << band.max_rms << ")";
+      EXPECT_LE(r.q95, band.max_q95)
+          << name << ": q95 regressed (got " << r.q95 << ", band "
+          << band.max_q95 << ")";
+    }
     EXPECT_GE(r.q50, 1.0) << name << ": q-error below 1 is impossible";
   }
   EXPECT_GE(trained, 5u) << "registry shrank: golden coverage is gone";
 
   // Happy-path observability invariants: the fixed workload is benign,
   // so nothing may have degraded to the uniform-prior fallback, and the
-  // registry must have seen every solve the loop above ran.
+  // registry must have seen every solve the loop above ran. Under an
+  // armed deadline the fallbacks are the expected outcome, not a bug.
   const MetricsSnapshot snap = MetricsRegistry::Global().Snapshot();
-  EXPECT_EQ(snap.CounterValue("solver.fallback.uniform"), 0u);
-  EXPECT_EQ(snap.CounterValue("online.retrain_failures_total"), 0u);
+  if (!DeadlineLaneActive()) {
+    EXPECT_EQ(snap.CounterValue("solver.fallback.uniform"), 0u);
+    EXPECT_EQ(snap.CounterValue("online.retrain_failures_total"), 0u);
+  }
   EXPECT_GT(snap.CounterValue("solver.solves_total"), 0u);
   EXPECT_GT(snap.CounterValue("predict.queries_total"), 0u);
   const HistogramSnapshot* h = snap.FindHistogram("predict.query_us");
@@ -145,17 +171,28 @@ TEST(GoldenRegressionTest, OnlineHappyPathRecordsNoFailures) {
   for (const auto& z : f.train) {
     ASSERT_TRUE(online.value()->Feedback(z.query, z.selectivity).ok());
   }
-  EXPECT_GE(online.value()->retrain_count(), 2u);
+  const size_t attempts = online.value()->retrain_count() +
+                          online.value()->failed_retrain_count();
+  EXPECT_GE(attempts, 2u);
 
   const MetricsSnapshot snap = MetricsRegistry::Global().Snapshot();
-  EXPECT_EQ(snap.CounterValue("online.retrain_failures_total"), 0u);
+  if (!DeadlineLaneActive()) {
+    // Clean lane: every scheduled retrain published, nothing backed off.
+    EXPECT_GE(online.value()->retrain_count(), 2u);
+    EXPECT_EQ(snap.CounterValue("online.retrain_failures_total"), 0u);
+    EXPECT_EQ(snap.GaugeValue("online.backoff_interval"),
+              static_cast<int64_t>(opts.retrain_interval));
+  } else {
+    // Deadline lane: degraded candidates may be rejected by the gate,
+    // but rejection is bookkept, never dropped on the floor.
+    EXPECT_EQ(snap.CounterValue("online.retrain_failures_total"),
+              online.value()->failed_retrain_count());
+  }
   EXPECT_EQ(snap.CounterValue("online.retrains_total"),
             online.value()->retrain_count());
-  EXPECT_EQ(snap.GaugeValue("online.backoff_interval"),
-            static_cast<int64_t>(opts.retrain_interval));
   const HistogramSnapshot* h = snap.FindHistogram("online.retrain_us");
   ASSERT_NE(h, nullptr);
-  EXPECT_EQ(h->count, online.value()->retrain_count());
+  EXPECT_EQ(h->count, attempts);
 }
 
 }  // namespace

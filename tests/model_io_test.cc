@@ -4,7 +4,9 @@
 
 #include <filesystem>
 #include <fstream>
+#include <sstream>
 
+#include "common/fault.h"
 #include "core/estimator_registry.h"
 #include "core/gmm.h"
 #include "core/model_io.h"
@@ -260,6 +262,100 @@ TEST(ModelIoTest, RejectsInvalidSaves) {
                               TempPath("x.model")).ok());
   GmmModel untrained(2, GmmOptions{});
   EXPECT_FALSE(SaveGmmModel(untrained, TempPath("x.model")).ok());
+}
+
+std::string Slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+TEST(ModelIoTest, SaveWritesCrcTrailerAndLoadVerifiesIt) {
+  const std::string path = TempPath("sel_crc.model");
+  std::vector<Box> buckets = {Box({0.0, 0.0}, {0.5, 1.0}),
+                              Box({0.5, 0.0}, {1.0, 1.0})};
+  ASSERT_TRUE(SaveHistogramModel(buckets, {0.75, 0.25}, path).ok());
+
+  const std::string contents = Slurp(path);
+  // The trailer is the last line; the payload above it is unchanged.
+  ASSERT_NE(contents.rfind("\n#crc32 "), std::string::npos);
+  EXPECT_TRUE(LoadModel(path).ok());
+  // The staging temp file was renamed away, not left behind.
+  EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
+
+  // Flip one payload byte under the intact trailer: detected as corrupt.
+  {
+    std::string tampered = contents;
+    const size_t pos = tampered.find("0.75");
+    ASSERT_NE(pos, std::string::npos);
+    tampered[pos + 2] = '9';  // 0.75 -> 0.95
+    std::ofstream out(path, std::ios::binary);
+    out << tampered;
+  }
+  auto corrupt = LoadModel(path);
+  ASSERT_FALSE(corrupt.ok());
+  EXPECT_EQ(corrupt.status().code(), StatusCode::kIOError);
+  EXPECT_NE(corrupt.status().ToString().find("crc32"), std::string::npos);
+
+  // A wrong stored checksum over an intact payload is equally corrupt.
+  {
+    std::string bad = contents;
+    const size_t pos = bad.rfind("#crc32 ");
+    bad.replace(pos, std::string::npos, "#crc32 00000000\n");
+    std::ofstream out(path, std::ios::binary);
+    out << bad;
+  }
+  EXPECT_EQ(LoadModel(path).status().code(), StatusCode::kIOError);
+
+  // A malformed trailer (unparseable hex) is corrupt, not ignorable.
+  {
+    std::string bad = contents;
+    const size_t pos = bad.rfind("#crc32 ");
+    bad.replace(pos, std::string::npos, "#crc32 zzzz\n");
+    std::ofstream out(path, std::ios::binary);
+    out << bad;
+  }
+  EXPECT_EQ(LoadModel(path).status().code(), StatusCode::kIOError);
+
+  // Stripping the trailer entirely yields a legacy (pre-CRC) file, which
+  // still loads: verification is opt-in by presence.
+  {
+    std::string legacy = contents;
+    legacy.resize(legacy.rfind("#crc32 "));
+    std::ofstream out(path, std::ios::binary);
+    out << legacy;
+  }
+  EXPECT_TRUE(LoadModel(path).ok());
+  std::filesystem::remove(path);
+}
+
+TEST(ModelIoTest, InjectedRenameFaultPreservesIncumbentFile) {
+  Fixture f;
+  const Workload train = f.Make(40, 911);
+  auto built = EstimatorRegistry::Build("quadhist", 2, train.size());
+  ASSERT_TRUE(built.ok());
+  ASSERT_TRUE(built.value()->Train(train).ok());
+  const std::string path = TempPath("sel_rename_fault.model");
+  ASSERT_TRUE(SaveModel(*built.value(), path).ok());
+  const std::string before = Slurp(path);
+
+  // A save that dies at the publication rename must leave the previous
+  // file byte-for-byte intact and clean up its staging temp.
+  auto other = EstimatorRegistry::Build("ptshist", 2, train.size());
+  ASSERT_TRUE(other.ok());
+  ASSERT_TRUE(other.value()->Train(train).ok());
+  FaultRegistry::Global().Arm("io.save.rename");
+  const Status st = SaveModel(*other.value(), path);
+  FaultRegistry::Global().Disarm("io.save.rename");
+  EXPECT_EQ(st.code(), StatusCode::kIOError);
+  EXPECT_EQ(Slurp(path), before);
+  EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
+
+  // With the fault gone the overwrite goes through atomically.
+  ASSERT_TRUE(SaveModel(*other.value(), path).ok());
+  EXPECT_NE(Slurp(path), before);
+  std::filesystem::remove(path);
 }
 
 TEST(ModelIoTest, CommentsAndBlankLinesTolerated) {

@@ -3,7 +3,11 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
+#include <vector>
 
+#include "common/deadline.h"
+#include "common/fault.h"
 #include "core/online.h"
 #include "data/generators.h"
 #include "index/kdtree.h"
@@ -135,6 +139,146 @@ TEST(OnlineTest, RejectsBadFeedback) {
   EXPECT_FALSE(est.Feedback(Box::Unit(3), 0.5).ok());
   EXPECT_FALSE(est.Feedback(Box::Unit(2), 1.5).ok());
   EXPECT_FALSE(est.Feedback(Box::Unit(2), -0.1).ok());
+}
+
+TEST(OnlineTest, RejectsMalformedQueryFeedback) {
+  // Constructible-but-degenerate queries (Box's ctor catches inverted
+  // intervals, but non-finite parameters slip through every geometry
+  // ctor) must be refused at the Feedback door, not pooled into the
+  // training window.
+  const double inf = std::numeric_limits<double>::infinity();
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  OnlineEstimator est(2, OnlineOptions{});
+  EXPECT_EQ(est.Feedback(Box({0.0, 0.0}, {1.0, inf}), 0.5).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(est.Feedback(Halfspace({1.0, 0.0}, inf), 0.5).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(est.Feedback(Ball({nan, 0.5}, 0.25), 0.5).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(est.window_size(), 0u);
+  // A well-formed query is still absorbed.
+  EXPECT_TRUE(est.Feedback(Box::Unit(2), 0.5).ok());
+  EXPECT_EQ(est.window_size(), 1u);
+}
+
+TEST(OnlineTest, ValidatesGateOptions) {
+  OnlineOptions opts;
+  opts.gate_holdout_fraction = 0.9;
+  EXPECT_FALSE(OnlineEstimator::Create(2, opts).ok());
+  opts = OnlineOptions{};
+  opts.gate_factor = -1.0;
+  EXPECT_FALSE(OnlineEstimator::Create(2, opts).ok());
+  opts = OnlineOptions{};
+  opts.rollback_ring = 0;
+  EXPECT_FALSE(OnlineEstimator::Create(2, opts).ok());
+}
+
+TEST(OnlineTest, QualityGateRejectionKeepsIncumbentServing) {
+  Fixture f;
+  OnlineOptions opts;
+  opts.retrain_interval = 0;  // manual retrains only
+  OnlineEstimator est(2, opts);
+  for (const auto& z : f.Make(60, 970)) {
+    ASSERT_TRUE(est.Feedback(z.query, z.selectivity).ok());
+  }
+  ASSERT_TRUE(est.Retrain().ok());
+  EXPECT_EQ(est.publish_accepted_count(), 1u);
+  const auto incumbent_plan = est.serving_plan();
+  const Workload probe = f.Make(40, 971);
+  std::vector<double> before;
+  for (const auto& z : probe) before.push_back(est.Estimate(z.query));
+
+  // Force the gate's verdict deterministically: the injected holdout
+  // fault stands in for "candidate scored badly on the held-out slice".
+  FaultRegistry::Global().Arm("online.gate.holdout");
+  const Status st = est.Retrain();
+  FaultRegistry::Global().Disarm("online.gate.holdout");
+  EXPECT_EQ(st.code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(est.publish_rejected_quality_count(), 1u);
+  EXPECT_EQ(est.publish_accepted_count(), 1u);
+  EXPECT_EQ(est.failed_retrain_count(), 1u);
+  EXPECT_EQ(est.rejection_streak(), 1u);
+  EXPECT_FALSE(est.last_error().ok());
+
+  // The rejected candidate was dropped wholesale: the incumbent plan
+  // pointer is unchanged and its estimates are byte-identical.
+  EXPECT_EQ(est.serving_plan(), incumbent_plan);
+  for (size_t i = 0; i < probe.size(); ++i) {
+    EXPECT_EQ(est.Estimate(probe[i].query), before[i]);
+  }
+
+  // The next clean retrain publishes again and clears the streak.
+  ASSERT_TRUE(est.Retrain().ok());
+  EXPECT_EQ(est.publish_accepted_count(), 2u);
+  EXPECT_EQ(est.rejection_streak(), 0u);
+}
+
+TEST(OnlineTest, RollbackWalksLastGoodRing) {
+  Fixture f;
+  OnlineOptions opts;
+  opts.retrain_interval = 0;
+  OnlineEstimator est(2, opts);
+  // Nothing published yet: nothing to roll back to.
+  EXPECT_EQ(est.RollbackLastGood().code(), StatusCode::kFailedPrecondition);
+
+  for (const auto& z : f.Make(40, 972)) {
+    ASSERT_TRUE(est.Feedback(z.query, z.selectivity).ok());
+  }
+  ASSERT_TRUE(est.Retrain().ok());
+  const auto plan1 = est.serving_plan();
+  ASSERT_NE(plan1, nullptr);
+  EXPECT_EQ(est.rollback_ring_size(), 1u);
+
+  for (const auto& z : f.Make(20, 973)) {
+    ASSERT_TRUE(est.Feedback(z.query, z.selectivity).ok());
+  }
+  ASSERT_TRUE(est.Retrain().ok());
+  const auto plan2 = est.serving_plan();
+  EXPECT_NE(plan2, plan1);
+  EXPECT_EQ(est.rollback_ring_size(), 2u);
+
+  // Roll back: the previous snapshot serves again, the abandoned one is
+  // dropped from the ring.
+  ASSERT_TRUE(est.RollbackLastGood().ok());
+  EXPECT_EQ(est.serving_plan(), plan1);
+  EXPECT_EQ(est.rollback_ring_size(), 1u);
+
+  // Only one snapshot left: walking further back fails cleanly.
+  EXPECT_EQ(est.RollbackLastGood().code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(est.serving_plan(), plan1);
+}
+
+TEST(OnlineTest, DeadlineExpiredRetrainKeepsIncumbent) {
+  Fixture f;
+  OnlineOptions opts;
+  opts.retrain_interval = 0;
+  OnlineEstimator est(2, opts);
+  for (const auto& z : f.Make(60, 974)) {
+    ASSERT_TRUE(est.Feedback(z.query, z.selectivity).ok());
+  }
+  ASSERT_TRUE(est.Retrain().ok());
+  const auto incumbent_plan = est.serving_plan();
+  const Workload probe = f.Make(40, 975);
+  std::vector<double> before;
+  for (const auto& z : probe) before.push_back(est.Estimate(z.query));
+
+  // An already-expired ambient budget: training completes degraded (the
+  // solver chain short-circuits to its uniform floor, no abort) and the
+  // publication check rejects the degraded candidate.
+  {
+    ScopedDeadline expired(Deadline::AfterMillis(0));
+    const Status st = est.Retrain();
+    EXPECT_EQ(st.code(), StatusCode::kFailedPrecondition);
+  }
+  EXPECT_EQ(est.publish_rejected_deadline_count(), 1u);
+  EXPECT_EQ(est.publish_rejected_quality_count(), 0u);
+  EXPECT_EQ(est.serving_plan(), incumbent_plan);
+  for (size_t i = 0; i < probe.size(); ++i) {
+    EXPECT_EQ(est.Estimate(probe[i].query), before[i]);
+  }
+  // Outside the expired scope, retraining recovers on its own.
+  ASSERT_TRUE(est.Retrain().ok());
+  EXPECT_EQ(est.rejection_streak(), 0u);
 }
 
 TEST(OnlineTest, WorksWithPtsHistBackend) {

@@ -10,6 +10,7 @@
 #include <cmath>
 #include <filesystem>
 #include <fstream>
+#include <limits>
 #include <sstream>
 #include <thread>
 
@@ -277,6 +278,52 @@ TEST(ServePlanTest, ServePlanKnobGatesSharedPlanOnly) {
   ASSERT_NE(plan, nullptr);
   // The cache hands out the same plan every time.
   EXPECT_EQ(model.shared_plan().get(), plan.get());
+}
+
+// Malformed queries (non-finite parameters; every ctor-constructible
+// degenerate form) must not poison the serving arithmetic: the plan
+// path answers the empty-range 0 and the checked virtual path rejects
+// with InvalidArgument, both counted under serve.invalid_query_total.
+TEST(ServePlanTest, MalformedQueriesAreRejectedNotPoisonous) {
+  Fixture f;
+  QuadHist model(2, QuadHistOptions{});
+  ASSERT_TRUE(model.Train(f.MakeTrain(40, 911)).ok());
+  SetServePlanEnabled(true);
+  const auto plan = model.shared_plan();
+  ASSERT_NE(plan, nullptr);
+
+  const double inf = std::numeric_limits<double>::infinity();
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const std::vector<Query> bad = {
+      Box({0.0, 0.0}, {1.0, inf}),    // unbounded corner
+      Box({-inf, 0.0}, {1.0, 1.0}),   // unbounded corner, low side
+      Halfspace({1.0, 0.0}, inf),     // non-finite offset
+      Halfspace({1.0, 0.0}, nan),     // NaN offset
+      Ball({nan, 0.5}, 0.25),         // NaN center
+      Ball({0.5, 0.5}, inf),          // infinite radius
+  };
+  for (size_t i = 0; i < bad.size(); ++i) {
+    EXPECT_FALSE(QueryIsValid(bad[i])) << "query " << i;
+    // Plan path: sanitized to the empty-range answer, never NaN.
+    EXPECT_EQ(plan->EstimateOne(bad[i]), 0.0) << "query " << i;
+    // Checked virtual path: an explicit rejection the caller can see.
+    auto checked = model.TryEstimate(bad[i]);
+    ASSERT_FALSE(checked.ok()) << "query " << i;
+    EXPECT_EQ(checked.status().code(), StatusCode::kInvalidArgument)
+        << "query " << i;
+  }
+  // The batch kernel inherits the per-query sanitization.
+  const std::vector<double> many = plan->EstimateMany(bad);
+  for (size_t i = 0; i < many.size(); ++i) {
+    EXPECT_EQ(many[i], 0.0) << "query " << i;
+  }
+
+  // Well-formed queries flow through both paths unchanged.
+  const Query good = Box({0.2, 0.2}, {0.7, 0.7});
+  ASSERT_TRUE(QueryIsValid(good));
+  auto checked = model.TryEstimate(good);
+  ASSERT_TRUE(checked.ok());
+  EXPECT_EQ(checked.value(), model.Estimate(good));
 }
 
 // Serving never blocks on retraining: readers hammer Estimate while the

@@ -12,14 +12,24 @@ BUILD_DIR="${1:?usage: run_fault_lane.sh <build-dir>}"
 cd "${BUILD_DIR}" || { echo "FAIL: no build dir ${BUILD_DIR}" >&2; exit 1; }
 
 # One entry per failure domain the chain must absorb: solver iteration
-# caps, LP infeasibility, IO short reads, and online retrain failures.
+# caps, LP infeasibility, IO short reads, online retrain failures,
+# publication-gate rejections, and torn model-file publication.
 LANES=(
   "qp.force_iteration_limit@*"
   "lp.force_infeasible@*,lp.force_iteration_limit@*"
   "qp.fail@*,nnls.fail@*"
   "io.model_short_read@*,io.workload_short_read@*,io.csv_short_read@*"
   "online.fail_retrain@*,matrix.degenerate@*"
+  "online.gate.holdout@*"
+  "io.save.rename@*"
 )
+
+# Any crash-class CTest outcome: aborts, segfaults, other fatal signals
+# (***Exception covers SegFault/Illegal/Bus/Other), and hangs flagged as
+# ***Timeout. Plain assertion "Failed" stays tolerated — sabotaged
+# inputs legitimately change results — but a binary that dies or wedges
+# for any reason is a lane failure, not an "expected" injection outcome.
+CRASH_RE='Subprocess aborted|Child aborted|SEGFAULT|Segmentation|\*\*\*Exception|\*\*\*Timeout|Subprocess killed|Illegal instruction|Bus error'
 
 status=0
 for faults in "${LANES[@]}"; do
@@ -30,12 +40,10 @@ for faults in "${LANES[@]}"; do
     -j "$(nproc)" > lane_output.txt 2>&1
   lane_rc=$?
   # Ordinary test failures are tolerated (sabotaged inputs change
-  # results); crashes are not.
-  if grep -E "Subprocess aborted|Child aborted|SEGFAULT|Segmentation" \
-      lane_output.txt; then
-    echo "FAIL: crash/abort under SEL_FAULTS=${faults}" >&2
-    grep -B2 -A10 -E "Subprocess aborted|Child aborted|SEGFAULT|Segmentation" \
-      lane_output.txt >&2
+  # results); crashes, fatal signals, and hangs are not.
+  if grep -E "${CRASH_RE}" lane_output.txt; then
+    echo "FAIL: crash/abort/hang under SEL_FAULTS=${faults}" >&2
+    grep -B2 -A10 -E "${CRASH_RE}" lane_output.txt >&2
     status=1
   elif [ "${lane_rc}" -ne 0 ]; then
     echo "note: some tests failed under injection (allowed, no crashes):"

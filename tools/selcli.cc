@@ -10,6 +10,7 @@
 //   selcli estimate <model.out> <schema-a,b,c> "<predicate>"
 //   selcli estimators
 //   selcli stats <workload.csv> [<estimator-spec>] [<metrics-out.csv>]
+//   selcli online <workload.csv> [<estimator-spec>] [--rollback]
 //
 // Estimators come from the EstimatorRegistry; `<estimator-spec>` is a
 // registry spec string such as "quadhist:tau=0.002" (run
@@ -20,11 +21,16 @@
 // §11) — the plan file loads like any model and serves without the
 // training-side code. `stats` runs a train-and-predict pass with the
 // metrics registry enabled and dumps every counter/gauge/histogram it
-// produced (see DESIGN.md §10).
+// produced (see DESIGN.md §10). `online` replays a labeled workload
+// through the feedback loop with quality-gated publication (DESIGN.md
+// §13) and reports the accept/reject counters; `--rollback` finishes by
+// republishing the previous last-good snapshot — the operator escape
+// hatch exercised end to end.
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <string>
+#include <vector>
 
 #include "sel/sel.h"
 #include "workload/workload_io.h"
@@ -63,6 +69,7 @@ int Usage() {
       "  selcli estimators\n"
       "  selcli stats <workload.csv> [<estimator-spec>] "
       "[<metrics-out.csv>]\n"
+      "  selcli online <workload.csv> [<estimator-spec>] [--rollback]\n"
       "\n"
       "estimator specs are \"name[:key=value,...]\", e.g. "
       "\"quadhist:tau=0.002\";\n"
@@ -196,7 +203,13 @@ int Train(int argc, char** argv) {
   auto built = EstimatorRegistry::Build(spec.value(), dim, n);
   if (!built.ok()) return Fail(built.status());
   SelectivityModel& model = *built.value();
-  SEL_RETURN_STATUS_AS_EXIT(model.Train(w));
+  {
+    // SEL_TRAIN_DEADLINE_MS bounds the offline train too; on expiry the
+    // solver chain degrades (the trail below says deadline_exceeded)
+    // instead of running unboundedly.
+    ScopedDeadline train_scope(TrainDeadlineFromEnv());
+    SEL_RETURN_STATUS_AS_EXIT(model.Train(w));
+  }
   std::printf("trained %s: %zu buckets, train loss %.3g, %.3fs\n",
               model.Name().c_str(), model.NumBuckets(),
               model.train_stats().train_loss,
@@ -255,10 +268,21 @@ int Estimate(int argc, char** argv) {
   if (argc < 3) return Usage();
   auto model = LoadModel(argv[0]);
   if (!model.ok()) return Fail(model.status());
-  PredicateParser parser(Split(argv[1], ','));
+  const std::vector<std::string> schema = Split(argv[1], ',');
+  auto model_dim = PeekModelDim(argv[0]);
+  if (!model_dim.ok()) return Fail(model_dim.status());
+  if (static_cast<int>(schema.size()) != model_dim.value()) {
+    return Fail(Status::InvalidArgument(
+        "schema has " + std::to_string(schema.size()) +
+        " attributes but the model was trained on " +
+        std::to_string(model_dim.value())));
+  }
+  PredicateParser parser(schema);
   auto query = parser.Parse(argv[2]);
   if (!query.ok()) return Fail(query.status());
-  std::printf("%.6f\n", model.value()->Estimate(query.value()));
+  auto est = model.value()->TryEstimate(query.value());
+  if (!est.ok()) return Fail(est.status());
+  std::printf("%.6f\n", est.value());
   return 0;
 }
 
@@ -309,6 +333,56 @@ int Stats(int argc, char** argv) {
   return 0;
 }
 
+int Online(int argc, char** argv) {
+  if (argc < 1) return Usage();
+  auto workload = LoadWorkloadCsv(argv[0]);
+  if (!workload.ok()) return Fail(workload.status());
+  const Workload& w = workload.value();
+  if (w.empty()) {
+    return Fail(Status::InvalidArgument("workload is empty"));
+  }
+  OnlineOptions opts;
+  bool rollback = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--rollback") {
+      rollback = true;
+    } else {
+      opts.estimator = arg;
+    }
+  }
+  auto online = OnlineEstimator::Create(w[0].query.dim(), opts);
+  if (!online.ok()) return Fail(online.status());
+  OnlineEstimator& est = *online.value();
+  for (const auto& z : w) {
+    SEL_RETURN_STATUS_AS_EXIT(est.Feedback(z.query, z.selectivity));
+  }
+  // Flush the tail of the window; a rejected final candidate is a
+  // reported outcome, not a CLI failure — the incumbent keeps serving.
+  if (est.window_size() > 0) (void)est.Retrain();
+  std::printf("fed %zu records (window %zu); retrains=%zu failed=%zu "
+              "interval=%zu\n",
+              w.size(), est.window_size(), est.retrain_count(),
+              est.failed_retrain_count(), est.current_retrain_interval());
+  std::printf("publish: accepted=%zu rejected_quality=%zu "
+              "rejected_deadline=%zu rejection_streak=%zu ring=%zu\n",
+              est.publish_accepted_count(),
+              est.publish_rejected_quality_count(),
+              est.publish_rejected_deadline_count(), est.rejection_streak(),
+              est.rollback_ring_size());
+  if (!est.last_error().ok()) {
+    std::printf("last_error: %s\n", est.last_error().ToString().c_str());
+  }
+  if (rollback) {
+    const Status st = est.RollbackLastGood();
+    if (!st.ok()) return Fail(st);
+    std::printf("rolled back to the previous last-good snapshot "
+                "(ring now %zu deep)\n",
+                est.rollback_ring_size());
+  }
+  return 0;
+}
+
 }  // namespace sel
 
 int main(int argc, char** argv) {
@@ -324,5 +398,6 @@ int main(int argc, char** argv) {
   if (cmd == "estimate") return sel::Estimate(argc, argv);
   if (cmd == "estimators") return sel::Estimators();
   if (cmd == "stats") return sel::Stats(argc, argv);
+  if (cmd == "online") return sel::Online(argc, argv);
   return sel::Usage();
 }
