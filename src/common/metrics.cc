@@ -156,6 +156,75 @@ std::string MetricsSnapshot::ToCsv() const {
   return out.str();
 }
 
+namespace {
+
+/// Escapes a metric name for a JSON string literal. Names are plain
+/// dotted identifiers today; escaping keeps the render valid JSON even
+/// if one ever is not.
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// JSON number for a double: %.17g round-trips exactly; non-finite
+/// values (which the instruments never record, but belt and braces)
+/// render as null rather than invalid JSON.
+std::string JsonDouble(double v) {
+  if (!std::isfinite(v)) return "null";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+}  // namespace
+
+std::string MetricsSnapshot::ToJson() const {
+  std::ostringstream out;
+  out << "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, value] : counters) {
+    out << (first ? "" : ",") << '"' << JsonEscape(name) << "\":" << value;
+    first = false;
+  }
+  out << "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, value] : gauges) {
+    out << (first ? "" : ",") << '"' << JsonEscape(name) << "\":" << value;
+    first = false;
+  }
+  out << "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : histograms) {
+    out << (first ? "" : ",") << '"' << JsonEscape(name) << "\":{"
+        << "\"count\":" << h.count << ",\"sum\":" << JsonDouble(h.sum)
+        << ",\"mean\":" << JsonDouble(h.Mean())
+        << ",\"p50\":" << JsonDouble(h.Quantile(0.50))
+        << ",\"p95\":" << JsonDouble(h.Quantile(0.95))
+        << ",\"p99\":" << JsonDouble(h.Quantile(0.99)) << '}';
+    first = false;
+  }
+  out << "}}";
+  return out.str();
+}
+
 MetricsRegistry& MetricsRegistry::Global() {
   static MetricsRegistry* registry = new MetricsRegistry();
   return *registry;

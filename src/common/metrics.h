@@ -138,6 +138,12 @@ struct MetricsSnapshot {
 
   /// CSV dump with header "kind,name,count,value,sum,mean,p50,p95,p99".
   std::string ToCsv() const;
+
+  /// JSON render: {"counters":{...},"gauges":{...},"histograms":{name:
+  /// {"count","sum","mean","p50","p95","p99"}}}. One format shared by
+  /// `selcli stats --json`, the server's Stats frame, and external
+  /// scrapers. Keys sorted (std::map), deterministic output.
+  std::string ToJson() const;
 };
 
 /// Process-wide registry of named instruments. Instruments are created

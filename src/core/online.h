@@ -28,6 +28,7 @@
 #ifndef SEL_CORE_ONLINE_H_
 #define SEL_CORE_ONLINE_H_
 
+#include <atomic>
 #include <deque>
 #include <memory>
 #include <mutex>
@@ -124,15 +125,25 @@ class OnlineEstimator {
   /// back. FailedPrecondition when no earlier snapshot exists.
   Status RollbackLastGood();
 
+  /// Domain dimensionality every query and feedback record must match
+  /// (request edges reject mismatches before Estimate's hard check).
+  int dim() const { return dim_; }
+
   /// Number of feedback records currently in the window.
   size_t window_size() const { return window_.size(); }
 
-  /// Number of completed retrains.
-  size_t retrain_count() const { return retrain_count_; }
+  /// Number of completed retrains. Atomic: observable from threads
+  /// other than the one feeding (e.g. a test watching a server whose
+  /// connection threads drive Feedback).
+  size_t retrain_count() const {
+    return retrain_count_.load(std::memory_order_relaxed);
+  }
 
   /// Number of failed retrain attempts since construction (training
-  /// errors and gate rejections both count).
-  size_t failed_retrain_count() const { return failed_retrain_count_; }
+  /// errors and gate rejections both count). Atomic, as above.
+  size_t failed_retrain_count() const {
+    return failed_retrain_count_.load(std::memory_order_relaxed);
+  }
 
   /// Publication outcomes: candidates the gate accepted / rejected on
   /// held-out quality / rejected because the train deadline expired.
@@ -205,8 +216,8 @@ class OnlineEstimator {
   /// cheap pointer copies. Guarded by state_mu_ alongside the swap.
   std::deque<std::shared_ptr<const ServingState>> last_good_;
   size_t since_retrain_ = 0;
-  size_t retrain_count_ = 0;
-  size_t failed_retrain_count_ = 0;
+  std::atomic<size_t> retrain_count_{0};
+  std::atomic<size_t> failed_retrain_count_{0};
   size_t consecutive_failures_ = 0;
   size_t current_interval_ = 0;
   size_t publish_accepted_ = 0;

@@ -69,6 +69,9 @@
 #include "parser/predicate_parser.h"
 #include "serve/compiled_plan.h"
 #include "serve/plan_model.h"
+#include "server/client.h"
+#include "server/proto.h"
+#include "server/server.h"
 #include "solver/lp.h"
 #include "solver/nnls.h"
 #include "solver/qp.h"

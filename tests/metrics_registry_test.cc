@@ -186,6 +186,37 @@ TEST_F(MetricsRegistryTest, ToTextAndToCsvRenderEveryInstrument) {
   }
 }
 
+TEST_F(MetricsRegistryTest, ToJsonRendersEveryInstrument) {
+  SEL_METRIC_COUNTER_ADD("t.json_counter", 5);
+  SEL_METRIC_GAUGE_SET("t.json_gauge", -4);
+  SEL_METRIC_HIST_RECORD("t.json_hist", 10.0);
+  SEL_METRIC_HIST_RECORD("t.json_hist", 100.0);
+  const std::string json = MetricsRegistry::Global().Snapshot().ToJson();
+
+  // Structural checks (no JSON library in-tree): one object with the
+  // three sections, every instrument present with its value.
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+  EXPECT_NE(json.find("\"counters\":{"), std::string::npos);
+  EXPECT_NE(json.find("\"gauges\":{"), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\":{"), std::string::npos);
+  EXPECT_NE(json.find("\"t.json_counter\":5"), std::string::npos);
+  EXPECT_NE(json.find("\"t.json_gauge\":-4"), std::string::npos);
+  EXPECT_NE(json.find("\"t.json_hist\":{\"count\":2,\"sum\":110"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"p50\":"), std::string::npos);
+  EXPECT_NE(json.find("\"p99\":"), std::string::npos);
+  // Balanced braces — cheap well-formedness proxy.
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+}
+
+TEST_F(MetricsRegistryTest, ToJsonEscapesAwkwardNames) {
+  MetricsRegistry::Global().GetCounter("t.quote\"back\\slash").Increment();
+  const std::string json = MetricsRegistry::Global().Snapshot().ToJson();
+  EXPECT_NE(json.find("\"t.quote\\\"back\\\\slash\":1"), std::string::npos);
+}
+
 TEST_F(MetricsRegistryTest, ResetZeroesInsteadOfDangling) {
   Counter& c = MetricsRegistry::Global().GetCounter("t.reset");
   c.Increment(9);

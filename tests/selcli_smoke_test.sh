@@ -167,4 +167,59 @@ else
     || fail "trace JSON missing the solver span"
 fi
 
+# stats --json emits one machine-readable document and nothing else.
+"${SELCLI}" stats train.csv quadhist --json > stats.json \
+  || fail "selcli stats --json exited non-zero"
+if command -v python3 > /dev/null 2>&1; then
+  python3 - <<'EOF' || fail "stats --json output is not valid JSON"
+import json
+with open("stats.json") as f:
+    d = json.load(f)
+assert "counters" in d and "gauges" in d and "histograms" in d, d.keys()
+EOF
+else
+  grep -q '"counters"' stats.json || fail "stats --json missing counters"
+  grep -q '"histograms"' stats.json || fail "stats --json missing histograms"
+fi
+
+# Network round trip: serve in the background, query over TCP, then a
+# graceful SIGTERM drain that must exit 0.
+"${SELCLI}" serve train.csv quadhist --port 0 > serve_out.txt 2>&1 &
+SERVE_PID=$!
+PORT=""
+for _ in $(seq 1 100); do
+  PORT="$(sed -n 's/^listening on 127\.0\.0\.1:\([0-9]*\).*/\1/p' \
+          serve_out.txt)"
+  [ -n "${PORT}" ] && break
+  kill -0 "${SERVE_PID}" 2> /dev/null || break
+  sleep 0.1
+done
+[ -n "${PORT}" ] || { cat serve_out.txt; fail "serve never announced a port"; }
+
+ping_out="$("${SELCLI}" query "127.0.0.1:${PORT}" --ping)" \
+  || fail "query --ping exited non-zero"
+[ "${ping_out}" = "pong" ] || fail "ping said: ${ping_out}"
+
+net_est="$("${SELCLI}" query "127.0.0.1:${PORT}" c0,c1,c2,c3,c4,c5,c6 \
+      'c0 < 0.5 AND c1 < 0.5')" || fail "query estimate exited non-zero"
+awk -v e="${net_est}" 'BEGIN { exit !(e >= 0.0 && e <= 1.0) }' \
+  || fail "query estimate out of [0,1]: ${net_est}"
+
+fb_out="$("${SELCLI}" query "127.0.0.1:${PORT}" c0,c1,c2,c3,c4,c5,c6 \
+      'c0 < 0.5 AND c1 < 0.5' --feedback 0.25)" \
+  || fail "query --feedback exited non-zero"
+[ "${fb_out}" = "feedback recorded" ] || fail "feedback said: ${fb_out}"
+
+"${SELCLI}" query "127.0.0.1:${PORT}" --stats > netstats.json \
+  || fail "query --stats exited non-zero"
+grep -q '"server.requests_total"' netstats.json \
+  || fail "server stats missing request counter: $(head -c 200 netstats.json)"
+
+kill -TERM "${SERVE_PID}"
+wait "${SERVE_PID}"
+rc=$?
+[ "${rc}" -eq 0 ] || { cat serve_out.txt; fail "serve drain exited ${rc}"; }
+grep -q "draining" serve_out.txt || fail "serve never reported draining"
+grep -q "server drained" serve_out.txt || fail "serve never reported drained"
+
 echo "selcli smoke test passed"

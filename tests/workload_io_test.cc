@@ -27,7 +27,11 @@ TEST_P(WorkloadIoRoundTrip, PreservesQueriesAndLabels) {
   WorkloadGenerator gen(&data, &index, opts);
   const Workload original = gen.Generate(40);
 
-  const std::string path = TempPath("sel_workload_io.csv");
+  // One file per parameterized instance: ctest runs instances in
+  // parallel, and a shared path lets one truncate another's read.
+  const std::string path = TempPath(
+      "sel_workload_io." +
+      std::to_string(static_cast<int>(GetParam())) + ".csv");
   ASSERT_TRUE(SaveWorkloadCsv(original, path).ok());
   auto loaded = LoadWorkloadCsv(path);
   ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();

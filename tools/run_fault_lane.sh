@@ -13,7 +13,8 @@ cd "${BUILD_DIR}" || { echo "FAIL: no build dir ${BUILD_DIR}" >&2; exit 1; }
 
 # One entry per failure domain the chain must absorb: solver iteration
 # caps, LP infeasibility, IO short reads, online retrain failures,
-# publication-gate rejections, and torn model-file publication.
+# publication-gate rejections, torn model-file publication, and network
+# socket failures (read/write/accept) on the estimator server.
 LANES=(
   "qp.force_iteration_limit@*"
   "lp.force_infeasible@*,lp.force_iteration_limit@*"
@@ -22,6 +23,8 @@ LANES=(
   "online.fail_retrain@*,matrix.degenerate@*"
   "online.gate.holdout@*"
   "io.save.rename@*"
+  "net.read@*,net.write@*"
+  "net.accept@*"
 )
 
 # Any crash-class CTest outcome: aborts, segfaults, other fatal signals

@@ -10,7 +10,12 @@
 //   selcli estimate <model.out> <schema-a,b,c> "<predicate>"
 //   selcli estimators
 //   selcli stats <workload.csv> [<estimator-spec>] [<metrics-out.csv>]
+//          [--json]
 //   selcli online <workload.csv> [<estimator-spec>] [--rollback]
+//   selcli serve <workload.csv> [<estimator-spec>] [--port <p>]
+//   selcli query <host:port> <schema-a,b,c> "<predicate>"
+//          [--feedback <truth>]
+//   selcli query <host:port> --stats | --ping
 //
 // Estimators come from the EstimatorRegistry; `<estimator-spec>` is a
 // registry spec string such as "quadhist:tau=0.002" (run
@@ -25,8 +30,14 @@
 // through the feedback loop with quality-gated publication (DESIGN.md
 // §13) and reports the accept/reject counters; `--rollback` finishes by
 // republishing the previous last-good snapshot — the operator escape
-// hatch exercised end to end.
+// hatch exercised end to end. `serve` hosts an OnlineEstimator behind
+// the TCP frame protocol (DESIGN.md §14) until SIGINT/SIGTERM, then
+// drains gracefully; `query` is its command-line peer.
+#include <csignal>
+#include <unistd.h>
+
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <string>
@@ -68,8 +79,12 @@ int Usage() {
       "  selcli estimate <model.out> <schema-a,b,c> \"<predicate>\"\n"
       "  selcli estimators\n"
       "  selcli stats <workload.csv> [<estimator-spec>] "
-      "[<metrics-out.csv>]\n"
+      "[<metrics-out.csv>] [--json]\n"
       "  selcli online <workload.csv> [<estimator-spec>] [--rollback]\n"
+      "  selcli serve <workload.csv> [<estimator-spec>] [--port <p>]\n"
+      "  selcli query <host:port> <schema-a,b,c> \"<predicate>\" "
+      "[--feedback <truth>]\n"
+      "  selcli query <host:port> --stats | --ping\n"
       "\n"
       "estimator specs are \"name[:key=value,...]\", e.g. "
       "\"quadhist:tau=0.002\";\n"
@@ -287,14 +302,24 @@ int Estimate(int argc, char** argv) {
 }
 
 int Stats(int argc, char** argv) {
-  if (argc < 1) return Usage();
-  auto workload = LoadWorkloadCsv(argv[0]);
+  // --json may appear anywhere; positional args keep their order.
+  bool json = false;
+  std::vector<char*> pos;
+  for (int i = 0; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      json = true;
+    } else {
+      pos.push_back(argv[i]);
+    }
+  }
+  if (pos.empty()) return Usage();
+  auto workload = LoadWorkloadCsv(pos[0]);
   if (!workload.ok()) return Fail(workload.status());
   const Workload& w = workload.value();
   if (w.empty()) {
     return Fail(Status::InvalidArgument("workload is empty"));
   }
-  const std::string spec_string = argc > 1 ? argv[1] : "quadhist";
+  const std::string spec_string = pos.size() > 1 ? pos[1] : "quadhist";
   auto spec = EstimatorSpec::Parse(spec_string);
   if (!spec.ok()) return Fail(spec.status());
   if (EstimatorRegistry::Global().Find(spec.value().name) == nullptr) {
@@ -309,7 +334,9 @@ int Stats(int argc, char** argv) {
   // Re-publish the dispatch gauge: Reset() zeroed it, and the SIMD level
   // was resolved before metrics were enabled.
   SetSimdLevel(ActiveSimdLevel());
-  std::printf("simd path: %s\n", SimdLevelName(ActiveSimdLevel()));
+  // JSON mode prints nothing but the document so scripts can pipe the
+  // whole stdout into a parser.
+  if (!json) std::printf("simd path: %s\n", SimdLevelName(ActiveSimdLevel()));
 
   auto built =
       EstimatorRegistry::Build(spec.value(), w[0].query.dim(), w.size());
@@ -318,9 +345,13 @@ int Stats(int argc, char** argv) {
   (void)EstimateBatch(*built.value(), w);
 
   const MetricsSnapshot snap = MetricsRegistry::Global().Snapshot();
-  std::printf("%s", snap.ToText().c_str());
-  if (argc > 2) {
-    const std::string out = argv[2];
+  if (json) {
+    std::printf("%s\n", snap.ToJson().c_str());
+  } else {
+    std::printf("%s", snap.ToText().c_str());
+  }
+  if (pos.size() > 2) {
+    const std::string out = pos[2];
     std::ofstream csv(out);
     if (!csv.good()) {
       return Fail(Status::IOError("cannot open: " + out));
@@ -328,7 +359,7 @@ int Stats(int argc, char** argv) {
     csv << snap.ToCsv();
     csv.flush();
     if (!csv.good()) return Fail(Status::IOError("write failed: " + out));
-    std::printf("metrics csv written to %s\n", out.c_str());
+    if (!json) std::printf("metrics csv written to %s\n", out.c_str());
   }
   return 0;
 }
@@ -383,6 +414,157 @@ int Online(int argc, char** argv) {
   return 0;
 }
 
+namespace {
+
+/// Self-pipe the signal handlers write one byte into; main blocks on
+/// the read end. The only async-signal-safe way to turn SIGINT/SIGTERM
+/// into "return from a blocking call and drain".
+int g_signal_pipe[2] = {-1, -1};
+
+void OnShutdownSignal(int /*signo*/) {
+  const char byte = 1;
+  // write(2) is async-signal-safe; a full pipe just means a signal is
+  // already pending, so a dropped byte is fine.
+  (void)!::write(g_signal_pipe[1], &byte, 1);
+}
+
+}  // namespace
+
+int Serve(int argc, char** argv) {
+  if (argc < 1) return Usage();
+  int port_override = -1;
+  std::string spec = "quadhist";
+  const std::string workload_path = argv[0];
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--port") {
+      if (i + 1 >= argc) return Usage();
+      port_override = static_cast<int>(std::strtol(argv[++i], nullptr, 10));
+    } else {
+      spec = arg;
+    }
+  }
+  auto workload = LoadWorkloadCsv(workload_path);
+  if (!workload.ok()) return Fail(workload.status());
+  const Workload& w = workload.value();
+  if (w.empty()) {
+    return Fail(Status::InvalidArgument("workload is empty"));
+  }
+
+  OnlineOptions oopts;
+  oopts.estimator = spec;
+  auto online = OnlineEstimator::Create(w[0].query.dim(), oopts);
+  if (!online.ok()) return Fail(online.status());
+  OnlineEstimator& est = *online.value();
+  for (const auto& z : w) {
+    SEL_RETURN_STATUS_AS_EXIT(est.Feedback(z.query, z.selectivity));
+  }
+  // Flush the window tail so the server starts with a trained model
+  // covering the whole bootstrap workload.
+  if (est.window_size() > 0) (void)est.Retrain();
+  if (!est.trained()) {
+    return Fail(Status::FailedPrecondition(
+        "bootstrap training failed: " + est.last_error().ToString()));
+  }
+
+  // The server is the long-lived metrics producer; stats frames should
+  // always have data regardless of SEL_METRICS.
+  SetMetricsEnabled(true);
+  SetSimdLevel(ActiveSimdLevel());
+
+  EstimatorServer::Options sopts = EstimatorServer::Options::FromEnv();
+  if (port_override >= 0) sopts.port = port_override;
+  auto server = EstimatorServer::Start(&est, sopts);
+  if (!server.ok()) return Fail(server.status());
+
+  if (::pipe(g_signal_pipe) != 0) {
+    return Fail(Status::IOError("pipe() failed"));
+  }
+  struct sigaction sa;
+  std::memset(&sa, 0, sizeof(sa));
+  sa.sa_handler = OnShutdownSignal;
+  ::sigaction(SIGINT, &sa, nullptr);
+  ::sigaction(SIGTERM, &sa, nullptr);
+
+  // The smoke test and the bench harness parse this exact line for the
+  // resolved ephemeral port; flush so they see it before connecting.
+  std::printf("listening on 127.0.0.1:%d (model %s, dim %d, window %zu)\n",
+              server.value()->port(), spec.c_str(), est.dim(),
+              est.window_size());
+  std::fflush(stdout);
+
+  // Block until a shutdown signal lands (EINTR restarts the read).
+  char byte = 0;
+  while (::read(g_signal_pipe[0], &byte, 1) < 0 && errno == EINTR) {
+  }
+
+  std::printf("draining...\n");
+  std::fflush(stdout);
+  server.value()->Shutdown();
+
+  // Flush observability before exit: final counters to stdout, buffered
+  // trace (if SEL_TRACE armed it) to its file.
+  const MetricsSnapshot snap = MetricsRegistry::Global().Snapshot();
+  std::printf("%s", snap.ToText().c_str());
+  const Status trace_st = TraceRecorder::Global().Stop();
+  if (!trace_st.ok()) {
+    std::fprintf(stderr, "warning: trace flush failed: %s\n",
+                 trace_st.ToString().c_str());
+  }
+  std::printf("server drained; exiting\n");
+  return 0;
+}
+
+int QueryCmd(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const std::vector<std::string> host_port = Split(argv[0], ':');
+  if (host_port.size() != 2) {
+    return Fail(Status::InvalidArgument(
+        "expected <host:port>, got: " + std::string(argv[0])));
+  }
+  const int port =
+      static_cast<int>(std::strtol(host_port[1].c_str(), nullptr, 10));
+  auto client = EstimatorClient::Connect(host_port[0], port);
+  if (!client.ok()) return Fail(client.status());
+
+  const std::string mode = argv[1];
+  if (mode == "--ping") {
+    SEL_RETURN_STATUS_AS_EXIT(client.value()->Ping());
+    std::printf("pong\n");
+    return 0;
+  }
+  if (mode == "--stats") {
+    auto stats = client.value()->Stats();
+    if (!stats.ok()) return Fail(stats.status());
+    std::printf("%s\n", stats.value().c_str());
+    return 0;
+  }
+  if (argc < 3) return Usage();
+  const std::vector<std::string> schema = Split(argv[1], ',');
+  PredicateParser parser(schema);
+  auto query = parser.Parse(argv[2]);
+  if (!query.ok()) return Fail(query.status());
+  double feedback_truth = -1.0;
+  bool feedback = false;
+  for (int i = 3; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--feedback") == 0) {
+      if (i + 1 >= argc) return Usage();
+      feedback = true;
+      feedback_truth = std::strtod(argv[++i], nullptr);
+    }
+  }
+  if (feedback) {
+    SEL_RETURN_STATUS_AS_EXIT(
+        client.value()->Feedback(query.value(), feedback_truth));
+    std::printf("feedback recorded\n");
+    return 0;
+  }
+  auto est = client.value()->Estimate(query.value());
+  if (!est.ok()) return Fail(est.status());
+  std::printf("%.6f\n", est.value());
+  return 0;
+}
+
 }  // namespace sel
 
 int main(int argc, char** argv) {
@@ -399,5 +581,7 @@ int main(int argc, char** argv) {
   if (cmd == "estimators") return sel::Estimators();
   if (cmd == "stats") return sel::Stats(argc, argv);
   if (cmd == "online") return sel::Online(argc, argv);
+  if (cmd == "serve") return sel::Serve(argc, argv);
+  if (cmd == "query") return sel::QueryCmd(argc, argv);
   return sel::Usage();
 }
